@@ -1,0 +1,42 @@
+//! Microbenchmarks for answer parsing and the cleaning/normalisation
+//! stage — the hot path of workflow step (3).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use galois_core::clean::{clean_to_type, parse_number, CleaningPolicy};
+use galois_core::parse::{extract_records, parse_list_answer};
+use galois_relational::DataType;
+
+fn bench_numbers(c: &mut Criterion) {
+    let policy = CleaningPolicy::default();
+    for (name, input) in [
+        ("plain", "2800000"),
+        ("thousands", "2,800,000"),
+        ("spelled", "about 2.8 million"),
+        ("suffix", "500k"),
+    ] {
+        c.bench_function(&format!("parse_number_{name}"), |b| {
+            b.iter(|| parse_number(black_box(input), &policy))
+        });
+    }
+    c.bench_function("clean_to_int", |b| {
+        b.iter(|| clean_to_type(black_box("2.8 million"), DataType::Int, &policy))
+    });
+    c.bench_function("clean_to_date", |b| {
+        b.iter(|| clean_to_type(black_box("May 8, 1961"), DataType::Date, &policy))
+    });
+}
+
+fn bench_answers(c: &mut Criterion) {
+    let list = "Sure! Here are some values: Rome, Paris, Milan, Naples, Turin, \
+                Palermo, Genoa, Bologna, Florence, Bari, Catania, Venice.";
+    c.bench_function("parse_list_answer", |b| {
+        b.iter(|| parse_list_answer(black_box(list)))
+    });
+    let qa = "- Rome: 2,800,000\n- Paris: 2,100,000\n- Milan: 1,400,000\n- Naples: 960,000";
+    c.bench_function("extract_records", |b| {
+        b.iter(|| extract_records(black_box(qa)))
+    });
+}
+
+criterion_group!(benches, bench_numbers, bench_answers);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Microbenchmarks for the simulated-LLM substrate: prompt round-trips and
+//! the client cache.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use galois_core::prompts::PromptBuilder;
+use galois_dataset::Scenario;
+use galois_eval::model_for;
+use galois_llm::intent::TaskIntent;
+use galois_llm::{LlmClient, ModelProfile};
+
+fn bench_completion(c: &mut Criterion) {
+    let s = Scenario::generate(42);
+    let model = model_for(&s, ModelProfile::chatgpt());
+    let builder = PromptBuilder::for_model("chatgpt");
+    let list_prompt = builder.task(&TaskIntent::ListKeys {
+        relation: "city".into(),
+        key_attr: "name".into(),
+        condition: None,
+        exclude: vec![],
+    });
+    let fetch_prompt = builder.task(&TaskIntent::FetchAttr {
+        relation: "city".into(),
+        key_attr: "name".into(),
+        key: s.world.cities[0].name.clone(),
+        attribute: "population".into(),
+    });
+
+    c.bench_function("sim_list_keys", |b| {
+        b.iter(|| model.complete(black_box(&list_prompt)))
+    });
+    c.bench_function("sim_fetch_attr", |b| {
+        b.iter(|| model.complete(black_box(&fetch_prompt)))
+    });
+
+    let qa_prompt = builder.question(&s.suite[0].question());
+    c.bench_function("sim_qa_question", |b| {
+        b.iter(|| model.complete(black_box(&qa_prompt)))
+    });
+}
+
+fn bench_client_cache(c: &mut Criterion) {
+    let s = Scenario::generate(42);
+    let model = model_for(&s, ModelProfile::chatgpt());
+    let builder = PromptBuilder::for_model("chatgpt");
+    let prompt = builder.task(&TaskIntent::FetchAttr {
+        relation: "city".into(),
+        key_attr: "name".into(),
+        key: s.world.cities[0].name.clone(),
+        attribute: "population".into(),
+    });
+    let client = LlmClient::new(model);
+    client.complete(&prompt); // warm the cache
+    c.bench_function("client_cache_hit", |b| {
+        b.iter(|| client.complete(black_box(&prompt)))
+    });
+}
+
+criterion_group!(benches, bench_completion, bench_client_cache);
+criterion_main!(benches);

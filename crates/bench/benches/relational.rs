@@ -1,0 +1,55 @@
+//! Microbenchmarks for the relational engine: planning and the physical
+//! operators over the ground-truth corpus.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use galois_dataset::Scenario;
+
+fn bench_planning(c: &mut Criterion) {
+    let s = Scenario::generate(42);
+    let sql = "SELECT c.name, k.gdp FROM city c, country k \
+               WHERE c.country = k.name AND c.population > 500000 ORDER BY k.gdp DESC";
+    c.bench_function("plan_join_query", |b| {
+        b.iter(|| s.database.plan(black_box(sql)).unwrap())
+    });
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let s = Scenario::generate(42);
+    c.bench_function("exec_filter_scan", |b| {
+        b.iter(|| {
+            s.database
+                .execute(black_box("SELECT name FROM city WHERE population > 500000"))
+                .unwrap()
+        })
+    });
+    c.bench_function("exec_hash_join", |b| {
+        b.iter(|| {
+            s.database
+                .execute(black_box(
+                    "SELECT c.name, k.gdp FROM city c, country k WHERE c.country = k.name",
+                ))
+                .unwrap()
+        })
+    });
+    c.bench_function("exec_group_aggregate", |b| {
+        b.iter(|| {
+            s.database
+                .execute(black_box(
+                    "SELECT country, COUNT(*), AVG(population) FROM city GROUP BY country",
+                ))
+                .unwrap()
+        })
+    });
+    c.bench_function("exec_sort_limit", |b| {
+        b.iter(|| {
+            s.database
+                .execute(black_box(
+                    "SELECT name FROM city ORDER BY population DESC LIMIT 5",
+                ))
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_planning, bench_execution);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! # galois-bench
+//!
+//! Reproduction harness: one binary per table/figure of the paper (see
+//! `DESIGN.md` §4 for the experiment index) plus Criterion microbenchmarks
+//! in `benches/`.
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table1` | Table 1 — cardinality difference per model |
+//! | `table2` | Table 2 — cell-match % per method and query class |
+//! | `timing` | §5 prompt-count / latency statistics |
+//! | `plan_demo` | Figure 3 — compiled plan with LLM operators |
+//! | `prompt_demo` | Figure 4 — few-shot prompt rendering |
+//! | `ablation_pushdown` | §6 — prompt pushdown on/off |
+//! | `ablation_cleaning` | §4 — cleaning on/off |
+//! | `ablation_iteration` | §4 — "more results" iteration cap sweep |
+//!
+//! Every binary accepts `--seed <u64>` (default 42).
+
+/// Parses a `--seed N` argument pair from `std::env::args`, defaulting to
+/// 42. Shared by all reproduction binaries.
+pub fn seed_from_args() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|w| w[0] == "--seed")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(42)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn default_seed_is_42() {
+        // Arguments of the test harness never contain --seed.
+        assert_eq!(super::seed_from_args(), 42);
+    }
+}

@@ -1,0 +1,314 @@
+//! Data cleaning and normalisation (paper §4): "we normalize every string
+//! expressing a numerical value (say, 1k) into a number (1000). The
+//! enforcing of type and domain constraints is a simple but crucial step
+//! to limit the incorrect output due to model hallucinations."
+//!
+//! [`clean_to_type`] turns raw answer strings into typed [`Value`]s under
+//! a [`CleaningPolicy`]; the policy's `normalise=false` setting is the
+//! paper's implicit ablation (only strictly-formatted values survive),
+//! reproduced by `ablation_cleaning`.
+
+use galois_relational::{DataType, Date, Value};
+
+/// Knobs of the cleaning stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CleaningPolicy {
+    /// Normalise flexible formats ("2.8 million", "2,800,000", "May 8,
+    /// 1961"). When off, only plainly-typed strings parse.
+    pub normalise: bool,
+    /// Enforce basic domain constraints (finite numbers, sane magnitude,
+    /// valid calendar dates).
+    pub enforce_domains: bool,
+}
+
+impl Default for CleaningPolicy {
+    fn default() -> Self {
+        CleaningPolicy {
+            normalise: true,
+            enforce_domains: true,
+        }
+    }
+}
+
+impl CleaningPolicy {
+    /// The ablation policy: no normalisation, no domain checks.
+    pub fn disabled() -> Self {
+        CleaningPolicy {
+            normalise: false,
+            enforce_domains: false,
+        }
+    }
+}
+
+/// Cleans a raw answer string into a value of the expected type.
+/// `None` means the cell is unusable (becomes SQL NULL).
+pub fn clean_to_type(raw: &str, ty: DataType, policy: &CleaningPolicy) -> Option<Value> {
+    let s = normalise_whitespace(raw);
+    if s.is_empty() || s.eq_ignore_ascii_case("unknown") || s.eq_ignore_ascii_case("n/a") {
+        return None;
+    }
+    match ty {
+        DataType::Text => Some(Value::Text(s)),
+        DataType::Int => {
+            let n = parse_number(&s, policy)?;
+            if policy.enforce_domains && !(n.is_finite() && n.abs() < 9.2e18) {
+                return None;
+            }
+            Some(Value::Int(n.round() as i64))
+        }
+        DataType::Float => {
+            let n = parse_number(&s, policy)?;
+            if policy.enforce_domains && !n.is_finite() {
+                return None;
+            }
+            Some(Value::Float(n))
+        }
+        DataType::Bool => match s.to_ascii_lowercase().as_str() {
+            "yes" | "true" | "1" => Some(Value::Bool(true)),
+            "no" | "false" | "0" => Some(Value::Bool(false)),
+            _ => None,
+        },
+        DataType::Date => parse_date(&s, policy).map(Value::Date),
+    }
+}
+
+fn normalise_whitespace(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Parses a number from flexible English renderings.
+pub fn parse_number(raw: &str, policy: &CleaningPolicy) -> Option<f64> {
+    let mut s = raw.trim().to_ascii_lowercase();
+    if !policy.normalise {
+        return s.parse::<f64>().ok();
+    }
+    for prefix in ["about", "approximately", "around", "roughly", "~", "almost", "nearly"] {
+        if let Some(rest) = s.strip_prefix(prefix) {
+            s = rest.trim().to_string();
+        }
+    }
+    // Strip currency-ish decorations.
+    let s = s
+        .trim_start_matches(['$', '€', '£'])
+        .trim_end_matches(" people")
+        .trim_end_matches(" credits")
+        .trim()
+        .to_string();
+
+    // Word multipliers: "2.8 million", "1.2 billion", "5 thousand".
+    for (word, mult) in [
+        (" million", 1e6),
+        (" billion", 1e9),
+        (" thousand", 1e3),
+        (" trillion", 1e12),
+    ] {
+        if let Some(head) = s.strip_suffix(word) {
+            return parse_grouped(head).map(|v| v * mult);
+        }
+    }
+    // Suffix multipliers: "500k", "2.8m", "1.2bn", "3b".
+    for (suffix, mult) in [("bn", 1e9), ("k", 1e3), ("m", 1e6), ("b", 1e9)] {
+        if let Some(head) = s.strip_suffix(suffix) {
+            // Avoid eating the end of a word ("berlin" ends with 'n').
+            if head
+                .chars()
+                .last()
+                .is_some_and(|c| c.is_ascii_digit() || c == '.')
+            {
+                return parse_grouped(head).map(|v| v * mult);
+            }
+        }
+    }
+    parse_grouped(&s)
+}
+
+fn parse_grouped(s: &str) -> Option<f64> {
+    let s = s.trim();
+    if s.is_empty() {
+        return None;
+    }
+    // Remove thousands separators only when they look like grouping.
+    let cleaned: String = if looks_grouped(s) {
+        s.chars().filter(|c| *c != ',').collect()
+    } else {
+        s.to_string()
+    };
+    cleaned.parse::<f64>().ok()
+}
+
+fn looks_grouped(s: &str) -> bool {
+    if !s.contains(',') {
+        return false;
+    }
+    let unsigned = s.strip_prefix('-').unwrap_or(s);
+    let parts: Vec<&str> = unsigned.split(',').collect();
+    if parts.is_empty() || parts[0].is_empty() || parts[0].len() > 3 {
+        return false;
+    }
+    parts[1..].iter().all(|p| {
+        p.len() == 3 && p.chars().all(|c| c.is_ascii_digit())
+            || (p.contains('.')
+                && p.split('.').next().is_some_and(|h| {
+                    h.len() == 3 && h.chars().all(|c| c.is_ascii_digit())
+                }))
+    })
+}
+
+const MONTHS: [&str; 12] = [
+    "january",
+    "february",
+    "march",
+    "april",
+    "may",
+    "june",
+    "july",
+    "august",
+    "september",
+    "october",
+    "november",
+    "december",
+];
+
+/// Parses a date from ISO (`1961-05-08`), US (`05/08/1961`) or long
+/// (`May 8, 1961`) form.
+pub fn parse_date(raw: &str, policy: &CleaningPolicy) -> Option<Date> {
+    let s = raw.trim();
+    // ISO always accepted (that is a "plainly typed" rendering).
+    if let Ok(d) = Date::parse_iso(s) {
+        return Some(d);
+    }
+    if !policy.normalise {
+        return None;
+    }
+    // US form MM/DD/YYYY.
+    let parts: Vec<&str> = s.split('/').collect();
+    if parts.len() == 3 {
+        let m: u8 = parts[0].parse().ok()?;
+        let d: u8 = parts[1].parse().ok()?;
+        let y: i32 = parts[2].parse().ok()?;
+        return Date::new(y, m, d).ok();
+    }
+    // Long form "May 8, 1961".
+    let lower = s.to_ascii_lowercase();
+    for (i, month) in MONTHS.iter().enumerate() {
+        if let Some(rest) = lower.strip_prefix(month) {
+            let rest = rest.trim().trim_end_matches('.');
+            let (day_s, year_s) = rest.split_once(',')?;
+            let d: u8 = day_s.trim().parse().ok()?;
+            let y: i32 = year_s.trim().parse().ok()?;
+            return Date::new(y, (i + 1) as u8, d).ok();
+        }
+    }
+    None
+}
+
+/// Normalises a text cell for joining/matching: trims, collapses
+/// whitespace, strips enclosing quotes and trailing punctuation.
+pub fn normalise_text(raw: &str) -> String {
+    normalise_whitespace(
+        raw.trim()
+            .trim_end_matches(['.', ';'])
+            .trim_matches(|c: char| c == '"' || c == '\''),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn on() -> CleaningPolicy {
+        CleaningPolicy::default()
+    }
+
+    #[test]
+    fn numbers_in_all_formats() {
+        let p = on();
+        assert_eq!(parse_number("2800000", &p), Some(2_800_000.0));
+        assert_eq!(parse_number("2,800,000", &p), Some(2_800_000.0));
+        assert_eq!(parse_number("2.8 million", &p), Some(2_800_000.0));
+        assert_eq!(parse_number("500k", &p), Some(500_000.0));
+        assert_eq!(parse_number("1.2 billion", &p), Some(1_200_000_000.0));
+        assert_eq!(parse_number("about 1,234", &p), Some(1234.0));
+        assert_eq!(parse_number("~42", &p), Some(42.0));
+        assert_eq!(parse_number("-3.5", &p), Some(-3.5));
+        assert_eq!(parse_number("1k", &p), Some(1000.0));
+    }
+
+    #[test]
+    fn non_numbers_rejected() {
+        let p = on();
+        assert_eq!(parse_number("Rome", &p), None);
+        assert_eq!(parse_number("", &p), None);
+        assert_eq!(parse_number("berlin", &p), None); // 'n' suffix guard
+        assert_eq!(parse_number("12abc", &p), None);
+    }
+
+    #[test]
+    fn grouped_detection_is_strict() {
+        let p = on();
+        // "1,23" is not thousand-grouping → unparseable.
+        assert_eq!(parse_number("1,23", &p), None);
+        assert_eq!(parse_number("12,345.67", &p), Some(12345.67));
+    }
+
+    #[test]
+    fn cleaning_off_only_accepts_plain() {
+        let p = CleaningPolicy::disabled();
+        assert_eq!(parse_number("2800000", &p), Some(2_800_000.0));
+        assert_eq!(parse_number("2,800,000", &p), None);
+        assert_eq!(parse_number("2.8 million", &p), None);
+    }
+
+    #[test]
+    fn dates_in_all_formats() {
+        let p = on();
+        let expect = Date::new(1961, 5, 8).unwrap();
+        assert_eq!(parse_date("1961-05-08", &p), Some(expect));
+        assert_eq!(parse_date("05/08/1961", &p), Some(expect));
+        assert_eq!(parse_date("May 8, 1961", &p), Some(expect));
+        assert_eq!(parse_date("not a date", &p), None);
+        // Invalid calendar dates rejected.
+        assert_eq!(parse_date("02/30/1961", &p), None);
+    }
+
+    #[test]
+    fn dates_without_cleaning_are_iso_only() {
+        let p = CleaningPolicy::disabled();
+        assert!(parse_date("1961-05-08", &p).is_some());
+        assert!(parse_date("May 8, 1961", &p).is_none());
+    }
+
+    #[test]
+    fn clean_to_type_int_rounds_and_bounds() {
+        let p = on();
+        assert_eq!(
+            clean_to_type("2.8 million", DataType::Int, &p),
+            Some(Value::Int(2_800_000))
+        );
+        assert_eq!(clean_to_type("1e30", DataType::Int, &p), None);
+        assert_eq!(clean_to_type("Unknown", DataType::Int, &p), None);
+    }
+
+    #[test]
+    fn clean_to_type_text_normalises_whitespace() {
+        let p = on();
+        assert_eq!(
+            clean_to_type("  New   York ", DataType::Text, &p),
+            Some(Value::Text("New York".into()))
+        );
+    }
+
+    #[test]
+    fn clean_to_type_bool() {
+        let p = on();
+        assert_eq!(clean_to_type("Yes", DataType::Bool, &p), Some(Value::Bool(true)));
+        assert_eq!(clean_to_type("no", DataType::Bool, &p), Some(Value::Bool(false)));
+        assert_eq!(clean_to_type("maybe", DataType::Bool, &p), None);
+    }
+
+    #[test]
+    fn normalise_text_strips_decorations() {
+        assert_eq!(normalise_text("  'Rome'. "), "Rome");
+        assert_eq!(normalise_text("New   York"), "New York");
+    }
+}

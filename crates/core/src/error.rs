@@ -1,0 +1,48 @@
+//! Galois error type.
+
+use std::fmt;
+
+/// Errors surfaced by the Galois engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GaloisError {
+    /// SQL parse/plan/execute error from the relational layer.
+    Engine(String),
+    /// The query needs a capability Galois does not support over LLMs.
+    Unsupported(String),
+    /// Internal compilation invariant broke.
+    Compile(String),
+}
+
+impl fmt::Display for GaloisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GaloisError::Engine(m) => write!(f, "engine error: {m}"),
+            GaloisError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            GaloisError::Compile(m) => write!(f, "compile error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GaloisError {}
+
+impl From<galois_relational::EngineError> for GaloisError {
+    fn from(e: galois_relational::EngineError) -> Self {
+        GaloisError::Engine(e.to_string())
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, GaloisError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_error_converts() {
+        let db = galois_relational::Database::new();
+        let err = db.execute("SELECT x FROM missing").unwrap_err();
+        let ge: GaloisError = err.into();
+        assert!(ge.to_string().contains("missing"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Prompt construction (paper §4 "Prompts", Figure 4).
+//!
+//! Each logical operator renders to a question line via the protocol in
+//! [`galois_llm::intent`]; this module wraps that line in a model-specific
+//! preamble. GPT-style models get the paper's Figure 4 few-shot QA
+//! preamble; instruction-tuned T5 models (Flan/Tk) get a compact
+//! instruction, as the paper "construct[s] prompts appropriately for each
+//! model".
+
+use galois_llm::intent::{render_task, TaskIntent};
+
+/// The paper's Figure 4 preamble, verbatim.
+pub const FIGURE4_PREAMBLE: &str = "\
+I am a highly intelligent question answering bot. If you ask me a question \
+that is rooted in truth, I will give you the short answer. If you ask me a \
+question that is nonsense, trickery, or has no clear answer, I will respond \
+with \"Unknown\". If the answer is numerical, I will return the number only.
+
+Q: What is human life expectancy in the United States?
+A: 78.
+Q: Who was president of the United States in 1955?
+A: Dwight D. Eisenhower.
+Q: What is the capital of France?
+A: Paris.
+Q: What is a continent starting with letter O?
+A: Oceania.
+Q: Where were the 1992 Olympics held?
+A: Barcelona.
+Q: How many squigs are in a bonk?
+A: Unknown
+";
+
+/// Compact instruction for small instruction-tuned models.
+pub const INSTRUCT_PREAMBLE: &str = "\
+Answer the question concisely and exactly. If the answer is unknown, say \
+\"Unknown\".
+";
+
+/// A fixed, manually-crafted chain-of-thought exemplar used by the `T_C_M`
+/// baseline (paper §5: "the CoT example in the prompt is fixed as how to
+/// derive a decomposition automatically from t is an open problem").
+pub const COT_EXEMPLAR: &str = "\
+Q: List the name of every city whose mayor was elected after 2018.
+A: Let's think step by step.
+Step 1: list the cities I know: Rome, Paris, Berlin.
+Step 2: for each city, find its mayor and the election year: Rome -> 2016, \
+Paris -> 2020, Berlin -> 2021.
+Step 3: keep the cities whose year is after 2018: Paris, Berlin.
+The answer is: Paris, Berlin.
+";
+
+/// Builds full prompts for a given model family.
+#[derive(Debug, Clone)]
+pub struct PromptBuilder {
+    preamble: &'static str,
+}
+
+impl PromptBuilder {
+    /// Picks the preamble appropriate for the model (by profile name).
+    pub fn for_model(model_name: &str) -> Self {
+        let preamble = match model_name {
+            "flan" | "tk" => INSTRUCT_PREAMBLE,
+            _ => FIGURE4_PREAMBLE,
+        };
+        PromptBuilder { preamble }
+    }
+
+    /// Full prompt for one operator task.
+    pub fn task(&self, intent: &TaskIntent) -> String {
+        format!("{}\nQ: {}\nA:", self.preamble, render_task(intent))
+    }
+
+    /// Full prompt for a plain NL question (QA baseline, `T_M`).
+    pub fn question(&self, question: &str) -> String {
+        format!("{}\nQ: {question}\nA:", self.preamble)
+    }
+
+    /// Full prompt for the chain-of-thought baseline (`T_C_M`).
+    pub fn question_cot(&self, question: &str) -> String {
+        format!(
+            "{}\n{}\nQ: {question}\nA: Let's think step by step.",
+            self.preamble, COT_EXEMPLAR
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galois_llm::intent::parse_task;
+
+    fn list_task() -> TaskIntent {
+        TaskIntent::ListKeys {
+            relation: "city".into(),
+            key_attr: "name".into(),
+            condition: None,
+            exclude: vec![],
+        }
+    }
+
+    #[test]
+    fn gpt_prompt_contains_figure4_examples() {
+        let p = PromptBuilder::for_model("gpt3").task(&list_task());
+        assert!(p.contains("highly intelligent question answering bot"));
+        assert!(p.contains("1992 Olympics"));
+        assert!(p.ends_with("A:"));
+    }
+
+    #[test]
+    fn small_model_prompt_is_compact() {
+        let p = PromptBuilder::for_model("flan").task(&list_task());
+        assert!(!p.contains("Olympics"));
+        assert!(p.len() < 400);
+    }
+
+    #[test]
+    fn task_prompt_roundtrips_through_protocol_parser() {
+        let t = list_task();
+        let p = PromptBuilder::for_model("chatgpt").task(&t);
+        assert_eq!(parse_task(&p), Some(t));
+    }
+
+    #[test]
+    fn cot_prompt_has_exemplar_and_marker() {
+        let p = PromptBuilder::for_model("chatgpt").question_cot("How many cities exist?");
+        assert!(p.contains("step by step"));
+        assert!(p.contains("Step 1"));
+    }
+}

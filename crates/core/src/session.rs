@@ -1,0 +1,510 @@
+//! The Galois session: end-to-end SQL execution over an LLM (paper §4
+//! "Workflow").
+//!
+//! ```text
+//! (1) plan the SQL against the user-provided schema
+//! (2) retrieve tuples: key scans (iterated until exhaustion), per-key
+//!     filter checks, per-key attribute fetches — all as text prompts
+//! (3) convert answer strings to typed CELL values (parse + clean)
+//! (4) run the remaining operators (joins, aggregates, …) traditionally
+//! ```
+
+use crate::clean::{clean_to_type, normalise_text, CleaningPolicy};
+use crate::compile::{compile, CompileOptions, CompiledQuery, LlmScanStep};
+use crate::error::{GaloisError, Result};
+use crate::parse::{parse_boolean_answer, parse_list_answer, parse_value_answer, ListAnswer};
+use crate::prompts::PromptBuilder;
+use galois_llm::intent::TaskIntent;
+use galois_llm::{ClientStats, LanguageModel, LlmClient};
+use galois_relational::{Column, Database, Relation, Table, TableSchema, Value};
+use std::sync::Arc;
+
+/// Tuning knobs of a session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaloisOptions {
+    /// Plan-compilation options (source routing, filter mode, pushdown).
+    pub compile: CompileOptions,
+    /// Cleaning policy for answer strings.
+    pub cleaning: CleaningPolicy,
+    /// Maximum "Return more results" iterations per key scan (the paper
+    /// iterates "until we stop getting new results"; the cap is the
+    /// user-specified threshold alternative).
+    pub max_list_iterations: usize,
+    /// Prompts per batch request.
+    pub batch_size: usize,
+}
+
+impl Default for GaloisOptions {
+    fn default() -> Self {
+        GaloisOptions {
+            compile: CompileOptions::default(),
+            cleaning: CleaningPolicy::default(),
+            max_list_iterations: 32,
+            batch_size: 20,
+        }
+    }
+}
+
+/// Prompt accounting for one query (paper §5 reports ≈110 batched prompts
+/// and ≈20 s per query).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Key-listing prompts.
+    pub list_prompts: usize,
+    /// Per-key filter prompts.
+    pub filter_prompts: usize,
+    /// Per-key attribute-fetch prompts.
+    pub fetch_prompts: usize,
+    /// Prompts served from the client cache.
+    pub cache_hits: usize,
+    /// Total prompt tokens.
+    pub prompt_tokens: usize,
+    /// Total completion tokens.
+    pub completion_tokens: usize,
+    /// Virtual milliseconds spent in the model.
+    pub virtual_ms: u64,
+    /// Rows materialised from the LLM across all scans.
+    pub rows_retrieved: usize,
+}
+
+impl QueryStats {
+    /// All prompts that reached the model.
+    pub fn total_prompts(&self) -> usize {
+        self.list_prompts + self.filter_prompts + self.fetch_prompts
+    }
+
+    /// Virtual seconds spent.
+    pub fn virtual_seconds(&self) -> f64 {
+        self.virtual_ms as f64 / 1000.0
+    }
+}
+
+/// The result of one Galois query.
+#[derive(Debug, Clone)]
+pub struct GaloisResult {
+    /// The output relation `R_M`.
+    pub relation: Relation,
+    /// Prompt accounting.
+    pub stats: QueryStats,
+}
+
+/// A Galois session over one LLM and one schema catalog.
+///
+/// The [`Database`] provides the *schema* (the paper assumes "the schema
+/// (but no instances) is provided together with the query") and any
+/// `DB.`-qualified instance data for hybrid queries; LLM-sourced relations
+/// are materialised through prompts at query time.
+pub struct Galois {
+    client: LlmClient,
+    db: Database,
+    prompt_builder: PromptBuilder,
+    options: GaloisOptions,
+}
+
+impl Galois {
+    /// Creates a session with default options.
+    pub fn new(model: Arc<dyn LanguageModel>, db: Database) -> Self {
+        Self::with_options(model, db, GaloisOptions::default())
+    }
+
+    /// Creates a session with explicit options.
+    pub fn with_options(
+        model: Arc<dyn LanguageModel>,
+        db: Database,
+        options: GaloisOptions,
+    ) -> Self {
+        let prompt_builder = PromptBuilder::for_model(model.name());
+        Galois {
+            client: LlmClient::new(model),
+            db,
+            prompt_builder,
+            options,
+        }
+    }
+
+    /// The underlying client (stats, cache control).
+    pub fn client(&self) -> &LlmClient {
+        &self.client
+    }
+
+    /// The schema/DB catalog in use.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Options in use.
+    pub fn options(&self) -> &GaloisOptions {
+        &self.options
+    }
+
+    /// Plans and compiles a query without executing it (Figure 3 EXPLAIN).
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let plan = self.db.plan(sql)?;
+        let compiled = compile(&plan, self.db.catalog(), &self.options.compile)?;
+        Ok(crate::compile::explain_compiled(&compiled))
+    }
+
+    /// Executes a SQL query against the LLM (and DB for hybrid sources).
+    pub fn execute(&self, sql: &str) -> Result<GaloisResult> {
+        let plan = self.db.plan(sql)?;
+        let compiled = compile(&plan, self.db.catalog(), &self.options.compile)?;
+        self.execute_compiled(&compiled)
+    }
+
+    /// Executes an already-compiled query.
+    pub fn execute_compiled(&self, compiled: &CompiledQuery) -> Result<GaloisResult> {
+        let before = self.client.stats();
+        let mut stats = QueryStats::default();
+
+        let mut catalog = self.db.catalog().clone();
+        for step in &compiled.steps {
+            let table = self.retrieve(step, &mut stats)?;
+            stats.rows_retrieved += table.len();
+            catalog
+                .add_table(table)
+                .map_err(|e| GaloisError::Compile(format!("temp table: {e}")))?;
+        }
+
+        let relation =
+            galois_relational::execute(&compiled.plan, &catalog).map_err(GaloisError::from)?;
+
+        let after = self.client.stats();
+        stats.cache_hits = after.cache_hits - before.cache_hits;
+        stats.prompt_tokens = after.prompt_tokens - before.prompt_tokens;
+        stats.completion_tokens = after.completion_tokens - before.completion_tokens;
+        stats.virtual_ms = after.virtual_ms - before.virtual_ms;
+        Ok(GaloisResult { relation, stats })
+    }
+
+    /// Client-level stats accumulated over the session.
+    pub fn session_stats(&self) -> ClientStats {
+        self.client.stats()
+    }
+
+    // -----------------------------------------------------------------
+    // Retrieval (workflow steps 2–3)
+    // -----------------------------------------------------------------
+
+    fn retrieve(&self, step: &LlmScanStep, stats: &mut QueryStats) -> Result<Table> {
+        let keys = self.scan_keys(step, stats);
+        let keys = self.apply_filters(step, keys, stats);
+        let rows = self.fetch_attributes(step, &keys, stats);
+
+        // Materialise: same column order as the stored schema, everything
+        // but the key nullable (unfetched attributes are NULL).
+        let columns: Vec<Column> = step
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                if i == step.key_index {
+                    Column::new(c.name.clone(), c.data_type)
+                } else {
+                    Column::nullable(c.name.clone(), c.data_type)
+                }
+            })
+            .collect();
+        let schema = TableSchema::new(columns, &step.key_attr)
+            .map_err(|e| GaloisError::Compile(format!("temp schema: {e}")))?;
+        let mut table = Table::new(step.temp_name.clone(), schema);
+        for row in rows {
+            // Duplicate keys (hallucinated repeats) are dropped silently:
+            // the key-identifies-tuple assumption is enforced here.
+            let _ = table.insert(row);
+        }
+        Ok(table)
+    }
+
+    /// Key retrieval: iterate the list prompt until the model stops
+    /// producing new values (paper: "we iterate with a prompt until we
+    /// stop getting new results").
+    fn scan_keys(&self, step: &LlmScanStep, stats: &mut QueryStats) -> Vec<String> {
+        let mut keys: Vec<String> = Vec::new();
+        let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for _ in 0..self.options.max_list_iterations {
+            let intent = TaskIntent::ListKeys {
+                relation: step.table.clone(),
+                key_attr: step.key_attr.clone(),
+                condition: step.scan_condition.clone(),
+                exclude: keys.clone(),
+            };
+            let prompt = self.prompt_builder.task(&intent);
+            let completion = self.client.complete(&prompt);
+            stats.list_prompts += 1;
+            match parse_list_answer(&completion.text) {
+                ListAnswer::Exhausted => break,
+                ListAnswer::Values(values) => {
+                    let mut got_new = false;
+                    for v in values {
+                        let cleaned = normalise_text(&v);
+                        if cleaned.is_empty() {
+                            continue;
+                        }
+                        if seen.insert(cleaned.to_ascii_lowercase()) {
+                            keys.push(cleaned);
+                            got_new = true;
+                        }
+                    }
+                    if !got_new {
+                        break;
+                    }
+                }
+            }
+        }
+        keys
+    }
+
+    /// Selection via boolean prompts: one "is its <attr> <op> <value>?"
+    /// question per key per condition.
+    fn apply_filters(
+        &self,
+        step: &LlmScanStep,
+        keys: Vec<String>,
+        stats: &mut QueryStats,
+    ) -> Vec<String> {
+        let mut keys = keys;
+        for condition in &step.filter_conditions {
+            let prompts: Vec<String> = keys
+                .iter()
+                .map(|key| {
+                    self.prompt_builder.task(&TaskIntent::CheckFilter {
+                        relation: step.table.clone(),
+                        key_attr: step.key_attr.clone(),
+                        key: key.clone(),
+                        condition: condition.clone(),
+                    })
+                })
+                .collect();
+            let mut verdicts = Vec::with_capacity(keys.len());
+            for chunk in prompts.chunks(self.options.batch_size.max(1)) {
+                let completions = self.client.complete_batch(chunk);
+                stats.filter_prompts += chunk.len();
+                for c in completions {
+                    // An unparseable verdict keeps the tuple out: the
+                    // predicate did not evaluate to TRUE.
+                    verdicts.push(parse_boolean_answer(&c.text).unwrap_or(false));
+                }
+            }
+            keys = keys
+                .into_iter()
+                .zip(verdicts)
+                .filter_map(|(k, keep)| keep.then_some(k))
+                .collect();
+        }
+        keys
+    }
+
+    /// Attribute retrieval: one prompt per (key, attribute), batched.
+    fn fetch_attributes(
+        &self,
+        step: &LlmScanStep,
+        keys: &[String],
+        stats: &mut QueryStats,
+    ) -> Vec<Vec<Value>> {
+        let arity = step.columns.len();
+        let mut rows: Vec<Vec<Value>> = keys
+            .iter()
+            .map(|key| {
+                let mut row = vec![Value::Null; arity];
+                // The key itself is cleaned to the key column's type.
+                row[step.key_index] = clean_to_type(
+                    key,
+                    step.columns[step.key_index].data_type,
+                    &self.options.cleaning,
+                )
+                .unwrap_or(Value::Null);
+                row
+            })
+            .collect();
+
+        for &col_idx in &step.fetch {
+            let column = &step.columns[col_idx];
+            let prompts: Vec<String> = keys
+                .iter()
+                .map(|key| {
+                    self.prompt_builder.task(&TaskIntent::FetchAttr {
+                        relation: step.table.clone(),
+                        key_attr: step.key_attr.clone(),
+                        key: key.clone(),
+                        attribute: column.name.clone(),
+                    })
+                })
+                .collect();
+            let mut answers = Vec::with_capacity(prompts.len());
+            for chunk in prompts.chunks(self.options.batch_size.max(1)) {
+                let completions = self.client.complete_batch(chunk);
+                stats.fetch_prompts += chunk.len();
+                answers.extend(completions);
+            }
+            for (row, completion) in rows.iter_mut().zip(answers) {
+                let value = parse_value_answer(&completion.text)
+                    .and_then(|raw| clean_to_type(&raw, column.data_type, &self.options.cleaning))
+                    .map(|v| match v {
+                        Value::Text(s) => Value::Text(normalise_text(&s)),
+                        other => other,
+                    })
+                    .unwrap_or(Value::Null);
+                row[col_idx] = value;
+            }
+        }
+
+        // Rows whose key failed to clean are unusable.
+        rows.retain(|r| !r[step.key_index].is_null());
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galois_dataset::Scenario;
+    use galois_llm::{ModelProfile, SimLlm};
+
+    fn oracle_session() -> (Scenario, Galois) {
+        let s = Scenario::generate(42);
+        let model = Arc::new(SimLlm::new(s.knowledge.clone(), ModelProfile::oracle()));
+        let g = Galois::new(model, s.database.clone());
+        (s, g)
+    }
+
+    #[test]
+    fn oracle_selection_matches_ground_truth() {
+        let (s, g) = oracle_session();
+        let sql = "SELECT name FROM city WHERE population > 1000000";
+        let truth = s.database.execute(sql).unwrap();
+        let got = g.execute(sql).unwrap();
+        let mut a: Vec<String> = truth.rows.iter().map(|r| r[0].render()).collect();
+        let mut b: Vec<String> = got.relation.rows.iter().map(|r| r[0].render()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert!(got.stats.total_prompts() > 0);
+    }
+
+    #[test]
+    fn oracle_projection_values_match() {
+        let (s, g) = oracle_session();
+        let sql = "SELECT name, population FROM city WHERE elevation < 100";
+        let truth = s.database.execute(sql).unwrap();
+        let got = g.execute(sql).unwrap();
+        let key = |r: &Vec<Value>| (r[0].render(), r[1].render());
+        let mut a: Vec<_> = truth.rows.iter().map(key).collect();
+        let mut b: Vec<_> = got.relation.rows.iter().map(key).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn oracle_aggregate_matches() {
+        let (s, g) = oracle_session();
+        let sql = "SELECT COUNT(*) FROM city";
+        let truth = s.database.execute(sql).unwrap();
+        let got = g.execute(sql).unwrap();
+        assert_eq!(truth.rows, got.relation.rows);
+    }
+
+    #[test]
+    fn oracle_group_by_matches() {
+        let (s, g) = oracle_session();
+        let sql = "SELECT continent, COUNT(*) FROM country GROUP BY continent ORDER BY continent";
+        let truth = s.database.execute(sql).unwrap();
+        let got = g.execute(sql).unwrap();
+        assert_eq!(truth.rows, got.relation.rows);
+    }
+
+    #[test]
+    fn oracle_join_matches() {
+        let (s, g) = oracle_session();
+        let sql = "SELECT p.name, r.electionYear FROM city p, cityMayor r WHERE p.mayor = r.name";
+        let truth = s.database.execute(sql).unwrap();
+        let got = g.execute(sql).unwrap();
+        assert_eq!(truth.len(), got.relation.len());
+    }
+
+    #[test]
+    fn hybrid_query_mixes_llm_and_db() {
+        let (s, g) = oracle_session();
+        // employees live only in the DB; country GDP comes from the LLM.
+        let sql = "SELECT e.countryCode, AVG(e.salary), MAX(k.gdp) \
+                   FROM DB.employees e, LLM.country k \
+                   WHERE e.countryCode = k.code \
+                   GROUP BY e.countryCode ORDER BY e.countryCode";
+        let got = g.execute(sql).unwrap();
+        assert!(!got.relation.is_empty());
+        // Ground truth: the same query entirely inside the DB.
+        let truth = s
+            .database
+            .execute(
+                "SELECT e.countryCode, AVG(e.salary), MAX(k.gdp) \
+                 FROM employees e, country k WHERE e.countryCode = k.code \
+                 GROUP BY e.countryCode ORDER BY e.countryCode",
+            )
+            .unwrap();
+        assert_eq!(truth.len(), got.relation.len());
+    }
+
+    #[test]
+    fn noisy_model_misses_rows() {
+        let s = Scenario::generate(42);
+        let model = Arc::new(SimLlm::new(s.knowledge.clone(), ModelProfile::flan()));
+        let g = Galois::new(model, s.database.clone());
+        let sql = "SELECT name FROM city";
+        let truth = s.database.execute(sql).unwrap();
+        let got = g.execute(sql).unwrap();
+        assert!(
+            got.relation.len() < truth.len(),
+            "flan returned {} of {}",
+            got.relation.len(),
+            truth.len()
+        );
+    }
+
+    #[test]
+    fn stats_count_prompt_kinds() {
+        let (_, g) = oracle_session();
+        let got = g
+            .execute("SELECT name, population FROM city WHERE elevation < 100")
+            .unwrap();
+        assert!(got.stats.list_prompts >= 1);
+        assert!(got.stats.filter_prompts > 0);
+        assert!(got.stats.fetch_prompts > 0);
+        assert!(got.stats.virtual_ms > 0);
+    }
+
+    #[test]
+    fn explain_shows_llm_steps() {
+        let (_, g) = oracle_session();
+        let text = g
+            .explain("SELECT name FROM city WHERE population > 1000000")
+            .unwrap();
+        assert!(text.contains("[LLM step 1] scan city"));
+    }
+
+    #[test]
+    fn pushdown_reduces_prompts() {
+        let s = Scenario::generate(42);
+        let model = Arc::new(SimLlm::new(s.knowledge.clone(), ModelProfile::oracle()));
+        let plain = Galois::new(model.clone(), s.database.clone());
+        let pushed = Galois::with_options(
+            model,
+            s.database.clone(),
+            GaloisOptions {
+                compile: CompileOptions {
+                    pushdown: true,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        let sql = "SELECT name FROM city WHERE population > 1000000";
+        let a = plain.execute(sql).unwrap();
+        let b = pushed.execute(sql).unwrap();
+        assert!(
+            b.stats.total_prompts() < a.stats.total_prompts(),
+            "pushdown {} vs plain {}",
+            b.stats.total_prompts(),
+            a.stats.total_prompts()
+        );
+    }
+}

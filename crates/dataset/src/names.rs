@@ -1,0 +1,258 @@
+//! Deterministic name generation for the synthetic world.
+//!
+//! The world is fictional on purpose: the simulated LLM "knows" exactly
+//! what the knowledge store contains, so using invented places avoids any
+//! illusion that real-world coverage is being tested. Name shapes mimic
+//! the real ones (countries, cities, people, venues) so prompts read
+//! naturally.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashSet;
+
+const COUNTRY_STEMS: [&str; 18] = [
+    "Vald", "Est", "Mor", "Kest", "Zan", "Thal", "Bren", "Ald", "Cor", "Dray", "Fen", "Gal",
+    "Hesp", "Ilm", "Jor", "Kyr", "Lor", "Ner",
+];
+const COUNTRY_ENDS: [&str; 8] = ["ovia", "land", "mark", "stan", "ania", "ora", "heim", "ia"];
+
+const CITY_STARTS: [&str; 16] = [
+    "San", "Port", "New", "East", "West", "North", "South", "Fort", "Lake", "Mont", "Villa",
+    "Saint", "Old", "Gran", "Bel", "Stone",
+];
+const CITY_CORES: [&str; 14] = [
+    "brook", "haven", "field", "ridge", "dale", "wood", "mere", "ford", "gate", "crest", "fall",
+    "view", "bourne", "march",
+];
+
+const FIRST_NAMES: [&str; 20] = [
+    "Anna", "Boris", "Clara", "Dario", "Elena", "Felix", "Greta", "Hugo", "Iris", "Jonas",
+    "Karla", "Leon", "Mira", "Nadia", "Oskar", "Petra", "Quentin", "Rosa", "Stefan", "Tessa",
+];
+const LAST_NAMES: [&str; 20] = [
+    "Rossi", "Keller", "Novak", "Ivanov", "Berg", "Costa", "Dubois", "Eriksen", "Fischer",
+    "Garcia", "Hansen", "Ito", "Jansen", "Kovacs", "Larsen", "Moreau", "Nilsson", "Orlov",
+    "Petrov", "Quist",
+];
+
+const GENRES: [&str; 6] = ["rock", "pop", "jazz", "folk", "electronic", "classical"];
+const PARTIES: [&str; 5] = ["Green", "Liberal", "Labour", "Unity", "Reform"];
+const CONTINENTS: [&str; 4] = ["Euralia", "Meridia", "Osterra", "Zephyria"];
+
+/// Unique-name factory over a generator function.
+pub struct NamePool {
+    used: HashSet<String>,
+}
+
+impl NamePool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        NamePool {
+            used: HashSet::new(),
+        }
+    }
+
+    /// Registers `candidate` if unused; true when it was fresh.
+    pub fn unique_check(&mut self, candidate: &str) -> bool {
+        self.used.insert(candidate.to_string())
+    }
+
+    /// Draws until `gen` yields an unused name (appending a numeric suffix
+    /// after too many collisions).
+    pub fn unique(&mut self, rng: &mut StdRng, gen: impl Fn(&mut StdRng) -> String) -> String {
+        for _ in 0..64 {
+            let candidate = gen(rng);
+            if self.used.insert(candidate.clone()) {
+                return candidate;
+            }
+        }
+        // Pathological collision run: disambiguate deterministically.
+        let mut i = 2;
+        loop {
+            let candidate = format!("{} {}", gen(rng), i);
+            if self.used.insert(candidate.clone()) {
+                return candidate;
+            }
+            i += 1;
+        }
+    }
+}
+
+impl Default for NamePool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A fictional country name.
+pub fn country(rng: &mut StdRng) -> String {
+    format!(
+        "{}{}",
+        COUNTRY_STEMS[rng.gen_range(0..COUNTRY_STEMS.len())],
+        COUNTRY_ENDS[rng.gen_range(0..COUNTRY_ENDS.len())]
+    )
+}
+
+/// A fictional city name.
+pub fn city(rng: &mut StdRng) -> String {
+    if rng.gen_bool(0.5) {
+        format!(
+            "{} {}",
+            CITY_STARTS[rng.gen_range(0..CITY_STARTS.len())],
+            capitalize(CITY_CORES[rng.gen_range(0..CITY_CORES.len())])
+        )
+    } else {
+        format!(
+            "{}{}",
+            CITY_STARTS[rng.gen_range(0..CITY_STARTS.len())],
+            CITY_CORES[rng.gen_range(0..CITY_CORES.len())]
+        )
+    }
+}
+
+/// A fictional person name, with its short form ("Anna Rossi" → "A. Rossi").
+pub fn person(rng: &mut StdRng) -> (String, String) {
+    let first = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];
+    let last = LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())];
+    (
+        format!("{first} {last}"),
+        format!("{}. {last}", &first[..1]),
+    )
+}
+
+/// Derives 2- and 3-letter codes from a country name (uppercased prefix;
+/// uniqueness is the caller's concern via [`NamePool`]).
+pub fn country_codes(name: &str) -> (String, String) {
+    let letters: String = name
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .collect::<String>()
+        .to_ascii_uppercase();
+    let take = |n: usize| letters.chars().take(n).collect::<String>();
+    (take(2), take(3))
+}
+
+/// A genre for a singer.
+pub fn genre(rng: &mut StdRng) -> String {
+    GENRES[rng.gen_range(0..GENRES.len())].to_string()
+}
+
+/// A political party.
+pub fn party(rng: &mut StdRng) -> String {
+    PARTIES[rng.gen_range(0..PARTIES.len())].to_string()
+}
+
+/// A continent name.
+pub fn continent(rng: &mut StdRng) -> String {
+    CONTINENTS[rng.gen_range(0..CONTINENTS.len())].to_string()
+}
+
+/// All continent names (used to pick IN-list conditions).
+pub fn continents() -> Vec<String> {
+    CONTINENTS.iter().map(|s| s.to_string()).collect()
+}
+
+/// All genres.
+pub fn genres() -> Vec<String> {
+    GENRES.iter().map(|s| s.to_string()).collect()
+}
+
+/// All parties.
+pub fn parties() -> Vec<String> {
+    PARTIES.iter().map(|s| s.to_string()).collect()
+}
+
+/// An airport code (three uppercase letters).
+pub fn airport_code(rng: &mut StdRng) -> String {
+    (0..3)
+        .map(|_| (b'A' + rng.gen_range(0..26u8)) as char)
+        .collect()
+}
+
+/// An airport display name derived from its city.
+pub fn airport_name(city: &str, rng: &mut StdRng) -> String {
+    if rng.gen_bool(0.4) {
+        format!("{city} International Airport")
+    } else {
+        format!("{city} Airport")
+    }
+}
+
+/// A concert/venue event name.
+pub fn concert(rng: &mut StdRng, year: i64) -> String {
+    const FESTS: [&str; 8] = [
+        "Sunset Festival",
+        "Harbor Sounds",
+        "Echo Nights",
+        "Aurora Live",
+        "Riverbeat",
+        "Skyline Session",
+        "Velvet Stage",
+        "Northern Lights Tour",
+    ];
+    format!("{} {year}", FESTS[rng.gen_range(0..FESTS.len())])
+}
+
+fn capitalize(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pools_generate_unique_names() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut pool = NamePool::new();
+        let mut seen = HashSet::new();
+        for _ in 0..100 {
+            let n = pool.unique(&mut rng, city);
+            assert!(seen.insert(n));
+        }
+    }
+
+    #[test]
+    fn person_short_form() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (full, short) = person(&mut rng);
+        assert!(full.contains(' '));
+        assert!(short.contains(". "));
+        assert_eq!(&short[..1], &full[..1]);
+    }
+
+    #[test]
+    fn codes_derive_from_name() {
+        let (c2, c3) = country_codes("Valdovia");
+        assert_eq!(c2, "VA");
+        assert_eq!(c3, "VAL");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..10).map(|_| country(&mut rng)).collect()
+        };
+        let b: Vec<String> = {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..10).map(|_| country(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn airport_codes_are_three_letters() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let c = airport_code(&mut rng);
+            assert_eq!(c.len(), 3);
+            assert!(c.chars().all(|ch| ch.is_ascii_uppercase()));
+        }
+    }
+}

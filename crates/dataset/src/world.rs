@@ -1,0 +1,508 @@
+//! The synthetic world: a deterministic, seeded population of countries,
+//! cities, mayors, airports, singers, concerts and employees.
+//!
+//! One `World` value is the single source of truth for an experiment run:
+//! it is loaded *losslessly* into the relational engine (ground truth `D`)
+//! and *with popularity/alias metadata* into the simulated LLM's knowledge
+//! store. This mirrors the paper's setup, where Spider tables approximate
+//! knowledge the LLMs have memorised from the web.
+
+use crate::names::{self, NamePool};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A country record.
+#[derive(Debug, Clone)]
+pub struct Country {
+    /// Canonical name (key).
+    pub name: String,
+    /// Two-letter code (alias slot 0).
+    pub code2: String,
+    /// Three-letter code (alias slot 1; also the DB-canonical code).
+    pub code3: String,
+    /// Continent name.
+    pub continent: String,
+    /// Population.
+    pub population: i64,
+    /// GDP in trillion credits.
+    pub gdp: f64,
+    /// Year of independence.
+    pub independence_year: i64,
+    /// Index of the capital in `World::cities`.
+    pub capital: usize,
+    /// Popularity in [0, 1].
+    pub popularity: f64,
+}
+
+/// A city record.
+#[derive(Debug, Clone)]
+pub struct City {
+    /// Canonical name (key).
+    pub name: String,
+    /// Index into `World::countries`.
+    pub country: usize,
+    /// Population.
+    pub population: i64,
+    /// Elevation in metres.
+    pub elevation: i64,
+    /// Index into `World::mayors`.
+    pub mayor: usize,
+    /// Popularity in [0, 1].
+    pub popularity: f64,
+}
+
+/// A mayor record.
+#[derive(Debug, Clone)]
+pub struct Mayor {
+    /// Full name (key).
+    pub name: String,
+    /// Short surface form ("A. Rossi") — alias slot 0.
+    pub short: String,
+    /// Birth date (year, month, day).
+    pub birth: (i32, u8, u8),
+    /// Year elected.
+    pub election_year: i64,
+    /// Party.
+    pub party: String,
+    /// Popularity in [0, 1] (mayors are niche entities).
+    pub popularity: f64,
+}
+
+/// An airport record.
+#[derive(Debug, Clone)]
+pub struct Airport {
+    /// IATA-style code (key; no aliases — the paper notes codes like JFK
+    /// are real-world keys LLMs handle well).
+    pub code: String,
+    /// Display name.
+    pub name: String,
+    /// Index into `World::cities`.
+    pub city: usize,
+    /// Index into `World::countries`.
+    pub country: usize,
+    /// Elevation in metres.
+    pub elevation: i64,
+    /// Passengers per year.
+    pub yearly_passengers: i64,
+    /// Number of runways.
+    pub runways: i64,
+    /// Popularity in [0, 1].
+    pub popularity: f64,
+}
+
+/// A singer record.
+#[derive(Debug, Clone)]
+pub struct Singer {
+    /// Full name (key).
+    pub name: String,
+    /// Short surface form — alias slot 0.
+    pub short: String,
+    /// Index into `World::countries`.
+    pub country: usize,
+    /// Year of birth.
+    pub birth_year: i64,
+    /// Genre.
+    pub genre: String,
+    /// Net worth in million credits.
+    pub net_worth: f64,
+    /// Popularity in [0, 1].
+    pub popularity: f64,
+}
+
+/// A concert record.
+#[derive(Debug, Clone)]
+pub struct Concert {
+    /// Event name (key).
+    pub name: String,
+    /// Index into `World::singers`.
+    pub singer: usize,
+    /// Year held.
+    pub year: i64,
+    /// Attendance.
+    pub attendance: i64,
+    /// Index into `World::cities`.
+    pub city: usize,
+    /// Popularity in [0, 1].
+    pub popularity: f64,
+}
+
+/// An employee record — *DB-only* data for the hybrid-querying scenario
+/// (paper §1, Figure 2: the DB holds enterprise data the LLM has never
+/// seen).
+#[derive(Debug, Clone)]
+pub struct Employee {
+    /// Numeric id (key).
+    pub id: i64,
+    /// Name.
+    pub name: String,
+    /// Index into `World::countries` (stored as code3 in the table).
+    pub country: usize,
+    /// Salary in credits.
+    pub salary: f64,
+}
+
+/// Size knobs for world generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorldConfig {
+    /// Number of countries.
+    pub countries: usize,
+    /// Number of cities.
+    pub cities: usize,
+    /// Number of airports.
+    pub airports: usize,
+    /// Number of singers.
+    pub singers: usize,
+    /// Number of concerts.
+    pub concerts: usize,
+    /// Number of (DB-only) employees.
+    pub employees: usize,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            countries: 24,
+            cities: 60,
+            airports: 36,
+            singers: 28,
+            concerts: 40,
+            employees: 80,
+        }
+    }
+}
+
+/// The generated world.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// Seed used for generation.
+    pub seed: u64,
+    /// Countries.
+    pub countries: Vec<Country>,
+    /// Cities (one mayor each).
+    pub cities: Vec<City>,
+    /// Mayors, parallel to `cities`.
+    pub mayors: Vec<Mayor>,
+    /// Airports.
+    pub airports: Vec<Airport>,
+    /// Singers.
+    pub singers: Vec<Singer>,
+    /// Concerts.
+    pub concerts: Vec<Concert>,
+    /// Employees (DB-only).
+    pub employees: Vec<Employee>,
+}
+
+impl World {
+    /// Generates a world with default sizes.
+    pub fn generate(seed: u64) -> World {
+        Self::generate_with(seed, WorldConfig::default())
+    }
+
+    /// Generates a world with explicit sizes.
+    pub fn generate_with(seed: u64, cfg: WorldConfig) -> World {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut country_pool = NamePool::new();
+        let mut code_pool = NamePool::new();
+        let mut city_pool = NamePool::new();
+        let mut person_pool = NamePool::new();
+        let mut code3s: Vec<String> = Vec::new();
+
+        // Popularity: rank-based with jitter, so every type has a head of
+        // famous entities and a long tail (drives Table 1's recall gaps).
+        let popularity = |rank: usize, n: usize, rng: &mut StdRng| -> f64 {
+            let base = 1.0 - (rank as f64 + 0.5) / n as f64;
+            (base * 0.9 + rng.gen_range(0.0..0.1)).clamp(0.02, 0.98)
+        };
+
+        let mut countries = Vec::with_capacity(cfg.countries);
+        for i in 0..cfg.countries {
+            let name = country_pool.unique(&mut rng, names::country);
+            let (mut code2, mut code3) = names::country_codes(&name);
+            // Ensure distinct codes across countries.
+            while !code_pool.unique_check(&code2) {
+                code2 = format!(
+                    "{}{}",
+                    &code2[..1],
+                    (b'A' + rng.gen_range(0..26u8)) as char
+                );
+            }
+            while !code_pool.unique_check(&code3) {
+                code3 = format!(
+                    "{}{}",
+                    &code3[..2],
+                    (b'A' + rng.gen_range(0..26u8)) as char
+                );
+            }
+            code3s.push(code3.clone());
+            // Size correlates with fame: famous countries are the big,
+            // rich ones. This is what makes popularity-biased recall
+            // *bias* aggregates (AVG/SUM over the recalled subset drifts
+            // high, MIN hides in the unpopular tail) — the paper's low
+            // aggregate accuracy depends on it.
+            let pop_score = popularity(i, cfg.countries, &mut rng);
+            countries.push(Country {
+                name,
+                code2,
+                code3,
+                continent: names::continent(&mut rng),
+                population: (10f64
+                    .powf(6.2 + 2.0 * pop_score + rng.gen_range(-0.2..0.2))
+                    as i64
+                    / 1000)
+                    * 1000,
+                gdp: ((0.2 + 24.0 * pop_score.powf(1.5) + rng.gen_range(-0.1..0.1))
+                    .max(0.1)
+                    * 100.0)
+                    .round()
+                    / 100.0,
+                independence_year: rng.gen_range(1800..2000),
+                capital: 0, // fixed up after cities exist
+                popularity: pop_score,
+            });
+        }
+
+        let mut cities = Vec::with_capacity(cfg.cities);
+        let mut mayors = Vec::with_capacity(cfg.cities);
+        for i in 0..cfg.cities {
+            let name = city_pool.unique(&mut rng, names::city);
+            let country = rng.gen_range(0..countries.len());
+            let pop = popularity(i, cfg.cities, &mut rng);
+            let (full, short) = loop {
+                let (f, s) = names::person(&mut rng);
+                if person_pool.unique_check(&f) {
+                    break (f, s);
+                }
+            };
+            mayors.push(Mayor {
+                name: full,
+                short,
+                birth: (
+                    rng.gen_range(1945..1985),
+                    rng.gen_range(1..=12),
+                    rng.gen_range(1..=28),
+                ),
+                election_year: rng.gen_range(2014..2024),
+                party: names::party(&mut rng),
+                // A mayor is known roughly as well as their city, damped.
+                popularity: (pop * 0.6).clamp(0.02, 0.9),
+            });
+            cities.push(City {
+                name,
+                country,
+                // Big cities are famous cities (size–fame correlation).
+                population: (10f64.powf(4.8 + 2.3 * pop + rng.gen_range(-0.25..0.25)) as i64
+                    / 1000)
+                    * 1000,
+                elevation: rng.gen_range(0..2500),
+                mayor: i,
+                popularity: pop,
+            });
+        }
+        // Capitals: the most popular city of each country, else city 0.
+        for (ci, c) in countries.iter_mut().enumerate() {
+            let best = cities
+                .iter()
+                .enumerate()
+                .filter(|(_, city)| city.country == ci)
+                .max_by(|a, b| a.1.popularity.total_cmp(&b.1.popularity))
+                .map(|(i, _)| i);
+            c.capital = best.unwrap_or(0);
+        }
+
+        let mut airport_codes = NamePool::new();
+        let mut airports = Vec::with_capacity(cfg.airports);
+        for i in 0..cfg.airports {
+            let city = rng.gen_range(0..cities.len());
+            let code = airport_codes.unique(&mut rng, names::airport_code);
+            // The first airport is always an international hub, so pattern
+            // queries over airport names have non-empty ground truth on
+            // every seed.
+            let name = if i == 0 {
+                format!("{} International Airport", cities[city].name)
+            } else {
+                names::airport_name(&cities[city].name, &mut rng)
+            };
+            let pop_score = popularity(i, cfg.airports, &mut rng);
+            airports.push(Airport {
+                code,
+                name,
+                city,
+                country: cities[city].country,
+                elevation: cities[city].elevation + rng.gen_range(-50..200),
+                // Busy hubs are the well-known ones.
+                yearly_passengers: (10f64
+                    .powf(5.7 + 2.3 * pop_score + rng.gen_range(-0.2..0.2))
+                    as i64
+                    / 1000)
+                    * 1000,
+                runways: 1 + (5.0 * pop_score).round() as i64,
+                popularity: pop_score,
+            });
+        }
+
+        let mut singers = Vec::with_capacity(cfg.singers);
+        for i in 0..cfg.singers {
+            let (full, short) = loop {
+                let (f, s) = names::person(&mut rng);
+                if person_pool.unique_check(&f) {
+                    break (f, s);
+                }
+            };
+            let pop_score = popularity(i, cfg.singers, &mut rng);
+            singers.push(Singer {
+                name: full,
+                short,
+                country: rng.gen_range(0..countries.len()),
+                birth_year: rng.gen_range(1950..2004),
+                genre: names::genre(&mut rng),
+                // Stars are rich; the tail is not.
+                net_worth: ((2.0 + 480.0 * pop_score.powf(1.8)
+                    + rng.gen_range(0.0..15.0))
+                    * 10.0)
+                    .round()
+                    / 10.0,
+                popularity: pop_score,
+            });
+        }
+
+        let mut concert_pool = NamePool::new();
+        let mut concerts = Vec::with_capacity(cfg.concerts);
+        for i in 0..cfg.concerts {
+            let year = rng.gen_range(2015..2024);
+            let name = concert_pool.unique(&mut rng, |r| names::concert(r, year));
+            let pop_score = popularity(i, cfg.concerts, &mut rng);
+            concerts.push(Concert {
+                name,
+                singer: rng.gen_range(0..singers.len()),
+                year,
+                attendance: (10f64.powf(3.2 + 1.9 * pop_score + rng.gen_range(-0.15..0.15))
+                    as i64
+                    / 100)
+                    * 100,
+                city: rng.gen_range(0..cities.len()),
+                popularity: pop_score,
+            });
+        }
+
+        let mut employees = Vec::with_capacity(cfg.employees);
+        for i in 0..cfg.employees {
+            let (full, _) = names::person(&mut rng);
+            employees.push(Employee {
+                id: 1000 + i as i64,
+                name: full,
+                country: rng.gen_range(0..countries.len()),
+                salary: (rng.gen_range(20_000.0..150_000.0f64) / 100.0).round() * 100.0,
+            });
+        }
+
+        World {
+            seed,
+            countries,
+            cities,
+            mayors,
+            airports,
+            singers,
+            concerts,
+            employees,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = World::generate(42);
+        let b = World::generate(42);
+        assert_eq!(a.cities.len(), b.cities.len());
+        assert_eq!(a.cities[0].name, b.cities[0].name);
+        assert_eq!(a.countries[3].code3, b.countries[3].code3);
+        assert_eq!(a.mayors[10].birth, b.mayors[10].birth);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = World::generate(1);
+        let b = World::generate(2);
+        assert_ne!(
+            a.cities.iter().map(|c| &c.name).collect::<Vec<_>>(),
+            b.cities.iter().map(|c| &c.name).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn sizes_match_config() {
+        let w = World::generate_with(
+            5,
+            WorldConfig {
+                countries: 5,
+                cities: 12,
+                airports: 4,
+                singers: 6,
+                concerts: 7,
+                employees: 9,
+            },
+        );
+        assert_eq!(w.countries.len(), 5);
+        assert_eq!(w.cities.len(), 12);
+        assert_eq!(w.mayors.len(), 12);
+        assert_eq!(w.airports.len(), 4);
+        assert_eq!(w.singers.len(), 6);
+        assert_eq!(w.concerts.len(), 7);
+        assert_eq!(w.employees.len(), 9);
+    }
+
+    #[test]
+    fn keys_are_unique() {
+        let w = World::generate(42);
+        let unique = |v: Vec<&String>| {
+            let n = v.len();
+            v.into_iter().collect::<std::collections::HashSet<_>>().len() == n
+        };
+        assert!(unique(w.countries.iter().map(|c| &c.name).collect()));
+        assert!(unique(w.cities.iter().map(|c| &c.name).collect()));
+        assert!(unique(w.mayors.iter().map(|m| &m.name).collect()));
+        assert!(unique(w.airports.iter().map(|a| &a.code).collect()));
+        assert!(unique(w.singers.iter().map(|s| &s.name).collect()));
+        assert!(unique(w.concerts.iter().map(|c| &c.name).collect()));
+        let codes: Vec<&String> = w.countries.iter().map(|c| &c.code3).collect();
+        assert!(unique(codes));
+    }
+
+    #[test]
+    fn references_are_in_bounds() {
+        let w = World::generate(42);
+        for c in &w.cities {
+            assert!(c.country < w.countries.len());
+            assert!(c.mayor < w.mayors.len());
+        }
+        for a in &w.airports {
+            assert!(a.city < w.cities.len());
+            assert_eq!(a.country, w.cities[a.city].country);
+        }
+        for c in &w.concerts {
+            assert!(c.singer < w.singers.len());
+            assert!(c.city < w.cities.len());
+        }
+        for c in &w.countries {
+            assert!(c.capital < w.cities.len());
+        }
+    }
+
+    #[test]
+    fn popularity_in_range_and_head_heavy() {
+        let w = World::generate(42);
+        for c in &w.cities {
+            assert!((0.0..=1.0).contains(&c.popularity));
+        }
+        // Earlier ranks are more popular on average.
+        let head: f64 = w.cities[..10].iter().map(|c| c.popularity).sum();
+        let tail: f64 = w.cities[w.cities.len() - 10..]
+            .iter()
+            .map(|c| c.popularity)
+            .sum();
+        assert!(head > tail);
+    }
+}

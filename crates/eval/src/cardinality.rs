@@ -1,0 +1,85 @@
+//! The cardinality metric of Table 1.
+//!
+//! The paper measures how close the Galois output size is to ground truth
+//! with `f = 2·|R_D| / (|R_D| + |R_M|)` (best is `f = 1`) and reports the
+//! difference `1 − f` as a percentage, "averaged over all queries with
+//! non-empty results".
+
+/// `f = 2·|R_D| / (|R_D| + |R_M|)`, in `[0, 2]`.
+pub fn cardinality_ratio(truth_rows: usize, result_rows: usize) -> f64 {
+    if truth_rows + result_rows == 0 {
+        return 1.0; // both empty: perfectly matched
+    }
+    2.0 * truth_rows as f64 / (truth_rows + result_rows) as f64
+}
+
+/// The paper's reported quantity: `(1 − f) · 100` (% of `|R_D|`; closer to
+/// 0 is better, negative = too few rows).
+pub fn cardinality_diff_percent(truth_rows: usize, result_rows: usize) -> f64 {
+    (1.0 - cardinality_ratio(truth_rows, result_rows)) * 100.0
+}
+
+/// Averages the diff over queries, skipping empty results the way the
+/// paper does. Returns `(average, used, skipped)`.
+pub fn average_diff(pairs: &[(usize, usize)]) -> (f64, usize, usize) {
+    let mut sum = 0.0;
+    let mut used = 0usize;
+    let mut skipped = 0usize;
+    for &(truth, result) in pairs {
+        if result == 0 {
+            skipped += 1;
+            continue;
+        }
+        sum += cardinality_diff_percent(truth, result);
+        used += 1;
+    }
+    if used == 0 {
+        (0.0, 0, skipped)
+    } else {
+        (sum / used as f64, used, skipped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_match_is_zero() {
+        assert_eq!(cardinality_diff_percent(10, 10), 0.0);
+        assert!((cardinality_ratio(10, 10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // Paper §5: |R_D| = 3, |R_M| = 1 → f = 6/4 = 1.5.
+        assert!((cardinality_ratio(3, 1) - 1.5).abs() < 1e-12);
+        assert!((cardinality_diff_percent(3, 1) - (-50.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn too_many_rows_is_positive() {
+        assert!(cardinality_diff_percent(10, 12) > 0.0);
+    }
+
+    #[test]
+    fn bounds() {
+        assert_eq!(cardinality_diff_percent(10, 0), -100.0);
+        assert!((cardinality_ratio(0, 10) - 0.0).abs() < 1e-12);
+        assert_eq!(cardinality_ratio(0, 0), 1.0);
+    }
+
+    #[test]
+    fn average_skips_empty_results() {
+        let (avg, used, skipped) = average_diff(&[(10, 10), (10, 0), (3, 1)]);
+        assert_eq!(used, 2);
+        assert_eq!(skipped, 1);
+        assert!((avg - (-25.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_of_nothing_is_zero() {
+        let (avg, used, skipped) = average_diff(&[(5, 0)]);
+        assert_eq!((avg, used, skipped), (0.0, 0, 1));
+    }
+}

@@ -1,0 +1,371 @@
+//! Suite runners regenerating the paper's experiments.
+//!
+//! * [`run_galois_suite`] — executes the 46 queries through Galois on one
+//!   model (`R_M` per query), collecting cardinality, content and prompt
+//!   statistics;
+//! * [`run_baseline_suite`] — the QA baselines (`T_M`, `T_C_M`);
+//! * [`table1`] / [`table2`] / [`timing_summary`] — the paper's reported
+//!   artifacts.
+
+use crate::cardinality::{average_diff, cardinality_diff_percent};
+use crate::matching::{match_records, relation_to_records, MatchOutcome};
+use crate::report::{percent0, signed1, TextTable};
+use galois_core::{BaselineKind, Galois, GaloisOptions, QaBaseline, QueryStats};
+use galois_dataset::{QueryCategory, Scenario};
+use galois_llm::{LanguageModel, ModelProfile, SimLlm};
+use std::sync::Arc;
+
+/// One query's outcome under Galois.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Query id (1-based).
+    pub id: usize,
+    /// Table-2 class.
+    pub category: QueryCategory,
+    /// `|R_D|`.
+    pub truth_rows: usize,
+    /// `|R_M|`.
+    pub result_rows: usize,
+    /// Cardinality diff % for this query.
+    pub cardinality_diff: f64,
+    /// Content matching outcome.
+    pub matching: MatchOutcome,
+    /// Prompt accounting.
+    pub stats: QueryStats,
+}
+
+/// A full Galois suite run on one model.
+#[derive(Debug, Clone)]
+pub struct GaloisRun {
+    /// Model profile name.
+    pub model: String,
+    /// Per-query outcomes, in suite order.
+    pub outcomes: Vec<QueryOutcome>,
+}
+
+impl GaloisRun {
+    /// Average cardinality difference (%), paper Table 1 cell.
+    pub fn average_cardinality_diff(&self) -> f64 {
+        let pairs: Vec<(usize, usize)> = self
+            .outcomes
+            .iter()
+            .map(|o| (o.truth_rows, o.result_rows))
+            .collect();
+        average_diff(&pairs).0
+    }
+
+    /// Mean content score over a category filter (`None` = all).
+    pub fn content_score(&self, category: Option<QueryCategory>) -> f64 {
+        let scores: Vec<f64> = self
+            .outcomes
+            .iter()
+            .filter(|o| category.map(|c| o.category == c).unwrap_or(true))
+            .map(|o| o.matching.score())
+            .collect();
+        if scores.is_empty() {
+            0.0
+        } else {
+            scores.iter().sum::<f64>() / scores.len() as f64
+        }
+    }
+}
+
+/// Builds the simulated model for a profile over the scenario's knowledge.
+pub fn model_for(scenario: &Scenario, profile: ModelProfile) -> Arc<dyn LanguageModel> {
+    Arc::new(SimLlm::new(scenario.knowledge.clone(), profile))
+}
+
+/// Runs all 46 queries through Galois on the given model.
+pub fn run_galois_suite(
+    scenario: &Scenario,
+    profile: ModelProfile,
+    options: GaloisOptions,
+) -> GaloisRun {
+    let model_name = profile.name.clone();
+    let model = model_for(scenario, profile);
+    let galois = Galois::with_options(model, scenario.database.clone(), options);
+    let mut outcomes = Vec::with_capacity(scenario.suite.len());
+    for spec in &scenario.suite {
+        let sql = spec.to_sql();
+        let truth = scenario
+            .database
+            .execute(&sql)
+            .expect("suite queries execute on ground truth");
+        let (relation, stats) = match galois.execute(&sql) {
+            Ok(r) => (r.relation, r.stats),
+            // An execution failure contributes an empty result — the
+            // system returned nothing for this query.
+            Err(_) => (
+                galois_relational::Relation::empty(truth.schema.clone()),
+                QueryStats::default(),
+            ),
+        };
+        let matching = match_records(&truth, &relation_to_records(&relation));
+        outcomes.push(QueryOutcome {
+            id: spec.id,
+            category: spec.category,
+            truth_rows: truth.len(),
+            result_rows: relation.len(),
+            cardinality_diff: cardinality_diff_percent(truth.len(), relation.len()),
+            matching,
+            stats,
+        });
+    }
+    GaloisRun {
+        model: model_name,
+        outcomes,
+    }
+}
+
+/// One query's outcome under a QA baseline.
+#[derive(Debug, Clone)]
+pub struct BaselineOutcome {
+    /// Query id.
+    pub id: usize,
+    /// Table-2 class.
+    pub category: QueryCategory,
+    /// Content matching outcome.
+    pub matching: MatchOutcome,
+}
+
+/// A QA baseline run over the suite.
+#[derive(Debug, Clone)]
+pub struct BaselineRun {
+    /// Model profile name.
+    pub model: String,
+    /// Baseline flavour.
+    pub kind: BaselineKind,
+    /// Per-query outcomes.
+    pub outcomes: Vec<BaselineOutcome>,
+}
+
+impl BaselineRun {
+    /// Mean content score over a category filter (`None` = all).
+    pub fn content_score(&self, category: Option<QueryCategory>) -> f64 {
+        let scores: Vec<f64> = self
+            .outcomes
+            .iter()
+            .filter(|o| category.map(|c| o.category == c).unwrap_or(true))
+            .map(|o| o.matching.score())
+            .collect();
+        if scores.is_empty() {
+            0.0
+        } else {
+            scores.iter().sum::<f64>() / scores.len() as f64
+        }
+    }
+}
+
+/// Runs the NL-question baseline over the suite.
+pub fn run_baseline_suite(
+    scenario: &Scenario,
+    profile: ModelProfile,
+    kind: BaselineKind,
+) -> BaselineRun {
+    let model_name = profile.name.clone();
+    let model = model_for(scenario, profile);
+    let baseline = QaBaseline::new(model);
+    let mut outcomes = Vec::with_capacity(scenario.suite.len());
+    for spec in &scenario.suite {
+        let truth = scenario
+            .database
+            .execute(&spec.to_sql())
+            .expect("suite queries execute on ground truth");
+        let result = baseline.ask(&spec.question(), kind);
+        let matching = match_records(&truth, &result.records);
+        outcomes.push(BaselineOutcome {
+            id: spec.id,
+            category: spec.category,
+            matching,
+        });
+    }
+    BaselineRun {
+        model: model_name,
+        kind,
+        outcomes,
+    }
+}
+
+/// Regenerates **Table 1**: average cardinality difference per model.
+pub fn table1(scenario: &Scenario, profiles: &[ModelProfile]) -> (TextTable, Vec<(String, f64)>) {
+    let mut table = TextTable::new(&["model", "diff as % of |R_D|"]);
+    let mut values = Vec::new();
+    for profile in profiles {
+        let run = run_galois_suite(scenario, profile.clone(), GaloisOptions::default());
+        let avg = run.average_cardinality_diff();
+        table.row(vec![run.model.clone(), signed1(avg)]);
+        values.push((run.model, avg));
+    }
+    (table, values)
+}
+
+/// The three method rows of Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// Galois (`R_M`) scores: (all, selections, aggregates, joins).
+    pub galois: (f64, f64, f64, f64),
+    /// Plain QA (`T_M`) scores.
+    pub qa: (f64, f64, f64, f64),
+    /// CoT QA (`T_C_M`) scores.
+    pub cot: (f64, f64, f64, f64),
+}
+
+impl Table2 {
+    /// Renders the paper-style table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&["method", "All", "Selections", "Aggregates", "Joins only"]);
+        for (label, s) in [
+            ("R_M (SQL queries)", &self.galois),
+            ("T_M (NL questions)", &self.qa),
+            ("T_C_M (NL quest.+CoT)", &self.cot),
+        ] {
+            t.row(vec![
+                label.to_string(),
+                percent0(s.0),
+                percent0(s.1),
+                percent0(s.2),
+                percent0(s.3),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Regenerates **Table 2** on one model (the paper uses ChatGPT).
+pub fn table2(scenario: &Scenario, profile: ModelProfile) -> Table2 {
+    let by_cat = |scores: &dyn Fn(Option<QueryCategory>) -> f64| {
+        (
+            scores(None),
+            scores(Some(QueryCategory::SelectionOnly)),
+            scores(Some(QueryCategory::Aggregate)),
+            scores(Some(QueryCategory::Join)),
+        )
+    };
+    let galois_run = run_galois_suite(scenario, profile.clone(), GaloisOptions::default());
+    let qa_run = run_baseline_suite(scenario, profile.clone(), BaselineKind::Plain);
+    let cot_run = run_baseline_suite(scenario, profile, BaselineKind::ChainOfThought);
+    Table2 {
+        galois: by_cat(&|c| galois_run.content_score(c)),
+        qa: by_cat(&|c| qa_run.content_score(c)),
+        cot: by_cat(&|c| cot_run.content_score(c)),
+    }
+}
+
+/// Prompt/latency distribution over a run (paper §5: "GPT-3 takes ∼20
+/// seconds to execute a query (∼110 batched prompts per query).
+/// Distributions for these metrics are skewed").
+#[derive(Debug, Clone, Copy)]
+pub struct TimingSummary {
+    /// Mean prompts per query.
+    pub mean_prompts: f64,
+    /// Median prompts per query.
+    pub median_prompts: f64,
+    /// 90th-percentile prompts per query.
+    pub p90_prompts: f64,
+    /// Mean virtual seconds per query.
+    pub mean_seconds: f64,
+    /// Median virtual seconds per query.
+    pub median_seconds: f64,
+    /// 90th-percentile virtual seconds.
+    pub p90_seconds: f64,
+}
+
+/// Summarises the prompt/latency distribution of a run.
+pub fn timing_summary(run: &GaloisRun) -> TimingSummary {
+    let mut prompts: Vec<f64> = run
+        .outcomes
+        .iter()
+        .map(|o| o.stats.total_prompts() as f64)
+        .collect();
+    let mut seconds: Vec<f64> = run
+        .outcomes
+        .iter()
+        .map(|o| o.stats.virtual_seconds())
+        .collect();
+    prompts.sort_by(f64::total_cmp);
+    seconds.sort_by(f64::total_cmp);
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let pct = |v: &[f64], p: f64| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v[((v.len() - 1) as f64 * p).round() as usize]
+        }
+    };
+    TimingSummary {
+        mean_prompts: mean(&prompts),
+        median_prompts: pct(&prompts, 0.5),
+        p90_prompts: pct(&prompts, 0.9),
+        mean_seconds: mean(&seconds),
+        median_seconds: pct(&seconds, 0.5),
+        p90_seconds: pct(&seconds, 0.9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_scenario() -> Scenario {
+        // Smaller world keeps harness tests quick while exercising every
+        // query shape.
+        Scenario::generate_with(
+            42,
+            galois_dataset::WorldConfig {
+                countries: 8,
+                cities: 20,
+                airports: 10,
+                singers: 10,
+                concerts: 12,
+                employees: 15,
+            },
+        )
+    }
+
+    #[test]
+    fn oracle_run_is_nearly_perfect() {
+        let s = small_scenario();
+        let run = run_galois_suite(&s, ModelProfile::oracle(), GaloisOptions::default());
+        assert_eq!(run.outcomes.len(), 46);
+        let diff = run.average_cardinality_diff();
+        assert!(diff.abs() < 2.0, "oracle diff {diff}");
+        let all = run.content_score(None);
+        assert!(all > 0.95, "oracle content {all}");
+    }
+
+    #[test]
+    fn noisy_model_is_worse_than_oracle() {
+        let s = small_scenario();
+        let oracle = run_galois_suite(&s, ModelProfile::oracle(), GaloisOptions::default());
+        let flan = run_galois_suite(&s, ModelProfile::flan(), GaloisOptions::default());
+        assert!(flan.average_cardinality_diff() < oracle.average_cardinality_diff() - 10.0);
+        assert!(flan.content_score(None) < oracle.content_score(None));
+    }
+
+    #[test]
+    fn baseline_run_produces_scores() {
+        let s = small_scenario();
+        let run = run_baseline_suite(&s, ModelProfile::oracle(), BaselineKind::Plain);
+        assert_eq!(run.outcomes.len(), 46);
+        let all = run.content_score(None);
+        assert!(all > 0.5, "oracle QA score {all}");
+    }
+
+    #[test]
+    fn timing_summary_is_consistent() {
+        let s = small_scenario();
+        let run = run_galois_suite(&s, ModelProfile::oracle(), GaloisOptions::default());
+        let t = timing_summary(&run);
+        assert!(t.mean_prompts > 1.0);
+        assert!(t.p90_prompts >= t.median_prompts);
+        assert!(t.mean_seconds > 0.0);
+    }
+
+    #[test]
+    fn table1_has_all_models() {
+        let s = small_scenario();
+        let (table, values) = table1(&s, &[ModelProfile::oracle()]);
+        assert_eq!(values.len(), 1);
+        assert!(table.render().contains("oracle"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests on the evaluation metrics.
+
+use galois_eval::{cardinality_diff_percent, cardinality_ratio, match_records, MatchOutcome};
+use galois_relational::{DataType, PlanColumn, PlanSchema, Relation, Value};
+use proptest::prelude::*;
+
+fn relation(rows: Vec<Vec<i64>>) -> Relation {
+    let arity = rows.first().map(|r| r.len()).unwrap_or(1);
+    Relation {
+        schema: PlanSchema::new(
+            (0..arity)
+                .map(|i| PlanColumn::computed(format!("c{i}"), DataType::Int))
+                .collect(),
+        ),
+        rows: rows
+            .into_iter()
+            .map(|r| r.into_iter().map(Value::Int).collect())
+            .collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// f stays in [0, 2]; the diff stays in [-100, 100]; perfect match is 0.
+    #[test]
+    fn cardinality_bounds(truth in 0usize..1000, result in 0usize..1000) {
+        let f = cardinality_ratio(truth, result);
+        prop_assert!((0.0..=2.0).contains(&f));
+        let d = cardinality_diff_percent(truth, result);
+        prop_assert!((-100.0..=100.0).contains(&d));
+        if truth == result {
+            prop_assert!(d.abs() < 1e-9);
+        }
+        // Antisymmetry of sign: more rows → positive, fewer → negative.
+        if result > truth {
+            prop_assert!(d > 0.0);
+        }
+        if result < truth && result > 0 {
+            prop_assert!(d < 0.0);
+        }
+    }
+
+    /// Matching is bounded and monotone: matched cells never exceed either
+    /// side, the score is in [0, 1], and matching a relation against its
+    /// own rendering is perfect.
+    #[test]
+    fn matching_bounds(rows in prop::collection::vec(
+        prop::collection::vec(-50i64..50, 2..4), 0..8)
+    ) {
+        // Make rows unique to sidestep duplicate-key ambiguity.
+        let mut unique = rows;
+        unique.sort();
+        unique.dedup();
+        let arity = unique.first().map(|r| r.len()).unwrap_or(2);
+        let unique: Vec<Vec<i64>> = unique.into_iter().filter(|r| r.len() == arity).collect();
+
+        let rel = relation(unique.clone());
+        let records: Vec<Vec<String>> = unique
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        let outcome: MatchOutcome = match_records(&rel, &records);
+        prop_assert!(outcome.matched_cells <= outcome.truth_cells);
+        prop_assert!((0.0..=1.0).contains(&outcome.score()));
+        prop_assert!((0.0..=1.0).contains(&outcome.precision()));
+        // Self-match is perfect.
+        prop_assert!((outcome.score() - 1.0).abs() < 1e-12);
+
+        // Dropping rows can only lower the score.
+        if records.len() > 1 {
+            let partial = match_records(&rel, &records[..records.len() - 1]);
+            prop_assert!(partial.score() <= outcome.score() + 1e-12);
+        }
+    }
+
+    /// Shuffling candidate rows never changes the matched-cell count for
+    /// exact candidates (greedy mapping finds the same perfect assignment).
+    #[test]
+    fn matching_is_order_insensitive_for_exact_rows(rows in prop::collection::vec(
+        prop::collection::vec(-50i64..50, 2..3), 1..6)
+    ) {
+        let mut unique = rows;
+        unique.sort();
+        unique.dedup();
+        let arity = unique.first().map(|r| r.len()).unwrap_or(2);
+        let unique: Vec<Vec<i64>> = unique.into_iter().filter(|r| r.len() == arity).collect();
+        prop_assume!(!unique.is_empty());
+
+        let rel = relation(unique.clone());
+        let forward: Vec<Vec<String>> = unique
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        prop_assert_eq!(
+            match_records(&rel, &forward).matched_cells,
+            match_records(&rel, &reversed).matched_cells
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! The model client: caching, batching and virtual-clock accounting.
+//!
+//! The paper reports "∼110 batched prompts per query" and "∼20 seconds to
+//! execute a query" on GPT-3 (§5), without controlling OpenAI's
+//! infrastructure. The client reproduces that accounting with a virtual
+//! clock: every completion carries a simulated latency, batches add one
+//! request overhead, and a prompt cache models the obvious deduplication a
+//! production system would deploy. No real time passes.
+
+use crate::model::{Completion, LanguageModel};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Usage counters accumulated by a client.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Prompts answered by the model (cache misses).
+    pub prompts: usize,
+    /// Prompts served from the cache.
+    pub cache_hits: usize,
+    /// Batch requests issued.
+    pub batches: usize,
+    /// Total prompt tokens sent (cache misses only).
+    pub prompt_tokens: usize,
+    /// Total completion tokens received (cache misses only).
+    pub completion_tokens: usize,
+    /// Total virtual elapsed milliseconds.
+    pub virtual_ms: u64,
+}
+
+impl ClientStats {
+    /// Virtual elapsed time in seconds.
+    pub fn virtual_seconds(&self) -> f64 {
+        self.virtual_ms as f64 / 1000.0
+    }
+}
+
+/// Fixed virtual overhead per batch request (network + queueing).
+pub const BATCH_OVERHEAD_MS: u64 = 250;
+
+/// A caching, stats-keeping client over any [`LanguageModel`].
+pub struct LlmClient {
+    model: Arc<dyn LanguageModel>,
+    cache: Mutex<HashMap<String, Completion>>,
+    stats: Mutex<ClientStats>,
+    cache_enabled: bool,
+}
+
+impl LlmClient {
+    /// Wraps a model with caching enabled.
+    pub fn new(model: Arc<dyn LanguageModel>) -> Self {
+        LlmClient {
+            model,
+            cache: Mutex::new(HashMap::new()),
+            stats: Mutex::new(ClientStats::default()),
+            cache_enabled: true,
+        }
+    }
+
+    /// Wraps a model without the prompt cache (every call hits the model).
+    pub fn without_cache(model: Arc<dyn LanguageModel>) -> Self {
+        LlmClient {
+            cache_enabled: false,
+            ..Self::new(model)
+        }
+    }
+
+    /// The wrapped model's name.
+    pub fn model_name(&self) -> String {
+        self.model.name().to_string()
+    }
+
+    /// Completes one prompt (counts as a batch of one).
+    pub fn complete(&self, prompt: &str) -> Completion {
+        self.complete_batch(std::slice::from_ref(&prompt.to_string()))
+            .pop()
+            .expect("one completion per prompt")
+    }
+
+    /// Completes a batch of prompts; one batch overhead is charged and the
+    /// member latencies accumulate (the provider decodes sequentially per
+    /// request stream).
+    pub fn complete_batch(&self, prompts: &[String]) -> Vec<Completion> {
+        let mut results = Vec::with_capacity(prompts.len());
+        let mut stats = self.stats.lock();
+        stats.batches += 1;
+        let mut batch_ms = BATCH_OVERHEAD_MS;
+        for prompt in prompts {
+            if self.cache_enabled {
+                if let Some(hit) = self.cache.lock().get(prompt) {
+                    stats.cache_hits += 1;
+                    results.push(hit.clone());
+                    continue;
+                }
+            }
+            let completion = self.model.complete(prompt);
+            stats.prompts += 1;
+            stats.prompt_tokens += completion.usage.prompt_tokens;
+            stats.completion_tokens += completion.usage.completion_tokens;
+            batch_ms += completion.latency_ms;
+            if self.cache_enabled {
+                self.cache
+                    .lock()
+                    .insert(prompt.clone(), completion.clone());
+            }
+            results.push(completion);
+        }
+        stats.virtual_ms += batch_ms;
+        results
+    }
+
+    /// Snapshot of the accumulated stats.
+    pub fn stats(&self) -> ClientStats {
+        *self.stats.lock()
+    }
+
+    /// Resets counters (the cache is kept).
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = ClientStats::default();
+    }
+
+    /// Clears the prompt cache.
+    pub fn clear_cache(&self) {
+        self.cache.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FixedResponder;
+
+    fn client() -> LlmClient {
+        LlmClient::new(Arc::new(FixedResponder {
+            model_name: "fixed".into(),
+            response: "ok".into(),
+        }))
+    }
+
+    #[test]
+    fn caching_dedupes() {
+        let c = client();
+        c.complete("hello");
+        c.complete("hello");
+        let s = c.stats();
+        assert_eq!(s.prompts, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.batches, 2);
+    }
+
+    #[test]
+    fn without_cache_every_call_counts() {
+        let c = LlmClient::without_cache(Arc::new(FixedResponder {
+            model_name: "fixed".into(),
+            response: "ok".into(),
+        }));
+        c.complete("hello");
+        c.complete("hello");
+        assert_eq!(c.stats().prompts, 2);
+        assert_eq!(c.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn batch_charges_one_overhead() {
+        let c = client();
+        let prompts: Vec<String> = (0..10).map(|i| format!("p{i}")).collect();
+        c.complete_batch(&prompts);
+        let s = c.stats();
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.prompts, 10);
+        // 1 overhead + 10 × 1ms model latency.
+        assert_eq!(s.virtual_ms, BATCH_OVERHEAD_MS + 10);
+    }
+
+    #[test]
+    fn reset_keeps_cache() {
+        let c = client();
+        c.complete("a");
+        c.reset_stats();
+        assert_eq!(c.stats().prompts, 0);
+        c.complete("a");
+        assert_eq!(c.stats().cache_hits, 1);
+        c.clear_cache();
+        c.complete("a");
+        assert_eq!(c.stats().prompts, 1);
+    }
+
+    #[test]
+    fn virtual_seconds() {
+        let s = ClientStats {
+            virtual_ms: 1500,
+            ..Default::default()
+        };
+        assert!((s.virtual_seconds() - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,528 @@
+//! The prompt protocol: intents, their natural-language rendering, and the
+//! simulator-side parsing.
+//!
+//! Galois compiles plan operators into *text* prompts (paper §4, Figure 4);
+//! the simulated LLM receives that text and must recover the task the same
+//! way a real LLM infers it from wording. This module defines both
+//! directions:
+//!
+//! * `render_*` — the canonical English templates ("Has *relationName
+//!   keyName attributeName operator value*?" in the paper's notation),
+//!   used by the prompt generator and by the dataset's NL paraphrases;
+//! * `parse_*` — pattern matching used by [`crate::simllm::SimLlm`].
+//!
+//! Round-tripping (`parse(render(x)) == x`) is property-tested; the pair is
+//! kept in one module precisely so the "protocol" cannot silently fork.
+
+use std::fmt;
+
+/// Comparison operators usable in prompt conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// equal to
+    Eq,
+    /// different from
+    NotEq,
+    /// greater than
+    Gt,
+    /// at least
+    GtEq,
+    /// less than
+    Lt,
+    /// at most
+    LtEq,
+    /// between a and b (inclusive)
+    Between,
+    /// one of a fixed list
+    In,
+    /// matches a `%`/`_` pattern
+    Like,
+    /// value is unknown/missing
+    IsNull,
+    /// value is known/present
+    IsNotNull,
+}
+
+/// A value as it appears in prompt text: quoted text or a bare token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PromptValue {
+    /// A quoted string (`'Rome'`).
+    Text(String),
+    /// A bare numeric token (`1000000` / `2.5`).
+    Number(f64),
+}
+
+impl PromptValue {
+    /// Parses a rendered value token.
+    pub fn parse(token: &str) -> Option<PromptValue> {
+        let t = token.trim();
+        if let Some(stripped) = t.strip_prefix('\'').and_then(|s| s.strip_suffix('\'')) {
+            return Some(PromptValue::Text(stripped.to_string()));
+        }
+        t.parse::<f64>().ok().map(PromptValue::Number)
+    }
+
+    /// The text payload, if textual.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            PromptValue::Text(s) => Some(s),
+            PromptValue::Number(_) => None,
+        }
+    }
+
+    /// The numeric payload, if numeric.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            PromptValue::Number(n) => Some(*n),
+            PromptValue::Text(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for PromptValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PromptValue::Text(s) => write!(f, "'{s}'"),
+            PromptValue::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+        }
+    }
+}
+
+/// A condition over one attribute, in prompt-protocol form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Condition {
+    /// Attribute label as written in the query.
+    pub attribute: String,
+    /// Operator.
+    pub op: CmpOp,
+    /// Operand values (0 for IS NULL, 1 for comparisons, 2 for BETWEEN,
+    /// n for IN).
+    pub values: Vec<PromptValue>,
+}
+
+impl Condition {
+    /// Renders the condition as `<attribute> is <phrase>`.
+    pub fn render(&self) -> String {
+        format!("{} is {}", self.attribute, self.render_phrase())
+    }
+
+    /// Renders only the operator phrase (`greater than 1000000`).
+    pub fn render_phrase(&self) -> String {
+        let v = |i: usize| self.values[i].to_string();
+        match self.op {
+            CmpOp::Eq => format!("equal to {}", v(0)),
+            CmpOp::NotEq => format!("different from {}", v(0)),
+            CmpOp::Gt => format!("greater than {}", v(0)),
+            CmpOp::GtEq => format!("at least {}", v(0)),
+            CmpOp::Lt => format!("less than {}", v(0)),
+            CmpOp::LtEq => format!("at most {}", v(0)),
+            CmpOp::Between => format!("between {} and {}", v(0), v(1)),
+            CmpOp::In => {
+                let items: Vec<String> = self.values.iter().map(|v| v.to_string()).collect();
+                format!("one of {}", items.join(" / "))
+            }
+            CmpOp::Like => format!("matching the pattern {}", v(0)),
+            CmpOp::IsNull => "unknown".to_string(),
+            CmpOp::IsNotNull => "known".to_string(),
+        }
+    }
+
+    /// Parses `<attribute> is <phrase>`.
+    pub fn parse(text: &str) -> Option<Condition> {
+        let (attribute, phrase) = text.split_once(" is ")?;
+        let mut c = Self::parse_phrase(phrase)?;
+        c.attribute = attribute.trim().to_string();
+        Some(c)
+    }
+
+    /// Parses an operator phrase; the returned condition has an empty
+    /// attribute.
+    pub fn parse_phrase(phrase: &str) -> Option<Condition> {
+        let phrase = phrase.trim().trim_end_matches(['?', '.']);
+        let mk = |op, values| {
+            Some(Condition {
+                attribute: String::new(),
+                op,
+                values,
+            })
+        };
+        let one = |rest: &str, op| {
+            let v = PromptValue::parse(rest)?;
+            mk(op, vec![v])
+        };
+        if let Some(r) = phrase.strip_prefix("equal to ") {
+            return one(r, CmpOp::Eq);
+        }
+        if let Some(r) = phrase.strip_prefix("different from ") {
+            return one(r, CmpOp::NotEq);
+        }
+        if let Some(r) = phrase.strip_prefix("greater than ") {
+            return one(r, CmpOp::Gt);
+        }
+        if let Some(r) = phrase.strip_prefix("at least ") {
+            return one(r, CmpOp::GtEq);
+        }
+        if let Some(r) = phrase.strip_prefix("less than ") {
+            return one(r, CmpOp::Lt);
+        }
+        if let Some(r) = phrase.strip_prefix("at most ") {
+            return one(r, CmpOp::LtEq);
+        }
+        if let Some(r) = phrase.strip_prefix("between ") {
+            let (a, b) = r.split_once(" and ")?;
+            let va = PromptValue::parse(a)?;
+            let vb = PromptValue::parse(b)?;
+            return mk(CmpOp::Between, vec![va, vb]);
+        }
+        if let Some(r) = phrase.strip_prefix("one of ") {
+            let values: Option<Vec<PromptValue>> =
+                r.split(" / ").map(PromptValue::parse).collect();
+            return mk(CmpOp::In, values?);
+        }
+        if let Some(r) = phrase.strip_prefix("matching the pattern ") {
+            return one(r, CmpOp::Like);
+        }
+        if phrase == "unknown" {
+            return mk(CmpOp::IsNull, vec![]);
+        }
+        if phrase == "known" {
+            return mk(CmpOp::IsNotNull, vec![]);
+        }
+        None
+    }
+}
+
+/// A retrieval task decoded from an operator prompt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskIntent {
+    /// List key values of a relation (paper: base-relation access).
+    ListKeys {
+        /// Relation name as written in the query.
+        relation: String,
+        /// Key attribute label.
+        key_attr: String,
+        /// Optional pushed-down condition (prompt-pushdown optimization).
+        condition: Option<Condition>,
+        /// Keys already retrieved (the "Return more results" iteration).
+        exclude: Vec<String>,
+    },
+    /// Fetch one attribute value for one key (paper: injected retrieval
+    /// node before selections/joins/projections).
+    FetchAttr {
+        /// Relation name.
+        relation: String,
+        /// Key attribute label.
+        key_attr: String,
+        /// Key value identifying the tuple.
+        key: String,
+        /// Attribute to retrieve.
+        attribute: String,
+    },
+    /// Boolean membership check (paper: selection operator prompt, "Has
+    /// city c.name more than 1M population?").
+    CheckFilter {
+        /// Relation name.
+        relation: String,
+        /// Key attribute label.
+        key_attr: String,
+        /// Key value identifying the tuple.
+        key: String,
+        /// Condition to check.
+        condition: Condition,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Rendering (used by galois-core's prompt generator)
+// ---------------------------------------------------------------------
+
+/// Renders the question line of a [`TaskIntent`] (without the few-shot
+/// preamble; that is model-specific and added by the prompt builder).
+pub fn render_task(intent: &TaskIntent) -> String {
+    match intent {
+        TaskIntent::ListKeys {
+            relation,
+            key_attr,
+            condition,
+            exclude,
+        } => {
+            let cond = condition
+                .as_ref()
+                .map(|c| format!(" whose {}", c.render()))
+                .unwrap_or_default();
+            if exclude.is_empty() {
+                format!(
+                    "List the {key_attr} of every {relation}{cond}. \
+                     Answer with a comma-separated list of values only."
+                )
+            } else {
+                format!(
+                    "List the {key_attr} of every {relation}{cond}, excluding: {}. \
+                     Answer with a comma-separated list of new values only, \
+                     or say \"No more results\".",
+                    exclude.join("; ")
+                )
+            }
+        }
+        TaskIntent::FetchAttr {
+            relation,
+            key_attr,
+            key,
+            attribute,
+        } => format!(
+            "For the {relation} identified by {key_attr} '{key}', what is its {attribute}? \
+             Answer with the value only, or \"Unknown\"."
+        ),
+        TaskIntent::CheckFilter {
+            relation,
+            key_attr,
+            key,
+            condition,
+        } => format!(
+            "For the {relation} identified by {key_attr} '{key}', is its {} {}? \
+             Answer \"Yes\" or \"No\".",
+            condition.attribute,
+            condition.render_phrase(),
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsing (used by the simulated LLM)
+// ---------------------------------------------------------------------
+
+/// Extracts the final question line from a full prompt (drops the few-shot
+/// preamble: the question is the last `Q:`-prefixed line, or the whole text
+/// when no marker is present).
+pub fn question_line(prompt: &str) -> &str {
+    match prompt.rfind("Q: ") {
+        Some(i) => {
+            let rest = &prompt[i + 3..];
+            match rest.find("\nA:") {
+                Some(j) => rest[..j].trim(),
+                None => rest.trim(),
+            }
+        }
+        None => prompt.trim(),
+    }
+}
+
+/// Attempts to decode an operator prompt into a [`TaskIntent`].
+pub fn parse_task(prompt: &str) -> Option<TaskIntent> {
+    let q = question_line(prompt);
+    parse_list_keys(q)
+        .or_else(|| parse_fetch_attr(q))
+        .or_else(|| parse_check_filter(q))
+}
+
+fn parse_list_keys(q: &str) -> Option<TaskIntent> {
+    let rest = q.strip_prefix("List the ")?;
+    let (head, tail) = rest.split_once(" of every ")?;
+    let key_attr = head.trim().to_string();
+    // tail: `<relation>[ whose <cond>][, excluding: …]. Answer with …`.
+    // The "Answer with" marker is mandatory: it is what distinguishes an
+    // operator prompt from an NL question that also starts with "List
+    // the … of every …" (those go through the QA path instead).
+    let (body, _) = tail.split_once(". Answer with")?;
+    let body = body.trim();
+    let (body, exclude) = match body.split_once(", excluding: ") {
+        Some((b, ex)) => (
+            b,
+            ex.split("; ")
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect(),
+        ),
+        None => (body, Vec::new()),
+    };
+    let (relation, condition) = match body.split_once(" whose ") {
+        Some((r, c)) => (r.trim().to_string(), Some(Condition::parse(c)?)),
+        None => (body.trim().to_string(), None),
+    };
+    if relation.is_empty() || key_attr.is_empty() {
+        return None;
+    }
+    Some(TaskIntent::ListKeys {
+        relation,
+        key_attr,
+        condition,
+        exclude,
+    })
+}
+
+fn parse_fetch_attr(q: &str) -> Option<TaskIntent> {
+    let rest = q.strip_prefix("For the ")?;
+    let (relation, rest) = rest.split_once(" identified by ")?;
+    let (key_attr, rest) = rest.split_once(" '")?;
+    let (key, rest) = rest.split_once("', what is its ")?;
+    let attribute = rest.split('?').next()?.trim().to_string();
+    Some(TaskIntent::FetchAttr {
+        relation: relation.trim().to_string(),
+        key_attr: key_attr.trim().to_string(),
+        key: key.to_string(),
+        attribute,
+    })
+}
+
+fn parse_check_filter(q: &str) -> Option<TaskIntent> {
+    let rest = q.strip_prefix("For the ")?;
+    let (relation, rest) = rest.split_once(" identified by ")?;
+    let (key_attr, rest) = rest.split_once(" '")?;
+    let (key, rest) = rest.split_once("', is its ")?;
+    let question = rest.split("? Answer").next()?;
+    // question = `<attribute> <phrase>`; the attribute is the first token
+    // run until a known phrase start. Try longest attribute first.
+    let words: Vec<&str> = question.split(' ').collect();
+    for split in (1..words.len()).rev() {
+        let attribute = words[..split].join(" ");
+        let phrase = words[split..].join(" ");
+        if let Some(mut c) = Condition::parse_phrase(&phrase) {
+            c.attribute = attribute;
+            return Some(TaskIntent::CheckFilter {
+                relation: relation.trim().to_string(),
+                key_attr: key_attr.trim().to_string(),
+                key: key.to_string(),
+                condition: c,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cond(attr: &str, op: CmpOp, values: Vec<PromptValue>) -> Condition {
+        Condition {
+            attribute: attr.to_string(),
+            op,
+            values,
+        }
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        for v in [
+            PromptValue::Text("Rome".into()),
+            PromptValue::Number(1000000.0),
+            PromptValue::Number(2.5),
+        ] {
+            assert_eq!(PromptValue::parse(&v.to_string()), Some(v));
+        }
+    }
+
+    #[test]
+    fn condition_phrases_roundtrip() {
+        let cases = vec![
+            cond("population", CmpOp::Gt, vec![PromptValue::Number(1e6)]),
+            cond("name", CmpOp::Eq, vec![PromptValue::Text("Rome".into())]),
+            cond(
+                "population",
+                CmpOp::Between,
+                vec![PromptValue::Number(10.0), PromptValue::Number(20.0)],
+            ),
+            cond(
+                "country",
+                CmpOp::In,
+                vec![
+                    PromptValue::Text("Italy".into()),
+                    PromptValue::Text("France".into()),
+                ],
+            ),
+            cond("name", CmpOp::Like, vec![PromptValue::Text("R%".into())]),
+            cond("mayor", CmpOp::IsNull, vec![]),
+            cond("mayor", CmpOp::IsNotNull, vec![]),
+            cond("elevation", CmpOp::LtEq, vec![PromptValue::Number(100.0)]),
+        ];
+        for c in cases {
+            let text = c.render();
+            let parsed = Condition::parse(&text).unwrap_or_else(|| panic!("parse {text}"));
+            assert_eq!(parsed, c, "{text}");
+        }
+    }
+
+    #[test]
+    fn task_list_keys_roundtrip() {
+        let t = TaskIntent::ListKeys {
+            relation: "city".into(),
+            key_attr: "name".into(),
+            condition: Some(cond(
+                "population",
+                CmpOp::Gt,
+                vec![PromptValue::Number(1e6)],
+            )),
+            exclude: vec![],
+        };
+        assert_eq!(parse_task(&render_task(&t)), Some(t));
+    }
+
+    #[test]
+    fn task_list_keys_with_exclusions_roundtrip() {
+        let t = TaskIntent::ListKeys {
+            relation: "city".into(),
+            key_attr: "name".into(),
+            condition: None,
+            exclude: vec!["Rome".into(), "Paris".into()],
+        };
+        assert_eq!(parse_task(&render_task(&t)), Some(t));
+    }
+
+    #[test]
+    fn task_fetch_attr_roundtrip() {
+        let t = TaskIntent::FetchAttr {
+            relation: "city".into(),
+            key_attr: "name".into(),
+            key: "Rome".into(),
+            attribute: "population".into(),
+        };
+        assert_eq!(parse_task(&render_task(&t)), Some(t));
+    }
+
+    #[test]
+    fn task_check_filter_roundtrip() {
+        let t = TaskIntent::CheckFilter {
+            relation: "city".into(),
+            key_attr: "name".into(),
+            key: "New York City".into(),
+            condition: cond("population", CmpOp::GtEq, vec![PromptValue::Number(1e6)]),
+        };
+        assert_eq!(parse_task(&render_task(&t)), Some(t));
+    }
+
+    #[test]
+    fn multi_word_attribute_in_filter() {
+        let t = TaskIntent::CheckFilter {
+            relation: "airport".into(),
+            key_attr: "code".into(),
+            key: "JFK".into(),
+            condition: cond(
+                "yearly passenger count",
+                CmpOp::Gt,
+                vec![PromptValue::Number(1e7)],
+            ),
+        };
+        assert_eq!(parse_task(&render_task(&t)), Some(t));
+    }
+
+    #[test]
+    fn question_line_extraction() {
+        let prompt = "I am a bot.\nQ: What is 1+1?\nA: 2.\nQ: List the name of every city. \
+                      Answer with a comma-separated list of values only.\nA:";
+        assert!(question_line(prompt).starts_with("List the name"));
+        assert_eq!(question_line("bare text"), "bare text");
+    }
+
+    #[test]
+    fn garbage_does_not_parse_or_panic() {
+        assert_eq!(parse_task("tell me a joke"), None);
+        assert_eq!(parse_task(""), None);
+        assert_eq!(parse_task("List the of every . Answer with"), None);
+    }
+}

@@ -1,0 +1,264 @@
+//! The simulated model's "parameters": a knowledge store of entities and
+//! facts.
+//!
+//! The paper observes that LLMs "model existing relationships between
+//! entities … or between entities and their properties" but have no notion
+//! of schema or tuple (§3). The store mirrors that: it is a bag of
+//! `(subject, predicate, object)` facts over typed, popularity-ranked
+//! entities — not a relational database. Popularity drives recall ("the
+//! default semantics for the LLM is to pick the most popular
+//! interpretation"), and aliases model the surface-form variance that
+//! breaks joins ("IT" vs "ITA", §5).
+
+use std::collections::HashMap;
+
+/// Identifier of an entity inside a knowledge store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntityId(pub u32);
+
+/// A known entity.
+#[derive(Debug, Clone)]
+pub struct Entity {
+    /// Identifier.
+    pub id: EntityId,
+    /// Canonical surface form (e.g. `"Rome"`).
+    pub name: String,
+    /// Entity type, lowercase (e.g. `"city"`).
+    pub entity_type: String,
+    /// Popularity in `[0, 1]`; drives recall probability and list order.
+    pub popularity: f64,
+    /// Alternative surface forms (e.g. `["ITA", "Italian Republic"]`).
+    pub aliases: Vec<String>,
+}
+
+/// The object of a fact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FactValue {
+    /// Free text.
+    Text(String),
+    /// A number (integers are exact within f64 range at our data scales).
+    Number(f64),
+    /// A calendar date.
+    Date {
+        /// Year.
+        year: i32,
+        /// Month 1–12.
+        month: u8,
+        /// Day 1–31.
+        day: u8,
+    },
+    /// Reference to another entity (joins traverse these).
+    Entity(EntityId),
+}
+
+/// A knowledge store: entities plus `(subject, predicate) → object` facts.
+#[derive(Debug, Default, Clone)]
+pub struct KnowledgeStore {
+    entities: Vec<Entity>,
+    by_type: HashMap<String, Vec<EntityId>>,
+    by_name: HashMap<(String, String), EntityId>,
+    facts: HashMap<(EntityId, String), FactValue>,
+    /// Predicate synonym lexicon: surface label → canonical predicate.
+    lexicon: HashMap<String, String>,
+}
+
+impl KnowledgeStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        KnowledgeStore::default()
+    }
+
+    /// Adds an entity and returns its id. Popularity is clamped to [0, 1].
+    pub fn add_entity(
+        &mut self,
+        name: impl Into<String>,
+        entity_type: impl Into<String>,
+        popularity: f64,
+    ) -> EntityId {
+        let id = EntityId(self.entities.len() as u32);
+        let name = name.into();
+        let entity_type = entity_type.into().to_ascii_lowercase();
+        self.by_type
+            .entry(entity_type.clone())
+            .or_default()
+            .push(id);
+        self.by_name
+            .insert((entity_type.clone(), name.to_ascii_lowercase()), id);
+        self.entities.push(Entity {
+            id,
+            name,
+            entity_type,
+            popularity: popularity.clamp(0.0, 1.0),
+            aliases: Vec::new(),
+        });
+        id
+    }
+
+    /// Registers an alias surface form for an entity.
+    pub fn add_alias(&mut self, id: EntityId, alias: impl Into<String>) {
+        let alias = alias.into();
+        let ty = self.entities[id.0 as usize].entity_type.clone();
+        self.by_name.insert((ty, alias.to_ascii_lowercase()), id);
+        self.entities[id.0 as usize].aliases.push(alias);
+    }
+
+    /// Records a fact `(subject, predicate) → object` (canonicalising the
+    /// predicate through the lexicon).
+    pub fn add_fact(&mut self, subject: EntityId, predicate: impl Into<String>, object: FactValue) {
+        let p = self.canonical_predicate(&predicate.into());
+        self.facts.insert((subject, p), object);
+    }
+
+    /// Registers a predicate synonym: prompts that say `label` mean
+    /// `canonical`.
+    pub fn add_synonym(&mut self, label: impl Into<String>, canonical: impl Into<String>) {
+        self.lexicon.insert(
+            label.into().to_ascii_lowercase(),
+            canonical.into().to_ascii_lowercase(),
+        );
+    }
+
+    /// Maps a surface attribute label to its canonical predicate.
+    pub fn canonical_predicate(&self, label: &str) -> String {
+        let lower = label.to_ascii_lowercase();
+        self.lexicon.get(&lower).cloned().unwrap_or(lower)
+    }
+
+    /// The entity with this id.
+    pub fn entity(&self, id: EntityId) -> &Entity {
+        &self.entities[id.0 as usize]
+    }
+
+    /// All entities of a type, most popular first.
+    pub fn entities_of_type(&self, entity_type: &str) -> Vec<&Entity> {
+        let ty = entity_type.to_ascii_lowercase();
+        let mut v: Vec<&Entity> = self
+            .by_type
+            .get(&ty)
+            .map(|ids| ids.iter().map(|id| self.entity(*id)).collect())
+            .unwrap_or_default();
+        v.sort_by(|a, b| {
+            b.popularity
+                .total_cmp(&a.popularity)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        v
+    }
+
+    /// All entity types present.
+    pub fn entity_types(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.by_type.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Resolves a surface form (name or alias) of a given type.
+    pub fn resolve(&self, entity_type: &str, surface: &str) -> Option<EntityId> {
+        self.by_name
+            .get(&(
+                entity_type.to_ascii_lowercase(),
+                surface.trim().to_ascii_lowercase(),
+            ))
+            .copied()
+    }
+
+    /// Looks up a fact by subject and (surface) predicate label.
+    pub fn fact(&self, subject: EntityId, predicate: &str) -> Option<&FactValue> {
+        self.facts
+            .get(&(subject, self.canonical_predicate(predicate)))
+    }
+
+    /// True if the store knows the given predicate for *any* subject of the
+    /// given type (used to distinguish "unknown attribute" from "unknown
+    /// value").
+    pub fn type_has_predicate(&self, entity_type: &str, predicate: &str) -> bool {
+        let p = self.canonical_predicate(predicate);
+        self.by_type
+            .get(&entity_type.to_ascii_lowercase())
+            .map(|ids| ids.iter().any(|id| self.facts.contains_key(&(*id, p.clone()))))
+            .unwrap_or(false)
+    }
+
+    /// Number of entities.
+    pub fn entity_count(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Number of facts.
+    pub fn fact_count(&self) -> usize {
+        self.facts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> KnowledgeStore {
+        let mut kb = KnowledgeStore::new();
+        let rome = kb.add_entity("Rome", "city", 0.95);
+        let lyon = kb.add_entity("Lyon", "city", 0.4);
+        let italy = kb.add_entity("Italy", "country", 0.9);
+        kb.add_alias(italy, "IT");
+        kb.add_fact(rome, "population", FactValue::Number(2_800_000.0));
+        kb.add_fact(rome, "country", FactValue::Entity(italy));
+        kb.add_fact(lyon, "population", FactValue::Number(500_000.0));
+        kb.add_synonym("number of residents", "population");
+        kb
+    }
+
+    #[test]
+    fn entities_sorted_by_popularity() {
+        let kb = store();
+        let cities = kb.entities_of_type("city");
+        assert_eq!(cities.len(), 2);
+        assert_eq!(cities[0].name, "Rome");
+        assert_eq!(cities[1].name, "Lyon");
+    }
+
+    #[test]
+    fn resolve_by_name_and_alias_case_insensitive() {
+        let kb = store();
+        let italy = kb.resolve("country", "italy").unwrap();
+        assert_eq!(kb.resolve("country", "it"), Some(italy));
+        assert_eq!(kb.resolve("country", "IT "), Some(italy));
+        assert!(kb.resolve("city", "Italy").is_none());
+    }
+
+    #[test]
+    fn facts_and_synonyms() {
+        let kb = store();
+        let rome = kb.resolve("city", "Rome").unwrap();
+        assert_eq!(
+            kb.fact(rome, "population"),
+            Some(&FactValue::Number(2_800_000.0))
+        );
+        assert_eq!(
+            kb.fact(rome, "Number of Residents"),
+            Some(&FactValue::Number(2_800_000.0))
+        );
+        assert!(kb.fact(rome, "elevation").is_none());
+    }
+
+    #[test]
+    fn type_has_predicate() {
+        let kb = store();
+        assert!(kb.type_has_predicate("city", "population"));
+        assert!(!kb.type_has_predicate("city", "elevation"));
+        assert!(!kb.type_has_predicate("volcano", "population"));
+    }
+
+    #[test]
+    fn unknown_type_is_empty() {
+        let kb = store();
+        assert!(kb.entities_of_type("volcano").is_empty());
+        assert_eq!(kb.entity_types(), vec!["city", "country"]);
+    }
+
+    #[test]
+    fn popularity_is_clamped() {
+        let mut kb = KnowledgeStore::new();
+        let e = kb.add_entity("X", "t", 7.0);
+        assert_eq!(kb.entity(e).popularity, 1.0);
+    }
+}

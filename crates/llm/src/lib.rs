@@ -1,0 +1,46 @@
+//! # galois-llm
+//!
+//! The simulated pre-trained LLM substrate for the Galois reproduction
+//! (["Querying Large Language Models with SQL"](https://arxiv.org/abs/2304.00472),
+//! EDBT 2024).
+//!
+//! The paper queries OpenAI GPT-3 / ChatGPT and local Flan-T5 /
+//! Tk-Instruct models. Offline, this crate substitutes a deterministic
+//! simulator with the same *interface* (text in, text out — see
+//! [`model::LanguageModel`]) and the same *failure modes*, each dialled by
+//! a [`profiles::ModelProfile`]:
+//!
+//! * popularity-biased recall (missing result rows, Table 1),
+//! * hallucinated entities and fabricated values,
+//! * value errors stable per (model, entity, attribute) — wrong beliefs,
+//!   not per-prompt coin flips,
+//! * numeric/date format noise (`"2.8 million"`, `"05/08/1961"`) that the
+//!   Galois cleaning stage must normalise,
+//! * surface-form conventions for entity references ("IT" vs "ITA") that
+//!   systematically break joins,
+//! * weak self-computed arithmetic for the QA baselines,
+//! * context-window truncation (small models lose long exclusion lists).
+//!
+//! See `DESIGN.md` §1 for why each substitution preserves the behaviour
+//! the paper measures.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod intent;
+pub mod knowledge;
+pub mod model;
+pub mod nlq;
+pub mod noise;
+pub mod profiles;
+pub mod qa;
+pub mod simllm;
+pub mod tokenizer;
+
+pub use client::{ClientStats, LlmClient};
+pub use intent::{CmpOp, Condition, PromptValue, TaskIntent};
+pub use knowledge::{Entity, EntityId, FactValue, KnowledgeStore};
+pub use model::{Completion, FixedResponder, LanguageModel, Usage};
+pub use nlq::{AggIntent, AggKind, JoinIntent, QueryIntent};
+pub use profiles::ModelProfile;
+pub use simllm::SimLlm;

@@ -1,0 +1,114 @@
+//! The text-in/text-out language-model interface.
+//!
+//! This is the only surface Galois sees: it renders a prompt string, gets a
+//! completion string back, and must parse whatever comes out. Keeping the
+//! boundary purely textual is what makes the simulation exercise the same
+//! code paths as a real LLM deployment (DESIGN.md §1).
+
+use std::fmt;
+
+/// Token usage of one completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Usage {
+    /// Tokens in the prompt.
+    pub prompt_tokens: usize,
+    /// Tokens in the completion.
+    pub completion_tokens: usize,
+}
+
+impl Usage {
+    /// Total tokens (prompt + completion).
+    pub fn total(&self) -> usize {
+        self.prompt_tokens + self.completion_tokens
+    }
+}
+
+/// The result of one model call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// The completion text.
+    pub text: String,
+    /// Token accounting.
+    pub usage: Usage,
+    /// Simulated latency of this call in milliseconds (virtual clock; no
+    /// real time passes).
+    pub latency_ms: u64,
+}
+
+impl fmt::Display for Completion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.text)
+    }
+}
+
+/// A pre-trained language model: prompt text in, completion text out.
+///
+/// Implementations must be deterministic functions of the prompt (the
+/// simulator derives its noise from a hash of the prompt and a model seed),
+/// so that experiments are reproducible.
+pub trait LanguageModel: Send + Sync {
+    /// Model identifier, e.g. `"chatgpt"`.
+    fn name(&self) -> &str;
+
+    /// Maximum context size in tokens; prompts longer than this are
+    /// truncated by the model (head-preserving), mirroring real APIs.
+    fn context_window(&self) -> usize;
+
+    /// Runs one completion.
+    fn complete(&self, prompt: &str) -> Completion;
+}
+
+/// A trivial model for tests: echoes a fixed response.
+#[derive(Debug, Clone)]
+pub struct FixedResponder {
+    /// Name reported by the model.
+    pub model_name: String,
+    /// Response returned for every prompt.
+    pub response: String,
+}
+
+impl LanguageModel for FixedResponder {
+    fn name(&self) -> &str {
+        &self.model_name
+    }
+
+    fn context_window(&self) -> usize {
+        4096
+    }
+
+    fn complete(&self, prompt: &str) -> Completion {
+        Completion {
+            text: self.response.clone(),
+            usage: Usage {
+                prompt_tokens: crate::tokenizer::count_tokens(prompt),
+                completion_tokens: crate::tokenizer::count_tokens(&self.response),
+            },
+            latency_ms: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_total() {
+        let u = Usage {
+            prompt_tokens: 10,
+            completion_tokens: 5,
+        };
+        assert_eq!(u.total(), 15);
+    }
+
+    #[test]
+    fn fixed_responder_echoes() {
+        let m = FixedResponder {
+            model_name: "fixed".into(),
+            response: "Paris".into(),
+        };
+        let c = m.complete("What is the capital of France?");
+        assert_eq!(c.text, "Paris");
+        assert!(c.usage.prompt_tokens > 0);
+    }
+}

@@ -1,0 +1,721 @@
+//! The simulated pre-trained LLM.
+//!
+//! `SimLlm` implements [`LanguageModel`] over a [`KnowledgeStore`] plus a
+//! [`ModelProfile`]. Everything it does flows through *text*: the prompt is
+//! truncated to the model's context window, its final question line is
+//! intent-matched, and the answer is rendered with the profile's noise
+//! channels.
+//!
+//! Two design rules keep the simulation behaviourally faithful:
+//!
+//! 1. **Stable beliefs.** Whether the model recalls an entity, knows a
+//!    fact, or holds a *wrong* value for it is a deterministic function of
+//!    `(model seed, entity, attribute)` — not of the prompt. A model that
+//!    believes Rome has 2.6M people says so in every prompt, exactly like
+//!    a real LLM's parameters. Iterating a list prompt therefore cannot
+//!    surface rows the model "doesn't know" (paper §3: coverage bias),
+//!    and filter errors are consistent across operators.
+//! 2. **Conventions, not coin flips, for surface forms.** Which surface
+//!    form an entity reference takes ("Italy" / "IT" / "ITA") is chosen
+//!    per *(subject type, attribute label)* context. Two plan operators
+//!    that retrieve the "same" value through different contexts can
+//!    therefore disagree systematically — reproducing the paper's join
+//!    failures ("an attempt to join the country code 'IT' with 'ITA'",
+//!    §5) rather than sprinkling random noise.
+
+use crate::intent::{self, CmpOp, Condition, PromptValue, TaskIntent};
+use crate::knowledge::{Entity, FactValue, KnowledgeStore};
+use crate::model::{Completion, LanguageModel, Usage};
+use crate::noise::{self, seeded};
+use crate::profiles::ModelProfile;
+use crate::qa;
+use crate::tokenizer::{count_tokens, truncate_tokens};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// The simulated LLM: a knowledge store viewed through a noisy profile.
+#[derive(Clone)]
+pub struct SimLlm {
+    kb: Arc<KnowledgeStore>,
+    profile: ModelProfile,
+}
+
+impl SimLlm {
+    /// Creates a model over a knowledge store.
+    pub fn new(kb: Arc<KnowledgeStore>, profile: ModelProfile) -> Self {
+        SimLlm { kb, profile }
+    }
+
+    /// The profile in use.
+    pub fn profile(&self) -> &ModelProfile {
+        &self.profile
+    }
+
+    /// The underlying knowledge store.
+    pub fn knowledge(&self) -> &KnowledgeStore {
+        &self.kb
+    }
+
+    /// Uniform [0,1) draw, stable per (model seed, parts).
+    fn draw(&self, parts: &[&str]) -> f64 {
+        (seeded(self.profile.seed, parts) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// RNG seeded stably per (model seed, parts).
+    fn rng(&self, parts: &[&str]) -> StdRng {
+        StdRng::seed_from_u64(seeded(self.profile.seed, parts))
+    }
+
+    /// Does the model recall this entity at all? Stable belief.
+    pub fn recalls(&self, e: &Entity) -> bool {
+        self.draw(&["recall", &e.entity_type, &e.name])
+            < self.profile.recall_probability(e.popularity)
+    }
+
+    /// The value the model *believes* for `(entity, attribute)`:
+    /// `None` = the model would answer "Unknown".
+    pub fn perceived_fact(&self, e: &Entity, attribute: &str) -> Option<FactValue> {
+        let ty = e.entity_type.clone();
+        // An entity's "name" is its identity, not a stored fact: asked for
+        // the name of something it recalls, the model simply says the name.
+        if self.kb.fact(e.id, attribute).is_none()
+            && self.kb.canonical_predicate(attribute) == "name"
+        {
+            return Some(FactValue::Text(e.name.clone()));
+        }
+        let truth = self.kb.fact(e.id, attribute)?;
+        if self.draw(&["know", &ty, &e.name, attribute]) < self.profile.unknown_rate {
+            return None;
+        }
+        if self.draw(&["err", &ty, &e.name, attribute]) < self.profile.value_error_rate {
+            Some(self.perturbed(truth, e, attribute))
+        } else {
+            Some(truth.clone())
+        }
+    }
+
+    fn perturbed(&self, truth: &FactValue, e: &Entity, attribute: &str) -> FactValue {
+        let mut rng = self.rng(&["perturb", &e.entity_type, &e.name, attribute]);
+        match truth {
+            FactValue::Number(n) => {
+                // Ensure the wrong value is wrong enough to usually exceed
+                // the evaluation's 5% relative-error tolerance.
+                let rel = self.profile.value_rel_err.max(0.07);
+                let mut v = noise::perturb_number(*n, rel, &mut rng);
+                if (v - n).abs() / n.abs().max(1.0) < 0.05 {
+                    v = n * (1.0 + rel) + 1.0;
+                    if n.fract() == 0.0 {
+                        v = v.round();
+                    }
+                }
+                FactValue::Number(v)
+            }
+            FactValue::Date { year, month, day } => {
+                let (y, m, d) = noise::perturb_date(*year, *month, *day, 500, &mut rng);
+                FactValue::Date {
+                    year: y,
+                    month: m,
+                    day: d,
+                }
+            }
+            FactValue::Text(_) | FactValue::Entity(_) => {
+                // Confusion: substitute the same attribute of another
+                // entity of the same type (a popular wrong answer).
+                let peers = self.kb.entities_of_type(&e.entity_type);
+                let donors: Vec<&&Entity> = peers
+                    .iter()
+                    .filter(|p| p.id != e.id && self.kb.fact(p.id, attribute).is_some())
+                    .collect();
+                if donors.is_empty() {
+                    truth.clone()
+                } else {
+                    let donor = donors[rng.gen_range(0..donors.len())];
+                    self.kb.fact(donor.id, attribute).cloned().unwrap_or_else(|| truth.clone())
+                }
+            }
+        }
+    }
+
+    /// Chooses the surface form for an entity reference in the given
+    /// context.
+    ///
+    /// * Enumerating a relation's own keys ("list the names of mayors")
+    ///   yields canonical forms — that is where formal names live.
+    /// * A *reference* from another subject ("who is the mayor of Rome?")
+    ///   uses informal alias forms at `alias_rate`, stable per (context,
+    ///   attribute, entity).
+    /// * Code-like labels always render as a code; the convention (which
+    ///   code standard) is stable per `(subject type, label)`, with the
+    ///   *last* alias slot being the ground-truth-canonical form and
+    ///   `code_drift` the probability a context settles on a different
+    ///   standard — the paper's "IT" vs "ITA" join failure.
+    pub fn entity_surface(&self, target: &Entity, context_type: &str, attribute: &str) -> String {
+        if target.aliases.is_empty() {
+            return target.name.clone();
+        }
+        let label = attribute.to_ascii_lowercase();
+        let slots = target.aliases.len();
+        if label.contains("code") {
+            if self.draw(&["convdrift", context_type, &label]) < self.profile.code_drift {
+                let conv =
+                    seeded(self.profile.seed, &["conv", context_type, &label]) as usize % slots;
+                return target.aliases[conv].clone();
+            }
+            return target.aliases[slots - 1].clone();
+        }
+        if context_type.eq_ignore_ascii_case(&target.entity_type) {
+            return target.name.clone();
+        }
+        // Famous targets surface under their canonical names ("the capital
+        // of Valdovia is Sanbrook"); obscure ones drift into informal or
+        // abbreviated forms. This keeps references to celebrity entities
+        // joinable while niche-entity joins break — matching the paper's
+        // popularity observations (§6 "Coverage and Bias").
+        // Quadratic in popularity: only genuinely famous entities get the
+        // canonical-form guarantee; the mid/tail drifts.
+        let effective =
+            self.profile.alias_rate * (1.0 - 0.9 * target.popularity * target.popularity);
+        if self.draw(&["conv", context_type, &label, &target.name]) < effective {
+            let slot =
+                seeded(self.profile.seed, &["convslot", context_type, &label]) as usize % slots;
+            target.aliases[slot].clone()
+        } else {
+            target.name.clone()
+        }
+    }
+
+    /// Evaluates a condition against the model's *beliefs* about `e`.
+    /// `None` means the model cannot tell (missing value).
+    pub fn condition_holds(&self, e: &Entity, cond: &Condition) -> Option<bool> {
+        let perceived = self.perceived_fact(e, &cond.attribute);
+        match cond.op {
+            CmpOp::IsNull => return Some(perceived.is_none()),
+            CmpOp::IsNotNull => return Some(perceived.is_some()),
+            _ => {}
+        }
+        let v = perceived?;
+        let result = match cond.op {
+            CmpOp::Eq => self.value_matches(&v, &cond.values[0]),
+            CmpOp::NotEq => !self.value_matches(&v, &cond.values[0]),
+            CmpOp::Gt | CmpOp::GtEq | CmpOp::Lt | CmpOp::LtEq => {
+                let a = fact_number(&v)?;
+                let b = cond.values[0].as_number()?;
+                match cond.op {
+                    CmpOp::Gt => a > b,
+                    CmpOp::GtEq => a >= b,
+                    CmpOp::Lt => a < b,
+                    CmpOp::LtEq => a <= b,
+                    _ => unreachable!(),
+                }
+            }
+            CmpOp::Between => {
+                let a = fact_number(&v)?;
+                let lo = cond.values[0].as_number()?;
+                let hi = cond.values[1].as_number()?;
+                a >= lo && a <= hi
+            }
+            CmpOp::In => cond.values.iter().any(|pv| self.value_matches(&v, pv)),
+            CmpOp::Like => {
+                let s = self.fact_text(&v);
+                let pat = cond.values[0].as_text()?;
+                sloppy_like(&s, pat)
+            }
+            CmpOp::IsNull | CmpOp::IsNotNull => unreachable!(),
+        };
+        Some(result)
+    }
+
+    /// Compares a believed fact with a prompt operand the way a language
+    /// model would: case-insensitive text, any alias form accepted.
+    fn value_matches(&self, v: &FactValue, pv: &PromptValue) -> bool {
+        match (v, pv) {
+            (FactValue::Number(a), PromptValue::Number(b)) => (a - b).abs() < 1e-9,
+            (FactValue::Entity(id), PromptValue::Text(t)) => {
+                let e = self.kb.entity(*id);
+                let t = t.trim();
+                e.name.eq_ignore_ascii_case(t)
+                    || e.aliases.iter().any(|a| a.eq_ignore_ascii_case(t))
+            }
+            (FactValue::Text(a), PromptValue::Text(b)) => a.trim().eq_ignore_ascii_case(b.trim()),
+            (FactValue::Number(a), PromptValue::Text(b)) => {
+                b.trim().parse::<f64>().is_ok_and(|n| (a - n).abs() < 1e-9)
+            }
+            (FactValue::Date { year, month, day }, PromptValue::Text(b)) => {
+                noise::render_date(*year, *month, *day, noise::DateStyle::Iso) == b.trim()
+            }
+            _ => false,
+        }
+    }
+
+    /// The plain text the model associates with a fact (canonical form).
+    pub fn fact_text(&self, v: &FactValue) -> String {
+        match v {
+            FactValue::Text(s) => s.clone(),
+            FactValue::Number(n) => noise::render_number(*n, noise::NumberStyle::Plain),
+            FactValue::Date { year, month, day } => {
+                noise::render_date(*year, *month, *day, noise::DateStyle::Iso)
+            }
+            FactValue::Entity(id) => self.kb.entity(*id).name.clone(),
+        }
+    }
+
+    /// Renders a believed fact as answer text, applying format noise and
+    /// surface-form conventions.
+    pub fn render_value(
+        &self,
+        v: &FactValue,
+        context_type: &str,
+        attribute: &str,
+        rng: &mut StdRng,
+    ) -> String {
+        match v {
+            FactValue::Entity(id) => {
+                let target = self.kb.entity(*id);
+                self.entity_surface(target, context_type, attribute)
+            }
+            other => noise::render_fact(other, rng, self.profile.format_noise, |_| None),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Task answering
+    // -----------------------------------------------------------------
+
+    fn answer(&self, prompt: &str) -> String {
+        if let Some(task) = intent::parse_task(prompt) {
+            return self.answer_task(&task, prompt);
+        }
+        let q_line = intent::question_line(prompt);
+        if let Some(q) = crate::nlq::parse_question(q_line) {
+            let cot = prompt.contains("step by step");
+            return qa::answer_question(self, &q, cot, prompt);
+        }
+        "Unknown".to_string()
+    }
+
+    fn answer_task(&self, task: &TaskIntent, prompt: &str) -> String {
+        match task {
+            TaskIntent::ListKeys {
+                relation,
+                key_attr,
+                condition,
+                exclude,
+            } => self.answer_list_keys(relation, key_attr, condition.as_ref(), exclude, prompt),
+            TaskIntent::FetchAttr {
+                relation,
+                key_attr: _,
+                key,
+                attribute,
+            } => self.answer_fetch_attr(relation, key, attribute, prompt),
+            TaskIntent::CheckFilter {
+                relation,
+                key_attr: _,
+                key,
+                condition,
+            } => self.answer_check_filter(relation, key, condition, prompt),
+        }
+    }
+
+    /// The entity type a prompt-level relation name denotes.
+    pub fn relation_type(&self, relation: &str) -> String {
+        self.kb.canonical_predicate(relation)
+    }
+
+    fn answer_list_keys(
+        &self,
+        relation: &str,
+        key_attr: &str,
+        condition: Option<&Condition>,
+        exclude: &[String],
+        prompt: &str,
+    ) -> String {
+        let ty = self.relation_type(relation);
+        let all = self.kb.entities_of_type(&ty);
+        if all.is_empty() {
+            return "Unknown".to_string();
+        }
+        let mut rng = self.rng(&["list", prompt]);
+
+        // The model's stable belief set for this relation.
+        let mut surfaces: Vec<String> = Vec::new();
+        for e in &all {
+            if !self.recalls(e) {
+                continue;
+            }
+            if let Some(cond) = condition {
+                let holds = self.condition_holds(e, cond).unwrap_or(false);
+                // Combined prompts are harder: independent chance the model
+                // mis-applies the condition to this entity (stable).
+                let flipped = self.draw(&["combflip", &ty, &e.name, &cond.attribute])
+                    < self.profile.combined_condition_penalty;
+                if holds == flipped {
+                    continue;
+                }
+            }
+            surfaces.push(self.entity_surface(e, &ty, key_attr));
+            // Hallucination: occasionally invent a neighbour.
+            if self.draw(&["fake", &ty, &e.name]) < self.profile.hallucination_rate {
+                let mut frng = self.rng(&["fakename", &ty, &e.name]);
+                surfaces.push(noise::fake_name(&mut frng));
+            }
+        }
+
+        let excluded: std::collections::HashSet<String> = exclude
+            .iter()
+            .map(|s| s.trim().to_ascii_lowercase())
+            .collect();
+        let fresh: Vec<String> = surfaces
+            .into_iter()
+            .filter(|s| !excluded.contains(&s.trim().to_ascii_lowercase()))
+            .take(self.profile.list_page_size)
+            .collect();
+
+        if fresh.is_empty() {
+            return "No more results".to_string();
+        }
+        if self.profile.verbose && rng.gen::<f64>() < 0.5 {
+            format!("Sure! Here are some values: {}.", fresh.join(", "))
+        } else {
+            fresh.join(", ")
+        }
+    }
+
+    fn answer_fetch_attr(
+        &self,
+        relation: &str,
+        key: &str,
+        attribute: &str,
+        prompt: &str,
+    ) -> String {
+        let ty = self.relation_type(relation);
+        let mut rng = self.rng(&["fetch", prompt]);
+        let value = match self.kb.resolve(&ty, key) {
+            Some(id) => {
+                let e = self.kb.entity(id);
+                match self.perceived_fact(e, attribute) {
+                    Some(v) => Some(self.render_value(&v, &ty, attribute, &mut rng)),
+                    None => self.fabricated_value(&ty, key, attribute),
+                }
+            }
+            // The key itself may be a hallucination from an earlier list
+            // prompt; the model happily fabricates attributes for it.
+            None => self.fabricated_value(&ty, key, attribute),
+        };
+        match value {
+            Some(v) if self.profile.verbose && rng.gen::<f64>() < 0.4 => {
+                format!("The {attribute} of {key} is {v}.")
+            }
+            Some(v) => v,
+            None => "Unknown".to_string(),
+        }
+    }
+
+    /// Fabricates a plausible value for an unknown `(key, attribute)` by
+    /// perturbing a donor entity's value, or admits "Unknown".
+    fn fabricated_value(&self, ty: &str, key: &str, attribute: &str) -> Option<String> {
+        if self.draw(&["fab", ty, key, attribute]) >= self.profile.fabrication_rate {
+            return None;
+        }
+        let donor = self
+            .kb
+            .entities_of_type(ty)
+            .into_iter()
+            .find(|e| self.kb.fact(e.id, attribute).is_some())?;
+        let truth = self.kb.fact(donor.id, attribute)?.clone();
+        let fabricated = self.perturbed(&truth, donor, attribute);
+        let mut rng = self.rng(&["fabrender", ty, key, attribute]);
+        Some(self.render_value(&fabricated, ty, attribute, &mut rng))
+    }
+
+    fn answer_check_filter(
+        &self,
+        relation: &str,
+        key: &str,
+        condition: &Condition,
+        _prompt: &str,
+    ) -> String {
+        let ty = self.relation_type(relation);
+        let verdict = match self.kb.resolve(&ty, key) {
+            Some(id) => {
+                let e = self.kb.entity(id);
+                let holds = self.condition_holds(e, condition).unwrap_or(false);
+                let flipped = self.draw(&["flip", &ty, &e.name, &condition.attribute])
+                    < self.profile.filter_flip_rate;
+                holds != flipped
+            }
+            // Unknown key: guess, stable per key.
+            None => self.draw(&["guess", &ty, key]) < 0.5,
+        };
+        if verdict {
+            "Yes".to_string()
+        } else {
+            "No".to_string()
+        }
+    }
+}
+
+/// Numeric view of a fact (dates expose their year — models routinely
+/// answer "what year" questions from dates).
+pub fn fact_number(v: &FactValue) -> Option<f64> {
+    match v {
+        FactValue::Number(n) => Some(*n),
+        FactValue::Date { year, .. } => Some(f64::from(*year)),
+        _ => None,
+    }
+}
+
+/// Case-insensitive `%`/`_` pattern match — deliberately sloppier than SQL
+/// LIKE, because the model is matching words, not bytes.
+pub fn sloppy_like(s: &str, pattern: &str) -> bool {
+    let s: Vec<char> = s.to_lowercase().chars().collect();
+    let p: Vec<char> = pattern.to_lowercase().chars().collect();
+    let (mut si, mut pi) = (0usize, 0usize);
+    let (mut star, mut star_s) = (None::<usize>, 0usize);
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some(pi);
+            star_s = si;
+            pi += 1;
+        } else if let Some(sp) = star {
+            pi = sp + 1;
+            star_s += 1;
+            si = star_s;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+impl LanguageModel for SimLlm {
+    fn name(&self) -> &str {
+        &self.profile.name
+    }
+
+    fn context_window(&self) -> usize {
+        self.profile.context_window
+    }
+
+    fn complete(&self, prompt: &str) -> Completion {
+        let truncated = truncate_tokens(prompt, self.profile.context_window);
+        let text = self.answer(truncated);
+        let usage = Usage {
+            prompt_tokens: count_tokens(truncated),
+            completion_tokens: count_tokens(&text),
+        };
+        let latency_ms = self.profile.latency_ms
+            + self.profile.latency_per_token_ms * usage.completion_tokens as u64;
+        Completion {
+            text,
+            usage,
+            latency_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intent::render_task;
+
+    fn test_kb() -> Arc<KnowledgeStore> {
+        let mut kb = KnowledgeStore::new();
+        let italy = kb.add_entity("Italy", "country", 0.95);
+        kb.add_alias(italy, "IT");
+        kb.add_alias(italy, "ITA");
+        let france = kb.add_entity("France", "country", 0.9);
+        kb.add_alias(france, "FR");
+        kb.add_alias(france, "FRA");
+        for (name, pop, n, c) in [
+            ("Rome", 0.95, 2_800_000.0, italy),
+            ("Milan", 0.7, 1_400_000.0, italy),
+            ("Paris", 0.93, 2_100_000.0, france),
+            ("Lyon", 0.35, 500_000.0, france),
+        ] {
+            let e = kb.add_entity(name, "city", pop);
+            kb.add_fact(e, "population", FactValue::Number(n));
+            kb.add_fact(e, "country", FactValue::Entity(c));
+            kb.add_fact(e, "countryCode", FactValue::Entity(c));
+        }
+        Arc::new(kb)
+    }
+
+    fn oracle() -> SimLlm {
+        SimLlm::new(test_kb(), ModelProfile::oracle())
+    }
+
+    #[test]
+    fn oracle_lists_all_keys() {
+        let m = oracle();
+        let t = TaskIntent::ListKeys {
+            relation: "city".into(),
+            key_attr: "name".into(),
+            condition: None,
+            exclude: vec![],
+        };
+        let ans = m.complete(&render_task(&t)).text;
+        for name in ["Rome", "Milan", "Paris", "Lyon"] {
+            assert!(ans.contains(name), "{ans}");
+        }
+    }
+
+    #[test]
+    fn oracle_respects_exclusions_and_terminates() {
+        let m = oracle();
+        let t = TaskIntent::ListKeys {
+            relation: "city".into(),
+            key_attr: "name".into(),
+            condition: None,
+            exclude: vec!["Rome".into(), "Milan".into(), "Paris".into(), "Lyon".into()],
+        };
+        assert_eq!(m.complete(&render_task(&t)).text, "No more results");
+    }
+
+    #[test]
+    fn oracle_fetches_exact_values() {
+        let m = oracle();
+        let t = TaskIntent::FetchAttr {
+            relation: "city".into(),
+            key_attr: "name".into(),
+            key: "Rome".into(),
+            attribute: "population".into(),
+        };
+        assert_eq!(m.complete(&render_task(&t)).text, "2800000");
+    }
+
+    #[test]
+    fn oracle_filter_checks() {
+        let m = oracle();
+        let t = TaskIntent::CheckFilter {
+            relation: "city".into(),
+            key_attr: "name".into(),
+            key: "Rome".into(),
+            condition: Condition {
+                attribute: "population".into(),
+                op: CmpOp::Gt,
+                values: vec![PromptValue::Number(1_000_000.0)],
+            },
+        };
+        assert_eq!(m.complete(&render_task(&t)).text, "Yes");
+        let t2 = TaskIntent::CheckFilter {
+            relation: "city".into(),
+            key_attr: "name".into(),
+            key: "Lyon".into(),
+            condition: Condition {
+                attribute: "population".into(),
+                op: CmpOp::Gt,
+                values: vec![PromptValue::Number(1_000_000.0)],
+            },
+        };
+        assert_eq!(m.complete(&render_task(&t2)).text, "No");
+    }
+
+    #[test]
+    fn oracle_pushdown_condition() {
+        let m = oracle();
+        let t = TaskIntent::ListKeys {
+            relation: "city".into(),
+            key_attr: "name".into(),
+            condition: Some(Condition {
+                attribute: "population".into(),
+                op: CmpOp::Gt,
+                values: vec![PromptValue::Number(1_000_000.0)],
+            }),
+            exclude: vec![],
+        };
+        let ans = m.complete(&render_task(&t)).text;
+        assert!(ans.contains("Rome") && ans.contains("Paris") && ans.contains("Milan"));
+        assert!(!ans.contains("Lyon"));
+    }
+
+    #[test]
+    fn beliefs_are_stable_across_prompts() {
+        let m = SimLlm::new(test_kb(), ModelProfile::chatgpt());
+        let t = TaskIntent::FetchAttr {
+            relation: "city".into(),
+            key_attr: "name".into(),
+            key: "Lyon".into(),
+            attribute: "population".into(),
+        };
+        // Different prompt wrappers, same belief: fetch twice via different
+        // few-shot prefixes.
+        let p1 = format!("preamble A\nQ: {}\nA:", render_task(&t));
+        let p2 = format!("something entirely different\nQ: {}\nA:", render_task(&t));
+        let kb = test_kb();
+        let lyon = kb.resolve("city", "Lyon").unwrap();
+        let e = kb.entity(lyon);
+        let belief = m.perceived_fact(e, "population");
+        // The rendered answers may differ in *format*, but the underlying
+        // belief must be identical.
+        let _ = (m.complete(&p1), m.complete(&p2));
+        assert_eq!(belief, m.perceived_fact(e, "population"));
+    }
+
+    #[test]
+    fn code_attributes_use_code_aliases() {
+        let m = SimLlm::new(test_kb(), ModelProfile::chatgpt());
+        let kb = m.knowledge();
+        let italy = kb.entity(kb.resolve("country", "Italy").unwrap());
+        let surface = m.entity_surface(italy, "city", "countryCode");
+        assert!(
+            surface == "IT" || surface == "ITA",
+            "code label must render as a code, got {surface}"
+        );
+    }
+
+    #[test]
+    fn unknown_relation_answers_unknown() {
+        let m = oracle();
+        let t = TaskIntent::ListKeys {
+            relation: "volcano".into(),
+            key_attr: "name".into(),
+            condition: None,
+            exclude: vec![],
+        };
+        assert_eq!(m.complete(&render_task(&t)).text, "Unknown");
+    }
+
+    #[test]
+    fn nonsense_prompt_answers_unknown() {
+        let m = oracle();
+        assert_eq!(m.complete("How many squigs are in a bonk?").text, "Unknown");
+    }
+
+    #[test]
+    fn small_models_recall_fewer_entities() {
+        // Statistical check over a synthetic population.
+        let mut kb = KnowledgeStore::new();
+        for i in 0..300 {
+            let e = kb.add_entity(format!("City{i}"), "city", (i as f64) / 300.0);
+            kb.add_fact(e, "population", FactValue::Number(1000.0 + i as f64));
+        }
+        let kb = Arc::new(kb);
+        let count = |p: ModelProfile| {
+            let m = SimLlm::new(kb.clone(), p);
+            kb.entities_of_type("city")
+                .iter()
+                .filter(|e| m.recalls(e))
+                .count()
+        };
+        let flan = count(ModelProfile::flan());
+        let chat = count(ModelProfile::chatgpt());
+        let gpt3 = count(ModelProfile::gpt3());
+        assert!(flan < chat, "flan {flan} vs chat {chat}");
+        assert!(chat < gpt3, "chat {chat} vs gpt3 {gpt3}");
+        assert!(gpt3 > 280);
+    }
+
+    #[test]
+    fn sloppy_like_is_case_insensitive() {
+        assert!(sloppy_like("Rome", "r%"));
+        assert!(sloppy_like("ROME", "%ome"));
+        assert!(!sloppy_like("Rome", "x%"));
+    }
+}

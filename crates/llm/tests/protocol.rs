@@ -1,0 +1,157 @@
+//! Property tests on the prompt protocol: rendering and parsing must be
+//! exact inverses for arbitrary well-formed intents, and the parsers must
+//! be total on arbitrary text.
+
+use galois_llm::intent::{parse_task, render_task, CmpOp, Condition, PromptValue, TaskIntent};
+use galois_llm::nlq::{parse_question, render_question, AggIntent, AggKind, JoinIntent, QueryIntent};
+use proptest::prelude::*;
+
+/// Identifier-ish words safe inside the templates (no protocol markers).
+fn word() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9]{0,10}".prop_filter("no reserved words", |s| {
+        // Words that collide with template scaffolding.
+        let lower = s.to_ascii_lowercase();
+        !["is", "of", "every", "whose", "and", "its", "the", "exist"].contains(&lower.as_str())
+    })
+}
+
+fn prompt_value() -> impl Strategy<Value = PromptValue> {
+    prop_oneof![
+        "[a-zA-Z0-9 ]{1,12}".prop_map(|s| PromptValue::Text(s.trim().to_string()))
+            .prop_filter("non-empty after trim", |v| match v {
+                PromptValue::Text(s) => !s.is_empty() && s.parse::<f64>().is_err(),
+                _ => true,
+            }),
+        (-1_000_000_000i64..1_000_000_000).prop_map(|n| PromptValue::Number(n as f64)),
+    ]
+}
+
+fn condition() -> impl Strategy<Value = Condition> {
+    (word(), prompt_value(), prompt_value(), 0u8..9).prop_map(|(attr, v1, v2, op)| {
+        let (op, values) = match op {
+            0 => (CmpOp::Eq, vec![v1]),
+            1 => (CmpOp::NotEq, vec![v1]),
+            2 => (CmpOp::Gt, vec![v1]),
+            3 => (CmpOp::GtEq, vec![v1]),
+            4 => (CmpOp::Lt, vec![v1]),
+            5 => (CmpOp::LtEq, vec![v1]),
+            6 => (CmpOp::Between, vec![v1, v2]),
+            7 => (CmpOp::In, vec![v1, v2]),
+            _ => (CmpOp::IsNull, vec![]),
+        };
+        Condition {
+            attribute: attr,
+            op,
+            values,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn task_intents_roundtrip(
+        relation in word(),
+        key_attr in word(),
+        key in "[a-zA-Z][a-zA-Z0-9 ]{0,14}",
+        attribute in word(),
+        cond in condition(),
+        exclude in prop::collection::vec("[a-zA-Z][a-zA-Z0-9 ]{0,10}", 0..4),
+        which in 0u8..3,
+    ) {
+        let key = key.trim().to_string();
+        prop_assume!(!key.is_empty());
+        let exclude: Vec<String> = exclude
+            .iter()
+            .map(|e| e.trim().to_string())
+            .filter(|e| !e.is_empty())
+            .collect();
+        let task = match which {
+            0 => TaskIntent::ListKeys {
+                relation,
+                key_attr,
+                condition: Some(cond),
+                exclude,
+            },
+            1 => TaskIntent::FetchAttr {
+                relation,
+                key_attr,
+                key,
+                attribute,
+            },
+            _ => TaskIntent::CheckFilter {
+                relation,
+                key_attr,
+                key,
+                condition: cond,
+            },
+        };
+        let rendered = render_task(&task);
+        prop_assert_eq!(parse_task(&rendered), Some(task), "{}", rendered);
+    }
+
+    #[test]
+    fn questions_roundtrip(
+        relation in word(),
+        attrs in prop::collection::vec(word(), 1..3),
+        cond in proptest::option::of(condition()),
+        shape in 0u8..4,
+        agg_attr in word(),
+        group in word(),
+        via in word(),
+        related in word(),
+    ) {
+        let q = match shape {
+            0 => QueryIntent {
+                relation,
+                select: attrs,
+                condition: cond,
+                join: None,
+                aggregate: None,
+            },
+            1 => QueryIntent {
+                relation,
+                select: attrs,
+                condition: cond,
+                join: Some(JoinIntent {
+                    via_attribute: via,
+                    related_attribute: related,
+                }),
+                aggregate: None,
+            },
+            2 => QueryIntent {
+                relation,
+                select: vec![],
+                condition: cond,
+                join: None,
+                aggregate: Some(AggIntent {
+                    kind: AggKind::Count,
+                    attribute: None,
+                    group_by: if group.len() % 2 == 0 { Some(group) } else { None },
+                }),
+            },
+            _ => QueryIntent {
+                relation,
+                select: vec![],
+                condition: cond,
+                join: None,
+                aggregate: Some(AggIntent {
+                    kind: AggKind::Avg,
+                    attribute: Some(agg_attr),
+                    group_by: if group.len() % 2 == 0 { Some(group) } else { None },
+                }),
+            },
+        };
+        let rendered = render_question(&q);
+        prop_assert_eq!(parse_question(&rendered), Some(q), "{}", rendered);
+    }
+
+    #[test]
+    fn parsers_are_total(input in "[ -~]{0,120}") {
+        let _ = parse_task(&input);
+        let _ = parse_question(&input);
+        let _ = Condition::parse(&input);
+        let _ = PromptValue::parse(&input);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type shared by planning and execution.
+
+use std::fmt;
+
+/// Anything that can go wrong while planning or executing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A SQL front-end error (lexing/parsing).
+    Sql(String),
+    /// A referenced table does not exist.
+    UnknownTable(String),
+    /// A referenced column cannot be resolved.
+    UnknownColumn(String),
+    /// A column name matches more than one input column.
+    AmbiguousColumn(String),
+    /// The query is structurally invalid (e.g. a non-aggregated column
+    /// outside GROUP BY).
+    InvalidQuery(String),
+    /// Two operand types cannot be combined by an operator.
+    TypeMismatch(String),
+    /// A runtime evaluation failure (overflow, division by zero, bad cast).
+    Evaluation(String),
+    /// Attempt to insert a malformed row into a table.
+    BadRow(String),
+    /// Catalog manipulation error (duplicate table, bad schema).
+    Catalog(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Sql(m) => write!(f, "SQL error: {m}"),
+            EngineError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            EngineError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+            EngineError::AmbiguousColumn(c) => write!(f, "ambiguous column '{c}'"),
+            EngineError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
+            EngineError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            EngineError::Evaluation(m) => write!(f, "evaluation error: {m}"),
+            EngineError::BadRow(m) => write!(f, "bad row: {m}"),
+            EngineError::Catalog(m) => write!(f, "catalog error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<galois_sql::SqlError> for EngineError {
+    fn from(e: galois_sql::SqlError) -> Self {
+        EngineError::Sql(e.to_string())
+    }
+}
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(EngineError::UnknownTable("t".into())
+            .to_string()
+            .contains("'t'"));
+        assert!(EngineError::TypeMismatch("int vs text".into())
+            .to_string()
+            .contains("int vs text"));
+    }
+
+    #[test]
+    fn sql_error_converts() {
+        let e = galois_sql::parse("not sql").unwrap_err();
+        let ee: EngineError = e.into();
+        assert!(matches!(ee, EngineError::Sql(_)));
+    }
+}

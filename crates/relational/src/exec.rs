@@ -1,0 +1,592 @@
+//! Physical execution of logical plans over the in-memory catalog.
+//!
+//! Execution is operator-at-a-time with materialised intermediates: each
+//! node consumes its children's [`Relation`]s and produces one. Joins hash
+//! on equi keys when available and fall back to nested loops; aggregation
+//! is hash-based with optional per-group DISTINCT sets.
+
+use crate::error::{EngineError, Result};
+use crate::expr::ScalarExpr;
+use crate::plan::{AggCall, AggFunc, JoinCondition, LogicalPlan, SortKey};
+use crate::schema::PlanSchema;
+use crate::table::{Catalog, Row};
+use crate::value::Value;
+use galois_sql::ast::{JoinType, SortDirection};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A materialised query result: schema plus rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    /// Output schema.
+    pub schema: PlanSchema,
+    /// Output rows.
+    pub rows: Vec<Row>,
+}
+
+impl Relation {
+    /// An empty relation with the given schema.
+    pub fn empty(schema: PlanSchema) -> Self {
+        Relation {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column names in order.
+    pub fn column_names(&self) -> Vec<String> {
+        self.schema.columns.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// Renders an ASCII table (for examples and demos).
+    pub fn to_table_string(&self) -> String {
+        let headers = self.column_names();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Value::render).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let sep = |widths: &[usize]| {
+            let mut s = String::from("+");
+            for w in widths {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('+');
+            }
+            s.push('\n');
+            s
+        };
+        let mut out = sep(&widths);
+        out.push('|');
+        for (h, w) in headers.iter().zip(&widths) {
+            out.push_str(&format!(" {h:<w$} |"));
+        }
+        out.push('\n');
+        out.push_str(&sep(&widths));
+        for row in &rendered {
+            out.push('|');
+            for (cell, w) in row.iter().zip(&widths) {
+                out.push_str(&format!(" {cell:<w$} |"));
+            }
+            out.push('\n');
+        }
+        out.push_str(&sep(&widths));
+        out.push_str(&format!(
+            "{} row{}\n",
+            self.rows.len(),
+            if self.rows.len() == 1 { "" } else { "s" }
+        ));
+        out
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_table_string())
+    }
+}
+
+/// Executes `plan` against `catalog`.
+pub fn execute(plan: &LogicalPlan, catalog: &Catalog) -> Result<Relation> {
+    match plan {
+        LogicalPlan::Scan {
+            table,
+            schema,
+            ..
+        } => {
+            if table.is_empty() {
+                // "dual": one empty row feeding table-less SELECTs.
+                return Ok(Relation {
+                    schema: schema.clone(),
+                    rows: vec![Vec::new()],
+                });
+            }
+            let t = catalog.get(table)?;
+            Ok(Relation {
+                schema: schema.clone(),
+                rows: t.rows().to_vec(),
+            })
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let rel = execute(input, catalog)?;
+            let mut rows = Vec::with_capacity(rel.rows.len() / 2);
+            for row in rel.rows {
+                if predicate.eval_predicate(&row)? {
+                    rows.push(row);
+                }
+            }
+            Ok(Relation {
+                schema: rel.schema,
+                rows,
+            })
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => {
+            let rel = execute(input, catalog)?;
+            let mut rows = Vec::with_capacity(rel.rows.len());
+            for row in &rel.rows {
+                let mut out = Vec::with_capacity(exprs.len());
+                for (e, _) in exprs {
+                    out.push(e.eval(row)?);
+                }
+                rows.push(out);
+            }
+            Ok(Relation {
+                schema: schema.clone(),
+                rows,
+            })
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            condition,
+            schema,
+        } => {
+            let l = execute(left, catalog)?;
+            let r = execute(right, catalog)?;
+            join(&l, &r, *join_type, condition, schema)
+        }
+        LogicalPlan::CrossJoin {
+            left,
+            right,
+            schema,
+        } => {
+            let l = execute(left, catalog)?;
+            let r = execute(right, catalog)?;
+            let mut rows = Vec::with_capacity(l.rows.len() * r.rows.len());
+            for lr in &l.rows {
+                for rr in &r.rows {
+                    let mut row = lr.clone();
+                    row.extend(rr.iter().cloned());
+                    rows.push(row);
+                }
+            }
+            Ok(Relation {
+                schema: schema.clone(),
+                rows,
+            })
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+            schema,
+        } => {
+            let rel = execute(input, catalog)?;
+            aggregate(&rel, group_by, aggregates, schema)
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let mut rel = execute(input, catalog)?;
+            sort_rows(&mut rel.rows, keys);
+            Ok(rel)
+        }
+        LogicalPlan::Distinct { input } => {
+            let rel = execute(input, catalog)?;
+            let mut seen: HashSet<Vec<Value>> = HashSet::with_capacity(rel.rows.len());
+            let mut rows = Vec::with_capacity(rel.rows.len());
+            for row in rel.rows {
+                if seen.insert(row.clone()) {
+                    rows.push(row);
+                }
+            }
+            Ok(Relation {
+                schema: rel.schema,
+                rows,
+            })
+        }
+        LogicalPlan::Limit { input, n } => {
+            let mut rel = execute(input, catalog)?;
+            rel.rows.truncate(*n as usize);
+            Ok(rel)
+        }
+    }
+}
+
+/// Sorts rows in place by the given keys (stable, NULLs first).
+pub fn sort_rows(rows: &mut [Row], keys: &[SortKey]) {
+    rows.sort_by(|a, b| {
+        for k in keys {
+            let ord = a[k.index].total_cmp(&b[k.index]);
+            let ord = if k.direction == SortDirection::Desc {
+                ord.reverse()
+            } else {
+                ord
+            };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}
+
+fn join(
+    l: &Relation,
+    r: &Relation,
+    join_type: JoinType,
+    condition: &JoinCondition,
+    schema: &PlanSchema,
+) -> Result<Relation> {
+    let mut rows = Vec::new();
+    if condition.equi.is_empty() {
+        // Nested loop with the residual predicate.
+        for lr in &l.rows {
+            let mut matched = false;
+            for rr in &r.rows {
+                let mut row = lr.clone();
+                row.extend(rr.iter().cloned());
+                let ok = match &condition.residual {
+                    Some(p) => p.eval_predicate(&row)?,
+                    None => true,
+                };
+                if ok {
+                    matched = true;
+                    rows.push(row);
+                }
+            }
+            if !matched && join_type == JoinType::LeftOuter {
+                let mut row = lr.clone();
+                row.extend(std::iter::repeat_n(Value::Null, r.schema.arity()));
+                rows.push(row);
+            }
+        }
+    } else {
+        // Hash join: build on the right, probe from the left.
+        let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(r.rows.len());
+        for (i, rr) in r.rows.iter().enumerate() {
+            let mut key = Vec::with_capacity(condition.equi.len());
+            let mut has_null = false;
+            for (_, rk) in &condition.equi {
+                let v = rk.eval(rr)?;
+                has_null |= v.is_null();
+                key.push(v);
+            }
+            if !has_null {
+                table.entry(key).or_default().push(i);
+            }
+        }
+        for lr in &l.rows {
+            let mut key = Vec::with_capacity(condition.equi.len());
+            let mut has_null = false;
+            for (lk, _) in &condition.equi {
+                let v = lk.eval(lr)?;
+                has_null |= v.is_null();
+                key.push(v);
+            }
+            let mut matched = false;
+            if !has_null {
+                if let Some(candidates) = table.get(&key) {
+                    for &i in candidates {
+                        let mut row = lr.clone();
+                        row.extend(r.rows[i].iter().cloned());
+                        let ok = match &condition.residual {
+                            Some(p) => p.eval_predicate(&row)?,
+                            None => true,
+                        };
+                        if ok {
+                            matched = true;
+                            rows.push(row);
+                        }
+                    }
+                }
+            }
+            if !matched && join_type == JoinType::LeftOuter {
+                let mut row = lr.clone();
+                row.extend(std::iter::repeat_n(Value::Null, r.schema.arity()));
+                rows.push(row);
+            }
+        }
+    }
+    Ok(Relation {
+        schema: schema.clone(),
+        rows,
+    })
+}
+
+/// Accumulator for one aggregate call in one group.
+#[derive(Debug, Clone)]
+enum AggState {
+    Count(i64),
+    SumInt(Option<i64>),
+    SumFloat(Option<f64>),
+    Avg { sum: f64, n: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl AggState {
+    fn new(call: &AggCall) -> AggState {
+        match call.func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => match call.output_type() {
+                crate::value::DataType::Float => AggState::SumFloat(None),
+                _ => AggState::SumInt(None),
+            },
+            AggFunc::Avg => AggState::Avg { sum: 0.0, n: 0 },
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+        }
+    }
+
+    fn update(&mut self, v: &Value) -> Result<()> {
+        if v.is_null() {
+            return Ok(());
+        }
+        match self {
+            AggState::Count(n) => *n += 1,
+            AggState::SumInt(acc) => {
+                let Value::Int(i) = v else {
+                    return Err(EngineError::TypeMismatch(format!(
+                        "SUM expected INT, got {}",
+                        v.render()
+                    )));
+                };
+                let cur = acc.unwrap_or(0);
+                *acc = Some(cur.checked_add(*i).ok_or_else(|| {
+                    EngineError::Evaluation("SUM overflow".into())
+                })?);
+            }
+            AggState::SumFloat(acc) => {
+                let f = v.as_f64().ok_or_else(|| {
+                    EngineError::TypeMismatch(format!("SUM expected number, got {}", v.render()))
+                })?;
+                *acc = Some(acc.unwrap_or(0.0) + f);
+            }
+            AggState::Avg { sum, n } => {
+                let f = v.as_f64().ok_or_else(|| {
+                    EngineError::TypeMismatch(format!("AVG expected number, got {}", v.render()))
+                })?;
+                *sum += f;
+                *n += 1;
+            }
+            AggState::Min(acc) => {
+                let better = match acc {
+                    None => true,
+                    Some(cur) => v.total_cmp(cur) == std::cmp::Ordering::Less,
+                };
+                if better {
+                    *acc = Some(v.clone());
+                }
+            }
+            AggState::Max(acc) => {
+                let better = match acc {
+                    None => true,
+                    Some(cur) => v.total_cmp(cur) == std::cmp::Ordering::Greater,
+                };
+                if better {
+                    *acc = Some(v.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count(n) => Value::Int(n),
+            AggState::SumInt(acc) => acc.map(Value::Int).unwrap_or(Value::Null),
+            AggState::SumFloat(acc) => acc.map(Value::Float).unwrap_or(Value::Null),
+            AggState::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+            AggState::Min(acc) | AggState::Max(acc) => acc.unwrap_or(Value::Null),
+        }
+    }
+}
+
+struct GroupAcc {
+    states: Vec<AggState>,
+    distinct_seen: Vec<Option<HashSet<Value>>>,
+}
+
+fn aggregate(
+    rel: &Relation,
+    group_by: &[(ScalarExpr, String)],
+    aggregates: &[AggCall],
+    schema: &PlanSchema,
+) -> Result<Relation> {
+    let new_group = || GroupAcc {
+        states: aggregates.iter().map(AggState::new).collect(),
+        distinct_seen: aggregates
+            .iter()
+            .map(|a| if a.distinct { Some(HashSet::new()) } else { None })
+            .collect(),
+    };
+
+    // Keyed accumulation; insertion order preserved for stable output.
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: HashMap<Vec<Value>, GroupAcc> = HashMap::new();
+
+    for row in &rel.rows {
+        let mut key = Vec::with_capacity(group_by.len());
+        for (g, _) in group_by {
+            key.push(g.eval(row)?);
+        }
+        let acc = match groups.get_mut(&key) {
+            Some(acc) => acc,
+            None => {
+                order.push(key.clone());
+                groups.entry(key.clone()).or_insert_with(new_group)
+            }
+        };
+        for (i, call) in aggregates.iter().enumerate() {
+            let v = match &call.arg {
+                Some(e) => e.eval(row)?,
+                None => Value::Int(1), // COUNT(*): any non-null marker
+            };
+            if let Some(seen) = &mut acc.distinct_seen[i] {
+                if v.is_null() || !seen.insert(v.clone()) {
+                    continue;
+                }
+            }
+            acc.states[i].update(&v)?;
+        }
+    }
+
+    // A global aggregate (no GROUP BY) over empty input yields one row.
+    if group_by.is_empty() && order.is_empty() {
+        order.push(Vec::new());
+        groups.insert(Vec::new(), new_group());
+    }
+
+    let mut rows = Vec::with_capacity(order.len());
+    for key in order {
+        let acc = groups.remove(&key).expect("group recorded");
+        let mut row = key;
+        for st in acc.states {
+            row.push(st.finish());
+        }
+        rows.push(row);
+    }
+    Ok(Relation {
+        schema: schema.clone(),
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ResolvedColumn;
+    use crate::schema::PlanColumn;
+    use crate::value::DataType;
+
+    fn rel(names: &[&str], rows: Vec<Row>) -> Relation {
+        Relation {
+            schema: PlanSchema::new(
+                names
+                    .iter()
+                    .map(|n| PlanColumn::computed(*n, DataType::Int))
+                    .collect(),
+            ),
+            rows,
+        }
+    }
+
+    fn colx(i: usize) -> ScalarExpr {
+        ScalarExpr::Column(ResolvedColumn {
+            index: i,
+            binding: None,
+            name: format!("c{i}"),
+            data_type: DataType::Int,
+        })
+    }
+
+    #[test]
+    fn hash_join_drops_null_keys() {
+        let l = rel(&["a"], vec![vec![Value::Int(1)], vec![Value::Null]]);
+        let r = rel(&["b"], vec![vec![Value::Int(1)], vec![Value::Null]]);
+        let cond = JoinCondition {
+            equi: vec![(colx(0), colx(0))],
+            residual: None,
+        };
+        let schema = l.schema.join(&r.schema);
+        let out = join(&l, &r, JoinType::Inner, &cond, &schema).unwrap();
+        // NULL = NULL is unknown, so only the (1,1) pair joins.
+        assert_eq!(out.rows, vec![vec![Value::Int(1), Value::Int(1)]]);
+    }
+
+    #[test]
+    fn left_outer_join_pads_with_nulls() {
+        let l = rel(&["a"], vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+        let r = rel(&["b"], vec![vec![Value::Int(1)]]);
+        let cond = JoinCondition {
+            equi: vec![(colx(0), colx(0))],
+            residual: None,
+        };
+        let schema = l.schema.join(&r.schema.as_nullable());
+        let out = join(&l, &r, JoinType::LeftOuter, &cond, &schema).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out.rows.iter().any(|r| r == &vec![Value::Int(2), Value::Null]));
+    }
+
+    #[test]
+    fn nested_loop_join_with_residual() {
+        let l = rel(&["a"], vec![vec![Value::Int(1)], vec![Value::Int(5)]]);
+        let r = rel(&["b"], vec![vec![Value::Int(3)]]);
+        // ON a < b — no equi component.
+        let cond = JoinCondition {
+            equi: vec![],
+            residual: Some(ScalarExpr::Binary {
+                left: Box::new(colx(0)),
+                op: galois_sql::ast::BinaryOp::Lt,
+                right: Box::new(colx(1)),
+            }),
+        };
+        let schema = l.schema.join(&r.schema);
+        let out = join(&l, &r, JoinType::Inner, &cond, &schema).unwrap();
+        assert_eq!(out.rows, vec![vec![Value::Int(1), Value::Int(3)]]);
+    }
+
+    #[test]
+    fn sort_rows_null_first_and_desc() {
+        let mut rows = vec![
+            vec![Value::Int(2)],
+            vec![Value::Null],
+            vec![Value::Int(1)],
+        ];
+        sort_rows(
+            &mut rows,
+            &[SortKey {
+                index: 0,
+                direction: SortDirection::Desc,
+            }],
+        );
+        assert_eq!(
+            rows,
+            vec![vec![Value::Int(2)], vec![Value::Int(1)], vec![Value::Null]]
+        );
+    }
+
+    #[test]
+    fn table_renders() {
+        let r = rel(&["a"], vec![vec![Value::Int(1)]]);
+        let s = r.to_table_string();
+        assert!(s.contains("| a |"));
+        assert!(s.contains("| 1 |"));
+        assert!(s.contains("1 row"));
+    }
+}

@@ -1,0 +1,241 @@
+//! Stored tables and the catalog.
+
+use crate::error::{EngineError, Result};
+use crate::schema::{PlanColumn, PlanSchema, TableSchema};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A row of values; arity always matches the owning schema.
+pub type Row = Vec<Value>;
+
+/// An in-memory stored table with schema validation on insert.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    /// Schema, including the key attribute.
+    pub schema: TableSchema,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(name: impl Into<String>, schema: TableSchema) -> Self {
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Inserts a row after validating arity, types, nullability and key
+    /// uniqueness.
+    pub fn insert(&mut self, row: Row) -> Result<()> {
+        if row.len() != self.schema.arity() {
+            return Err(EngineError::BadRow(format!(
+                "table '{}' expects {} values, got {}",
+                self.name,
+                self.schema.arity(),
+                row.len()
+            )));
+        }
+        for (v, c) in row.iter().zip(&self.schema.columns) {
+            match v.data_type() {
+                None => {
+                    if !c.nullable {
+                        return Err(EngineError::BadRow(format!(
+                            "NULL in non-nullable column '{}'",
+                            c.name
+                        )));
+                    }
+                }
+                Some(t) if t == c.data_type => {}
+                Some(t) => {
+                    return Err(EngineError::BadRow(format!(
+                        "column '{}' expects {}, got {t}",
+                        c.name, c.data_type
+                    )));
+                }
+            }
+        }
+        let key = &row[self.schema.key];
+        if self.rows.iter().any(|r| &r[self.schema.key] == key) {
+            return Err(EngineError::BadRow(format!(
+                "duplicate key {} in table '{}'",
+                key.render(),
+                self.name
+            )));
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Looks up a row by its key value.
+    pub fn find_by_key(&self, key: &Value) -> Option<&Row> {
+        self.rows.iter().find(|r| &r[self.schema.key] == key)
+    }
+
+    /// The plan schema this table produces when scanned under `binding`.
+    pub fn plan_schema(&self, binding: &str) -> PlanSchema {
+        PlanSchema::new(
+            self.schema
+                .columns
+                .iter()
+                .map(|c| PlanColumn::from_base(binding, c))
+                .collect(),
+        )
+    }
+}
+
+/// A named collection of tables.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a table; the name must be unused.
+    pub fn add_table(&mut self, table: Table) -> Result<()> {
+        let key = table.name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) {
+            return Err(EngineError::Catalog(format!(
+                "table '{}' already exists",
+                table.name
+            )));
+        }
+        self.tables.insert(key, table);
+        Ok(())
+    }
+
+    /// Case-insensitive lookup.
+    pub fn get(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+
+    /// Mutable case-insensitive lookup.
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.values().map(|t| t.name.clone()).collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True if no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn city_table() -> Table {
+        Table::new(
+            "city",
+            TableSchema::new(
+                vec![
+                    Column::new("name", DataType::Text),
+                    Column::nullable("population", DataType::Int),
+                ],
+                "name",
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn insert_valid_row() {
+        let mut t = city_table();
+        t.insert(vec!["Rome".into(), Value::Int(2_800_000)]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert!(t.find_by_key(&"Rome".into()).is_some());
+    }
+
+    #[test]
+    fn insert_rejects_wrong_arity() {
+        let mut t = city_table();
+        assert!(matches!(
+            t.insert(vec!["Rome".into()]),
+            Err(EngineError::BadRow(_))
+        ));
+    }
+
+    #[test]
+    fn insert_rejects_wrong_type() {
+        let mut t = city_table();
+        assert!(t.insert(vec!["Rome".into(), "big".into()]).is_err());
+    }
+
+    #[test]
+    fn insert_rejects_null_in_non_nullable() {
+        let mut t = city_table();
+        assert!(t.insert(vec![Value::Null, Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn insert_allows_null_in_nullable() {
+        let mut t = city_table();
+        t.insert(vec!["Rome".into(), Value::Null]).unwrap();
+    }
+
+    #[test]
+    fn insert_rejects_duplicate_key() {
+        let mut t = city_table();
+        t.insert(vec!["Rome".into(), Value::Int(1)]).unwrap();
+        assert!(t.insert(vec!["Rome".into(), Value::Int(2)]).is_err());
+    }
+
+    #[test]
+    fn catalog_case_insensitive() {
+        let mut c = Catalog::new();
+        c.add_table(city_table()).unwrap();
+        assert!(c.get("CITY").is_ok());
+        assert!(c.get("town").is_err());
+        assert!(c.add_table(city_table()).is_err());
+        assert_eq!(c.table_names(), vec!["city".to_string()]);
+    }
+
+    #[test]
+    fn plan_schema_uses_binding() {
+        let t = city_table();
+        let ps = t.plan_schema("c");
+        assert_eq!(ps.columns[0].binding.as_deref(), Some("c"));
+        assert_eq!(ps.arity(), 2);
+    }
+}

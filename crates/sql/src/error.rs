@@ -1,0 +1,102 @@
+//! Error types for lexing and parsing.
+
+use std::fmt;
+
+/// A byte-offset range into the original SQL text.
+///
+/// Spans are half-open: `start..end`. They exist so error messages can point
+/// at the offending fragment without keeping a reference to the input alive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character of the fragment.
+    pub start: usize,
+    /// Byte offset one past the last character of the fragment.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Extracts the spanned fragment from the original input.
+    pub fn slice<'a>(&self, input: &'a str) -> &'a str {
+        input.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// An error produced while lexing or parsing a SQL statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Where in the input the problem was detected.
+    pub span: Span,
+}
+
+impl SqlError {
+    /// Creates an error with a message and location.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        SqlError {
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL error at byte {}: {}", self.span.start, self.message)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+        assert_eq!(b.merge(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn span_slice_extracts_fragment() {
+        let s = "SELECT name";
+        assert_eq!(Span::new(7, 11).slice(s), "name");
+    }
+
+    #[test]
+    fn span_slice_out_of_bounds_is_empty() {
+        assert_eq!(Span::new(5, 99).slice("abc"), "");
+    }
+
+    #[test]
+    fn error_display_mentions_offset() {
+        let e = SqlError::new("unexpected token", Span::new(4, 6));
+        assert!(e.to_string().contains("byte 4"));
+        assert!(e.to_string().contains("unexpected token"));
+    }
+}

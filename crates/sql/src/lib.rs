@@ -1,0 +1,36 @@
+//! # galois-sql
+//!
+//! SQL front-end for the Galois system (["Querying Large Language Models
+//! with SQL"](https://arxiv.org/abs/2304.00472), EDBT 2024): a hand-written
+//! lexer, an AST with a canonical pretty-printer, and a recursive-descent
+//! parser for the SPJA dialect the paper executes against LLMs.
+//!
+//! The dialect supports `SELECT [DISTINCT] … FROM … [JOIN … ON …] WHERE …
+//! GROUP BY … HAVING … ORDER BY … LIMIT …` with arithmetic, comparisons,
+//! `LIKE`/`IN`/`BETWEEN`/`IS NULL`, the five standard aggregates, and the
+//! hybrid-source qualifiers `LLM.table` / `DB.table` from the paper's
+//! introduction.
+//!
+//! ```
+//! use galois_sql::{parse, Statement};
+//!
+//! let Statement::Select(q) = parse(
+//!     "SELECT c.name FROM city c WHERE c.population > 1000000",
+//! ).unwrap();
+//! assert_eq!(q.from[0].binding(), "c");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use ast::{
+    BinaryOp, ColumnRef, Expr, FunctionArgs, Join, JoinType, Literal, OrderItem, SelectItem,
+    SelectStatement, SortDirection, SourceQualifier, Statement, TableRef, UnaryOp,
+};
+pub use error::{Result, Span, SqlError};
+pub use parser::{parse, parse_select};

@@ -1,0 +1,104 @@
+//! Optimizer soundness: for every suite query (and a set of adversarial
+//! hand-written ones), the optimized plan must produce exactly the same
+//! relation as the unoptimized plan. This is the classic plan-equivalence
+//! property; Galois additionally depends on it because its prompt compiler
+//! consumes *optimized* plans.
+
+use galois::dataset::Scenario;
+use galois::relational::{execute, Value};
+
+fn sorted(rel: &galois::relational::Relation) -> Vec<Vec<String>> {
+    let mut rows: Vec<Vec<String>> = rel
+        .rows
+        .iter()
+        .map(|r| r.iter().map(Value::render).collect())
+        .collect();
+    rows.sort();
+    rows
+}
+
+fn assert_equivalent(scenario: &Scenario, sql: &str) {
+    let unopt = scenario.database.plan_unoptimized(sql).unwrap();
+    let opt = scenario.database.plan(sql).unwrap();
+    let a = execute(&unopt, scenario.database.catalog()).unwrap();
+    let b = execute(&opt, scenario.database.catalog()).unwrap();
+    assert_eq!(sorted(&a), sorted(&b), "plans diverge for: {sql}");
+    assert_eq!(a.schema.arity(), b.schema.arity(), "{sql}");
+}
+
+#[test]
+fn suite_queries_are_optimizer_invariant() {
+    for seed in [42u64, 7, 99] {
+        let s = Scenario::generate_with(
+            seed,
+            galois::dataset::WorldConfig {
+                countries: 8,
+                cities: 20,
+                airports: 10,
+                singers: 10,
+                concerts: 12,
+                employees: 15,
+            },
+        );
+        for spec in &s.suite {
+            assert_equivalent(&s, &spec.to_sql());
+        }
+    }
+}
+
+#[test]
+fn adversarial_queries_are_optimizer_invariant() {
+    let s = Scenario::generate(42);
+    for sql in [
+        // Multi-way comma join with mixed single-table and cross conjuncts.
+        "SELECT c.name, m.party, k.gdp FROM city c, cityMayor m, country k \
+         WHERE c.mayor = m.name AND c.country = k.name AND k.gdp > 1.0 \
+         AND m.electionYear >= 2016 AND c.population > 100000",
+        // Cross join filtered only on one side.
+        "SELECT c.name FROM city c, country k WHERE c.population > 2000000",
+        // Non-equi join condition (nested loop path).
+        "SELECT c.name, k.name FROM city c, country k \
+         WHERE c.population > k.population",
+        // OR predicate: must NOT be split as conjuncts.
+        "SELECT name FROM city WHERE population > 5000000 OR elevation < 20",
+        // Equi condition written value = column (mirrored sides).
+        "SELECT c.name FROM city c, country k WHERE k.name = c.country",
+        // Filter referencing both sides plus residual arithmetic.
+        "SELECT c.name FROM city c, country k \
+         WHERE c.country = k.name AND c.population * 2 > k.population",
+        // Left join above a filter.
+        "SELECT c.name, k.gdp FROM city c LEFT JOIN country k ON c.country = k.name \
+         WHERE c.elevation < 2600",
+        // Aggregate over a join with HAVING and ORDER BY.
+        "SELECT k.continent, COUNT(*), AVG(c.population) \
+         FROM city c, country k WHERE c.country = k.name \
+         GROUP BY k.continent HAVING COUNT(*) >= 1 ORDER BY COUNT(*) DESC",
+        // DISTINCT + LIMIT above a join.
+        "SELECT DISTINCT k.continent FROM city c, country k \
+         WHERE c.country = k.name ORDER BY k.continent LIMIT 3",
+        // IN / BETWEEN / LIKE mix.
+        "SELECT name FROM city WHERE name LIKE '%e%' \
+         AND population BETWEEN 10000 AND 9000000 AND elevation IN (1, 2, 3, 100)",
+    ] {
+        assert_equivalent(&s, sql);
+    }
+}
+
+#[test]
+fn optimizer_removes_cross_joins_from_suite_join_queries() {
+    use galois::relational::plan_stats;
+    let s = Scenario::generate(42);
+    for spec in s.suite.iter().filter(|q| {
+        matches!(q.category, galois::dataset::QueryCategory::Join)
+    }) {
+        let plan = s.database.plan(&spec.to_sql()).unwrap();
+        let stats = plan_stats(&plan);
+        assert_eq!(
+            stats.cross_joins, 0,
+            "q{} kept a cross join:\n{}",
+            spec.id,
+            plan.explain()
+        );
+        assert_eq!(stats.joins, 1, "q{}", spec.id);
+    }
+}
