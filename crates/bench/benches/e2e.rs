@@ -23,10 +23,7 @@ fn bench_galois_queries(c: &mut Criterion) {
             "SELECT p.name, r.birthDate FROM city p, cityMayor r WHERE p.mayor = r.name",
         ),
     ] {
-        let galois = Galois::new(
-            model_for(&s, ModelProfile::chatgpt()),
-            s.database.clone(),
-        );
+        let galois = Galois::new(model_for(&s, ModelProfile::chatgpt()), s.database.clone());
         c.bench_function(name, |b| {
             b.iter(|| {
                 galois.client().clear_cache();

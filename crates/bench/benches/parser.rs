@@ -21,7 +21,9 @@ fn bench_lexer(c: &mut Criterion) {
 }
 
 fn bench_parser(c: &mut Criterion) {
-    c.bench_function("parse_simple", |b| b.iter(|| parse(black_box(SIMPLE)).unwrap()));
+    c.bench_function("parse_simple", |b| {
+        b.iter(|| parse(black_box(SIMPLE)).unwrap())
+    });
     c.bench_function("parse_complex", |b| {
         b.iter(|| parse(black_box(COMPLEX)).unwrap())
     });

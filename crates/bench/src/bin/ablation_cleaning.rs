@@ -25,8 +25,14 @@ fn main() {
         "card diff %",
     ]);
     for (label, cleaning) in [
-        ("cleaning on (normalise + domains)", CleaningPolicy::default()),
-        ("cleaning off (strict formats only)", CleaningPolicy::disabled()),
+        (
+            "cleaning on (normalise + domains)",
+            CleaningPolicy::default(),
+        ),
+        (
+            "cleaning off (strict formats only)",
+            CleaningPolicy::disabled(),
+        ),
     ] {
         let options = GaloisOptions {
             cleaning,

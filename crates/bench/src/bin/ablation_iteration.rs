@@ -1,4 +1,4 @@
-//! Ablation **A3** (paper §4): the key-retrieval loop "iterate[s] with a
+//! Ablation **A3** (paper §4): the key-retrieval loop "iterate\[s\] with a
 //! prompt until we stop getting new results. … The termination condition
 //! could be replaced by a user-specified threshold."
 //!

@@ -26,7 +26,10 @@ fn main() {
         "content sel %",
         "card diff %",
     ]);
-    for (label, pushdown) in [("per-key filter prompts", false), ("pushdown into scan", true)] {
+    for (label, pushdown) in [
+        ("per-key filter prompts", false),
+        ("pushdown into scan", true),
+    ] {
         let options = GaloisOptions {
             compile: CompileOptions {
                 pushdown,

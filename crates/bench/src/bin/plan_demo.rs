@@ -27,8 +27,5 @@ fn main() {
     println!("{}", galois.explain(sql).expect("plan compiles"));
 
     println!("\nThe same query, relational-only view (DuckDB-equivalent logical plan):\n");
-    println!(
-        "{}",
-        scenario.database.explain(sql).expect("plan builds")
-    );
+    println!("{}", scenario.database.explain(sql).expect("plan builds"));
 }

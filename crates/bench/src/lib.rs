@@ -17,6 +17,8 @@
 //!
 //! Every binary accepts `--seed <u64>` (default 42).
 
+#![warn(missing_docs)]
+
 /// Parses a `--seed N` argument pair from `std::env::args`, defaulting to
 /// 42. Shared by all reproduction binaries.
 pub fn seed_from_args() -> u64 {

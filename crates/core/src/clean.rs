@@ -82,7 +82,15 @@ pub fn parse_number(raw: &str, policy: &CleaningPolicy) -> Option<f64> {
     if !policy.normalise {
         return s.parse::<f64>().ok();
     }
-    for prefix in ["about", "approximately", "around", "roughly", "~", "almost", "nearly"] {
+    for prefix in [
+        "about",
+        "approximately",
+        "around",
+        "roughly",
+        "~",
+        "almost",
+        "nearly",
+    ] {
         if let Some(rest) = s.strip_prefix(prefix) {
             s = rest.trim().to_string();
         }
@@ -148,9 +156,9 @@ fn looks_grouped(s: &str) -> bool {
     parts[1..].iter().all(|p| {
         p.len() == 3 && p.chars().all(|c| c.is_ascii_digit())
             || (p.contains('.')
-                && p.split('.').next().is_some_and(|h| {
-                    h.len() == 3 && h.chars().all(|c| c.is_ascii_digit())
-                }))
+                && p.split('.')
+                    .next()
+                    .is_some_and(|h| h.len() == 3 && h.chars().all(|c| c.is_ascii_digit())))
     })
 }
 
@@ -301,8 +309,14 @@ mod tests {
     #[test]
     fn clean_to_type_bool() {
         let p = on();
-        assert_eq!(clean_to_type("Yes", DataType::Bool, &p), Some(Value::Bool(true)));
-        assert_eq!(clean_to_type("no", DataType::Bool, &p), Some(Value::Bool(false)));
+        assert_eq!(
+            clean_to_type("Yes", DataType::Bool, &p),
+            Some(Value::Bool(true))
+        );
+        assert_eq!(
+            clean_to_type("no", DataType::Bool, &p),
+            Some(Value::Bool(false))
+        );
         assert_eq!(clean_to_type("maybe", DataType::Bool, &p), None);
     }
 

@@ -121,10 +121,7 @@ fn collect_needed(plan: &LogicalPlan, needed: &mut HashMap<String, BTreeSet<Stri
         e.walk(&mut |n| {
             if let ScalarExpr::Column(c) = n {
                 if let Some(b) = &c.binding {
-                    needed
-                        .entry(b.clone())
-                        .or_default()
-                        .insert(c.name.clone());
+                    needed.entry(b.clone()).or_default().insert(c.name.clone());
                 }
             }
         });
@@ -212,8 +209,8 @@ fn rewrite(
                         }
                     }
                     let scan = make_step(
-                        table, binding, *key_index, schema, catalog, options, needed,
-                        conditions, steps,
+                        table, binding, *key_index, schema, catalog, options, needed, conditions,
+                        steps,
                     )?;
                     return Ok(match and_all(residual) {
                         Some(p) => LogicalPlan::Filter {
@@ -238,8 +235,15 @@ fn rewrite(
         } => {
             if is_llm_scan(*source, options) {
                 make_step(
-                    table, binding, *key_index, schema, catalog, options, needed,
-                    Vec::new(), steps,
+                    table,
+                    binding,
+                    *key_index,
+                    schema,
+                    catalog,
+                    options,
+                    needed,
+                    Vec::new(),
+                    steps,
                 )
             } else {
                 Ok(plan.clone())
@@ -367,13 +371,16 @@ fn make_step(
 
 fn and_all(mut conjuncts: Vec<ScalarExpr>) -> Option<ScalarExpr> {
     let first = conjuncts.pop()?;
-    Some(conjuncts.into_iter().rev().fold(first, |acc, c| {
-        ScalarExpr::Binary {
-            left: Box::new(c),
-            op: BinaryOp::And,
-            right: Box::new(acc),
-        }
-    }))
+    Some(
+        conjuncts
+            .into_iter()
+            .rev()
+            .fold(first, |acc, c| ScalarExpr::Binary {
+                left: Box::new(c),
+                op: BinaryOp::And,
+                right: Box::new(acc),
+            }),
+    )
 }
 
 /// Translates a resolved conjunct over one binding into a prompt-protocol

@@ -81,8 +81,12 @@ pub fn parse_value_answer(text: &str) -> Option<String> {
         return None;
     }
     let lower = t.to_ascii_lowercase();
-    if lower == "unknown" || lower == "n/a" || lower == "none" || lower.starts_with("i don")
-        || lower.starts_with("i'm not sure") || lower.starts_with("unknown")
+    if lower == "unknown"
+        || lower == "n/a"
+        || lower == "none"
+        || lower.starts_with("i don")
+        || lower.starts_with("i'm not sure")
+        || lower.starts_with("unknown")
     {
         return None;
     }
@@ -261,10 +265,7 @@ mod tests {
     fn value_answer_keeps_is_in_names() {
         // "is" inside a value must not trigger sentence unwrapping unless
         // the sentence shape matches.
-        assert_eq!(
-            parse_value_answer("Isla Verde"),
-            Some("Isla Verde".into())
-        );
+        assert_eq!(parse_value_answer("Isla Verde"), Some("Isla Verde".into()));
     }
 
     #[test]
@@ -278,7 +279,10 @@ mod tests {
     #[test]
     fn extract_flat_records() {
         let recs = extract_records("The name values are: Rome, Paris, Rome.");
-        assert_eq!(recs, vec![vec!["Rome".to_string()], vec!["Paris".to_string()]]);
+        assert_eq!(
+            recs,
+            vec![vec!["Rome".to_string()], vec!["Paris".to_string()]]
+        );
     }
 
     #[test]
@@ -306,7 +310,10 @@ mod tests {
         let recs = extract_records(
             "Step 1: think.\nStep 2: more thinking.\nThe answer is: Paris, Berlin.",
         );
-        assert_eq!(recs, vec![vec!["Paris".to_string()], vec!["Berlin".to_string()]]);
+        assert_eq!(
+            recs,
+            vec![vec!["Paris".to_string()], vec!["Berlin".to_string()]]
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! [`galois_llm::intent`]; this module wraps that line in a model-specific
 //! preamble. GPT-style models get the paper's Figure 4 few-shot QA
 //! preamble; instruction-tuned T5 models (Flan/Tk) get a compact
-//! instruction, as the paper "construct[s] prompts appropriately for each
+//! instruction, as the paper "construct\[s\] prompts appropriately for each
 //! model".
 
 use galois_llm::intent::{render_task, TaskIntent};

@@ -25,7 +25,11 @@ fn limit_and_order_by_over_llm_relation() {
     let got = g.execute(sql).unwrap();
     let truth = s.database.execute(sql).unwrap();
     assert_eq!(got.relation.rows, truth.rows);
-    assert_eq!(got.relation.schema.arity(), 1, "hidden sort column stripped");
+    assert_eq!(
+        got.relation.schema.arity(),
+        1,
+        "hidden sort column stripped"
+    );
 }
 
 #[test]
@@ -79,9 +83,7 @@ fn in_and_like_filters_via_prompts() {
     let s = Scenario::generate(42);
     let g = session(&s);
     let continent = s.world.countries[0].continent.clone();
-    let sql = format!(
-        "SELECT name FROM country WHERE continent IN ('{continent}')"
-    );
+    let sql = format!("SELECT name FROM country WHERE continent IN ('{continent}')");
     let got = g.execute(&sql).unwrap();
     let truth = s.database.execute(&sql).unwrap();
     assert_eq!(got.relation.len(), truth.len());
@@ -137,10 +139,7 @@ fn stats_virtual_seconds_consistent_with_ms() {
 #[test]
 fn max_iterations_one_truncates_but_still_returns() {
     let s = Scenario::generate(42);
-    let model: Arc<SimLlm> = Arc::new(SimLlm::new(
-        s.knowledge.clone(),
-        ModelProfile::oracle(),
-    ));
+    let model: Arc<SimLlm> = Arc::new(SimLlm::new(s.knowledge.clone(), ModelProfile::oracle()));
     let g = Galois::with_options(
         model,
         s.database.clone(),

@@ -432,9 +432,7 @@ mod tests {
             .unwrap();
         assert!(!r.is_empty());
         let j = db
-            .execute(
-                "SELECT c.name, m.birthDate FROM city c, cityMayor m WHERE c.mayor = m.name",
-            )
+            .execute("SELECT c.name, m.birthDate FROM city c, cityMayor m WHERE c.mayor = m.name")
             .unwrap();
         assert_eq!(j.len(), db.catalog().get("city").unwrap().len());
     }

@@ -6,9 +6,9 @@
 //!
 //! One seeded [`World`] is the single source of truth; it loads into
 //!
-//! * a ground-truth relational [`Database`](galois_relational::Database)
+//! * a ground-truth relational [`galois_relational::Database`]
 //!   (`R_D` side of the evaluation), and
-//! * the simulated LLM's [`KnowledgeStore`](galois_llm::KnowledgeStore)
+//! * the simulated LLM's [`galois_llm::KnowledgeStore`]
 //!   (what the model has "memorised"),
 //!
 //! and [`build_suite`] derives the 46-query evaluation workload — 20
@@ -81,7 +81,10 @@ mod tests {
     fn scenario_wires_everything() {
         let s = Scenario::generate(7);
         assert_eq!(s.suite.len(), 46);
-        assert_eq!(s.knowledge.entities_of_type("city").len(), s.world.cities.len());
+        assert_eq!(
+            s.knowledge.entities_of_type("city").len(),
+            s.world.cities.len()
+        );
         assert!(s.database.catalog().get("employees").is_ok());
     }
 }

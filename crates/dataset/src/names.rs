@@ -26,8 +26,8 @@ const CITY_CORES: [&str; 14] = [
 ];
 
 const FIRST_NAMES: [&str; 20] = [
-    "Anna", "Boris", "Clara", "Dario", "Elena", "Felix", "Greta", "Hugo", "Iris", "Jonas",
-    "Karla", "Leon", "Mira", "Nadia", "Oskar", "Petra", "Quentin", "Rosa", "Stefan", "Tessa",
+    "Anna", "Boris", "Clara", "Dario", "Elena", "Felix", "Greta", "Hugo", "Iris", "Jonas", "Karla",
+    "Leon", "Mira", "Nadia", "Oskar", "Petra", "Quentin", "Rosa", "Stefan", "Tessa",
 ];
 const LAST_NAMES: [&str; 20] = [
     "Rossi", "Keller", "Novak", "Ivanov", "Berg", "Costa", "Dubois", "Eriksen", "Fischer",

@@ -258,7 +258,11 @@ pub fn build_suite(world: &World) -> Vec<QuerySpec> {
     let city_pop: Vec<f64> = world.cities.iter().map(|c| c.population as f64).collect();
     let city_elev: Vec<f64> = world.cities.iter().map(|c| c.elevation as f64).collect();
     let country_gdp: Vec<f64> = world.countries.iter().map(|c| c.gdp).collect();
-    let country_pop: Vec<f64> = world.countries.iter().map(|c| c.population as f64).collect();
+    let country_pop: Vec<f64> = world
+        .countries
+        .iter()
+        .map(|c| c.population as f64)
+        .collect();
     let airport_elev: Vec<f64> = world.airports.iter().map(|a| a.elevation as f64).collect();
     let singer_birth: Vec<f64> = world.singers.iter().map(|s| s.birth_year as f64).collect();
     let singer_worth: Vec<f64> = world.singers.iter().map(|s| s.net_worth).collect();
@@ -288,7 +292,13 @@ pub fn build_suite(world: &World) -> Vec<QuerySpec> {
         for c in &world.concerts {
             *counts.entry(c.year).or_insert(0usize) += 1;
         }
-        *counts.iter().max_by_key(|(_, n)| **n).map(|(y, _)| y).unwrap_or(&2019)
+        // Tie-break on the year itself: HashMap iteration order is not
+        // deterministic, and `build_suite` must be.
+        *counts
+            .iter()
+            .max_by_key(|(y, n)| (**n, **y))
+            .map(|(y, _)| y)
+            .unwrap_or(&2019)
     };
     // Modal categorical values, so equality conditions are never empty on
     // any seed.
@@ -301,11 +311,20 @@ pub fn build_suite(world: &World) -> Vec<QuerySpec> {
         pairs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         pairs.into_iter().map(|(v, _)| v).collect()
     };
-    let continents = modal(world.countries.iter().map(|c| c.continent.clone()).collect());
+    let continents = modal(
+        world
+            .countries
+            .iter()
+            .map(|c| c.continent.clone())
+            .collect(),
+    );
     let genres = modal(world.singers.iter().map(|s| s.genre.clone()).collect());
     let parties = modal(world.mayors.iter().map(|m| m.party.clone()).collect());
     let top_continent = continents[0].clone();
-    let second_continent = continents.get(1).cloned().unwrap_or_else(|| top_continent.clone());
+    let second_continent = continents
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| top_continent.clone());
     let top_genre = genres[0].clone();
     let second_genre = genres.get(1).cloned().unwrap_or_else(|| top_genre.clone());
     let top_party = parties[0].clone();
@@ -349,48 +368,249 @@ pub fn build_suite(world: &World) -> Vec<QuerySpec> {
     use QueryCategory::*;
 
     // --- Selection-only (q1–q20) -------------------------------------
-    push(&mut q, SelectionOnly, "city", "name", vec!["name"],
-        cond("population", CmpOp::Gt, vec![num(p(city_pop.clone(), 40.0))]), None, None);
-    push(&mut q, SelectionOnly, "city", "name", vec!["name", "population"],
-        cond("population", CmpOp::Between,
-             vec![num(p(city_pop.clone(), 20.0)), num(p(city_pop.clone(), 70.0))]), None, None);
-    push(&mut q, SelectionOnly, "country", "name", vec!["name"],
-        cond("gdp", CmpOp::Gt, vec![num(p(country_gdp.clone(), 50.0))]), None, None);
-    push(&mut q, SelectionOnly, "country", "name", vec!["name", "capital"],
-        cond("continent", CmpOp::Eq, vec![text(top_continent.clone())]), None, None);
-    push(&mut q, SelectionOnly, "country", "name", vec!["name", "independenceYear"],
-        cond("independenceYear", CmpOp::Gt, vec![num(p(indep_years.clone(), 45.0))]), None, None);
-    push(&mut q, SelectionOnly, "airport", "code", vec!["code"],
-        cond("elevation", CmpOp::Gt, vec![num(p(airport_elev.clone(), 70.0))]), None, None);
-    push(&mut q, SelectionOnly, "airport", "code", vec!["code", "name"],
-        cond("country", CmpOp::Eq, vec![text(airport_country.clone())]), None, None);
-    push(&mut q, SelectionOnly, "singer", "name", vec!["name"],
-        cond("genre", CmpOp::Eq, vec![text(top_genre.clone())]), None, None);
-    push(&mut q, SelectionOnly, "singer", "name", vec!["name", "birthYear"],
-        cond("birthYear", CmpOp::Lt, vec![num(p(singer_birth.clone(), 40.0))]), None, None);
-    push(&mut q, SelectionOnly, "concert", "name", vec!["name"],
-        cond("year", CmpOp::Eq, vec![num(concert_year as f64)]), None, None);
-    push(&mut q, SelectionOnly, "city", "name", vec!["name"],
-        cond("name", CmpOp::Like, vec![text(format!("{city_initial}%"))]), None, None);
-    push(&mut q, SelectionOnly, "country", "name", vec!["name"],
-        cond("continent", CmpOp::In,
-             vec![text(top_continent.clone()), text(second_continent.clone())]), None, None);
-    push(&mut q, SelectionOnly, "cityMayor", "name", vec!["name", "electionYear"],
-        cond("electionYear", CmpOp::GtEq, vec![num(2019.0)]), None, None);
-    push(&mut q, SelectionOnly, "cityMayor", "name", vec!["name"],
-        cond("party", CmpOp::Eq, vec![text(top_party.clone())]), None, None);
-    push(&mut q, SelectionOnly, "airport", "code", vec!["code"],
-        cond("runways", CmpOp::GtEq, vec![num(3.0)]), None, None);
-    push(&mut q, SelectionOnly, "concert", "name", vec!["name", "attendance"],
-        cond("attendance", CmpOp::Gt, vec![num(p(concert_att.clone(), 50.0))]), None, None);
-    push(&mut q, SelectionOnly, "singer", "name", vec!["name"],
-        cond("netWorth", CmpOp::LtEq, vec![num(p(singer_worth.clone(), 50.0))]), None, None);
-    push(&mut q, SelectionOnly, "city", "name", vec!["name"],
-        cond("elevation", CmpOp::Lt, vec![num(p(city_elev.clone(), 35.0))]), None, None);
-    push(&mut q, SelectionOnly, "country", "name", vec!["name", "population"],
-        cond("population", CmpOp::GtEq, vec![num(p(country_pop.clone(), 50.0))]), None, None);
-    push(&mut q, SelectionOnly, "airport", "code", vec!["name"],
-        cond("name", CmpOp::Like, vec![text("%International%")]), None, None);
+    push(
+        &mut q,
+        SelectionOnly,
+        "city",
+        "name",
+        vec!["name"],
+        cond(
+            "population",
+            CmpOp::Gt,
+            vec![num(p(city_pop.clone(), 40.0))],
+        ),
+        None,
+        None,
+    );
+    push(
+        &mut q,
+        SelectionOnly,
+        "city",
+        "name",
+        vec!["name", "population"],
+        cond(
+            "population",
+            CmpOp::Between,
+            vec![
+                num(p(city_pop.clone(), 20.0)),
+                num(p(city_pop.clone(), 70.0)),
+            ],
+        ),
+        None,
+        None,
+    );
+    push(
+        &mut q,
+        SelectionOnly,
+        "country",
+        "name",
+        vec!["name"],
+        cond("gdp", CmpOp::Gt, vec![num(p(country_gdp.clone(), 50.0))]),
+        None,
+        None,
+    );
+    push(
+        &mut q,
+        SelectionOnly,
+        "country",
+        "name",
+        vec!["name", "capital"],
+        cond("continent", CmpOp::Eq, vec![text(top_continent.clone())]),
+        None,
+        None,
+    );
+    push(
+        &mut q,
+        SelectionOnly,
+        "country",
+        "name",
+        vec!["name", "independenceYear"],
+        cond(
+            "independenceYear",
+            CmpOp::Gt,
+            vec![num(p(indep_years.clone(), 45.0))],
+        ),
+        None,
+        None,
+    );
+    push(
+        &mut q,
+        SelectionOnly,
+        "airport",
+        "code",
+        vec!["code"],
+        cond(
+            "elevation",
+            CmpOp::Gt,
+            vec![num(p(airport_elev.clone(), 70.0))],
+        ),
+        None,
+        None,
+    );
+    push(
+        &mut q,
+        SelectionOnly,
+        "airport",
+        "code",
+        vec!["code", "name"],
+        cond("country", CmpOp::Eq, vec![text(airport_country.clone())]),
+        None,
+        None,
+    );
+    push(
+        &mut q,
+        SelectionOnly,
+        "singer",
+        "name",
+        vec!["name"],
+        cond("genre", CmpOp::Eq, vec![text(top_genre.clone())]),
+        None,
+        None,
+    );
+    push(
+        &mut q,
+        SelectionOnly,
+        "singer",
+        "name",
+        vec!["name", "birthYear"],
+        cond(
+            "birthYear",
+            CmpOp::Lt,
+            vec![num(p(singer_birth.clone(), 40.0))],
+        ),
+        None,
+        None,
+    );
+    push(
+        &mut q,
+        SelectionOnly,
+        "concert",
+        "name",
+        vec!["name"],
+        cond("year", CmpOp::Eq, vec![num(concert_year as f64)]),
+        None,
+        None,
+    );
+    push(
+        &mut q,
+        SelectionOnly,
+        "city",
+        "name",
+        vec!["name"],
+        cond("name", CmpOp::Like, vec![text(format!("{city_initial}%"))]),
+        None,
+        None,
+    );
+    push(
+        &mut q,
+        SelectionOnly,
+        "country",
+        "name",
+        vec!["name"],
+        cond(
+            "continent",
+            CmpOp::In,
+            vec![text(top_continent.clone()), text(second_continent.clone())],
+        ),
+        None,
+        None,
+    );
+    push(
+        &mut q,
+        SelectionOnly,
+        "cityMayor",
+        "name",
+        vec!["name", "electionYear"],
+        cond("electionYear", CmpOp::GtEq, vec![num(2019.0)]),
+        None,
+        None,
+    );
+    push(
+        &mut q,
+        SelectionOnly,
+        "cityMayor",
+        "name",
+        vec!["name"],
+        cond("party", CmpOp::Eq, vec![text(top_party.clone())]),
+        None,
+        None,
+    );
+    push(
+        &mut q,
+        SelectionOnly,
+        "airport",
+        "code",
+        vec!["code"],
+        cond("runways", CmpOp::GtEq, vec![num(3.0)]),
+        None,
+        None,
+    );
+    push(
+        &mut q,
+        SelectionOnly,
+        "concert",
+        "name",
+        vec!["name", "attendance"],
+        cond(
+            "attendance",
+            CmpOp::Gt,
+            vec![num(p(concert_att.clone(), 50.0))],
+        ),
+        None,
+        None,
+    );
+    push(
+        &mut q,
+        SelectionOnly,
+        "singer",
+        "name",
+        vec!["name"],
+        cond(
+            "netWorth",
+            CmpOp::LtEq,
+            vec![num(p(singer_worth.clone(), 50.0))],
+        ),
+        None,
+        None,
+    );
+    push(
+        &mut q,
+        SelectionOnly,
+        "city",
+        "name",
+        vec!["name"],
+        cond(
+            "elevation",
+            CmpOp::Lt,
+            vec![num(p(city_elev.clone(), 35.0))],
+        ),
+        None,
+        None,
+    );
+    push(
+        &mut q,
+        SelectionOnly,
+        "country",
+        "name",
+        vec!["name", "population"],
+        cond(
+            "population",
+            CmpOp::GtEq,
+            vec![num(p(country_pop.clone(), 50.0))],
+        ),
+        None,
+        None,
+    );
+    push(
+        &mut q,
+        SelectionOnly,
+        "airport",
+        "code",
+        vec!["name"],
+        cond("name", CmpOp::Like, vec![text("%International%")]),
+        None,
+        None,
+    );
 
     // --- Aggregates (q21–q38) ----------------------------------------
     let agg = |kind, attribute: Option<&str>, group_by: Option<&str>| {
@@ -400,47 +620,190 @@ pub fn build_suite(world: &World) -> Vec<QuerySpec> {
             group_by: group_by.map(str::to_string),
         })
     };
-    push(&mut q, Aggregate, "city", "name", vec![], None, None,
-        agg(AggKind::Count, None, None));
-    push(&mut q, Aggregate, "city", "name", vec![],
-        cond("population", CmpOp::Gt, vec![num(p(city_pop.clone(), 60.0))]), None,
-        agg(AggKind::Count, None, None));
-    push(&mut q, Aggregate, "city", "name", vec![], None, None,
-        agg(AggKind::Avg, Some("population"), None));
-    push(&mut q, Aggregate, "city", "name", vec![], None, None,
-        agg(AggKind::Max, Some("population"), None));
-    push(&mut q, Aggregate, "city", "name", vec![],
-        cond("country", CmpOp::Eq, vec![text(city_country.clone())]), None,
-        agg(AggKind::Sum, Some("population"), None));
-    push(&mut q, Aggregate, "airport", "code", vec![], None, None,
-        agg(AggKind::Min, Some("yearlyPassengers"), None));
-    push(&mut q, Aggregate, "airport", "code", vec![], None, None,
-        agg(AggKind::Count, None, Some("country")));
-    push(&mut q, Aggregate, "country", "name", vec![], None, None,
-        agg(AggKind::Avg, Some("gdp"), Some("continent")));
-    push(&mut q, Aggregate, "singer", "name", vec![],
-        cond("genre", CmpOp::Eq, vec![text(second_genre.clone())]), None,
-        agg(AggKind::Count, None, None));
-    push(&mut q, Aggregate, "singer", "name", vec![], None, None,
-        agg(AggKind::Max, Some("netWorth"), None));
-    push(&mut q, Aggregate, "singer", "name", vec![], None, None,
-        agg(AggKind::Min, Some("birthYear"), None));
-    push(&mut q, Aggregate, "concert", "name", vec![], None, None,
-        agg(AggKind::Count, None, Some("year")));
-    push(&mut q, Aggregate, "concert", "name", vec![],
-        cond("year", CmpOp::Eq, vec![num(concert_year as f64)]), None,
-        agg(AggKind::Sum, Some("attendance"), None));
-    push(&mut q, Aggregate, "country", "name", vec![], None, None,
-        agg(AggKind::Min, Some("population"), None));
-    push(&mut q, Aggregate, "city", "name", vec![], None, None,
-        agg(AggKind::Avg, Some("elevation"), Some("country")));
-    push(&mut q, Aggregate, "country", "name", vec![],
-        cond("continent", CmpOp::Eq, vec![text(top_continent.clone())]), None,
-        agg(AggKind::Count, None, None));
-    push(&mut q, Aggregate, "airport", "code", vec![], None, None,
-        agg(AggKind::Max, Some("yearlyPassengers"), None));
-    push(&mut q, Aggregate, "concert", "name", vec![], None, None,
-        agg(AggKind::Sum, Some("attendance"), None));
+    push(
+        &mut q,
+        Aggregate,
+        "city",
+        "name",
+        vec![],
+        None,
+        None,
+        agg(AggKind::Count, None, None),
+    );
+    push(
+        &mut q,
+        Aggregate,
+        "city",
+        "name",
+        vec![],
+        cond(
+            "population",
+            CmpOp::Gt,
+            vec![num(p(city_pop.clone(), 60.0))],
+        ),
+        None,
+        agg(AggKind::Count, None, None),
+    );
+    push(
+        &mut q,
+        Aggregate,
+        "city",
+        "name",
+        vec![],
+        None,
+        None,
+        agg(AggKind::Avg, Some("population"), None),
+    );
+    push(
+        &mut q,
+        Aggregate,
+        "city",
+        "name",
+        vec![],
+        None,
+        None,
+        agg(AggKind::Max, Some("population"), None),
+    );
+    push(
+        &mut q,
+        Aggregate,
+        "city",
+        "name",
+        vec![],
+        cond("country", CmpOp::Eq, vec![text(city_country.clone())]),
+        None,
+        agg(AggKind::Sum, Some("population"), None),
+    );
+    push(
+        &mut q,
+        Aggregate,
+        "airport",
+        "code",
+        vec![],
+        None,
+        None,
+        agg(AggKind::Min, Some("yearlyPassengers"), None),
+    );
+    push(
+        &mut q,
+        Aggregate,
+        "airport",
+        "code",
+        vec![],
+        None,
+        None,
+        agg(AggKind::Count, None, Some("country")),
+    );
+    push(
+        &mut q,
+        Aggregate,
+        "country",
+        "name",
+        vec![],
+        None,
+        None,
+        agg(AggKind::Avg, Some("gdp"), Some("continent")),
+    );
+    push(
+        &mut q,
+        Aggregate,
+        "singer",
+        "name",
+        vec![],
+        cond("genre", CmpOp::Eq, vec![text(second_genre.clone())]),
+        None,
+        agg(AggKind::Count, None, None),
+    );
+    push(
+        &mut q,
+        Aggregate,
+        "singer",
+        "name",
+        vec![],
+        None,
+        None,
+        agg(AggKind::Max, Some("netWorth"), None),
+    );
+    push(
+        &mut q,
+        Aggregate,
+        "singer",
+        "name",
+        vec![],
+        None,
+        None,
+        agg(AggKind::Min, Some("birthYear"), None),
+    );
+    push(
+        &mut q,
+        Aggregate,
+        "concert",
+        "name",
+        vec![],
+        None,
+        None,
+        agg(AggKind::Count, None, Some("year")),
+    );
+    push(
+        &mut q,
+        Aggregate,
+        "concert",
+        "name",
+        vec![],
+        cond("year", CmpOp::Eq, vec![num(concert_year as f64)]),
+        None,
+        agg(AggKind::Sum, Some("attendance"), None),
+    );
+    push(
+        &mut q,
+        Aggregate,
+        "country",
+        "name",
+        vec![],
+        None,
+        None,
+        agg(AggKind::Min, Some("population"), None),
+    );
+    push(
+        &mut q,
+        Aggregate,
+        "city",
+        "name",
+        vec![],
+        None,
+        None,
+        agg(AggKind::Avg, Some("elevation"), Some("country")),
+    );
+    push(
+        &mut q,
+        Aggregate,
+        "country",
+        "name",
+        vec![],
+        cond("continent", CmpOp::Eq, vec![text(top_continent.clone())]),
+        None,
+        agg(AggKind::Count, None, None),
+    );
+    push(
+        &mut q,
+        Aggregate,
+        "airport",
+        "code",
+        vec![],
+        None,
+        None,
+        agg(AggKind::Max, Some("yearlyPassengers"), None),
+    );
+    push(
+        &mut q,
+        Aggregate,
+        "concert",
+        "name",
+        vec![],
+        None,
+        None,
+        agg(AggKind::Sum, Some("attendance"), None),
+    );
 
     // --- Joins (q39–q46) ---------------------------------------------
     let join = |via: &str, rel: &str, rkey: &str, rattr: &str| {
@@ -452,25 +815,91 @@ pub fn build_suite(world: &World) -> Vec<QuerySpec> {
         })
     };
     // The paper's motivating query: cities with their mayor's birth date.
-    push(&mut q, Join, "city", "name", vec!["name"], None,
-        join("mayor", "cityMayor", "name", "birthDate"), None);
+    push(
+        &mut q,
+        Join,
+        "city",
+        "name",
+        vec!["name"],
+        None,
+        join("mayor", "cityMayor", "name", "birthDate"),
+        None,
+    );
     // Code-keyed join — the "IT" vs "ITA" failure case.
-    push(&mut q, Join, "singer", "name", vec!["name"], None,
-        join("countryCode", "country", "code", "continent"), None);
-    push(&mut q, Join, "city", "name", vec!["name"],
-        cond("population", CmpOp::Gt, vec![num(p(city_pop.clone(), 50.0))]),
-        join("country", "country", "name", "gdp"), None);
-    push(&mut q, Join, "airport", "code", vec!["code"], None,
-        join("city", "city", "name", "population"), None);
-    push(&mut q, Join, "concert", "name", vec!["name"], None,
-        join("singer", "singer", "name", "genre"), None);
-    push(&mut q, Join, "city", "name", vec!["name"],
+    push(
+        &mut q,
+        Join,
+        "singer",
+        "name",
+        vec!["name"],
+        None,
+        join("countryCode", "country", "code", "continent"),
+        None,
+    );
+    push(
+        &mut q,
+        Join,
+        "city",
+        "name",
+        vec!["name"],
+        cond(
+            "population",
+            CmpOp::Gt,
+            vec![num(p(city_pop.clone(), 50.0))],
+        ),
+        join("country", "country", "name", "gdp"),
+        None,
+    );
+    push(
+        &mut q,
+        Join,
+        "airport",
+        "code",
+        vec!["code"],
+        None,
+        join("city", "city", "name", "population"),
+        None,
+    );
+    push(
+        &mut q,
+        Join,
+        "concert",
+        "name",
+        vec!["name"],
+        None,
+        join("singer", "singer", "name", "genre"),
+        None,
+    );
+    push(
+        &mut q,
+        Join,
+        "city",
+        "name",
+        vec!["name"],
         cond("elevation", CmpOp::Lt, vec![num(p(city_elev, 60.0))]),
-        join("mayor", "cityMayor", "name", "party"), None);
-    push(&mut q, Join, "airport", "code", vec!["code"], None,
-        join("country", "country", "name", "code"), None);
-    push(&mut q, Join, "concert", "name", vec!["name"], None,
-        join("city", "city", "name", "country"), None);
+        join("mayor", "cityMayor", "name", "party"),
+        None,
+    );
+    push(
+        &mut q,
+        Join,
+        "airport",
+        "code",
+        vec!["code"],
+        None,
+        join("country", "country", "name", "code"),
+        None,
+    );
+    push(
+        &mut q,
+        Join,
+        "concert",
+        "name",
+        vec!["name"],
+        None,
+        join("city", "city", "name", "country"),
+        None,
+    );
 
     assert_eq!(q.len(), 46, "the paper evaluates exactly 46 queries");
     q
@@ -507,7 +936,8 @@ mod tests {
         let db = to_database(&w);
         for q in &s {
             let sql = q.to_sql();
-            db.plan(&sql).unwrap_or_else(|e| panic!("q{}: {sql}\n{e}", q.id));
+            db.plan(&sql)
+                .unwrap_or_else(|e| panic!("q{}: {sql}\n{e}", q.id));
         }
     }
 
@@ -556,7 +986,10 @@ mod tests {
             values: vec![num(10.0), num(20.0)],
         };
         assert_eq!(condition_sql(&c, None), "population BETWEEN 10 AND 20");
-        assert_eq!(condition_sql(&c, Some("p")), "p.population BETWEEN 10 AND 20");
+        assert_eq!(
+            condition_sql(&c, Some("p")),
+            "p.population BETWEEN 10 AND 20"
+        );
         let c2 = Condition {
             attribute: "name".into(),
             op: CmpOp::In,

@@ -220,18 +220,10 @@ impl World {
             let (mut code2, mut code3) = names::country_codes(&name);
             // Ensure distinct codes across countries.
             while !code_pool.unique_check(&code2) {
-                code2 = format!(
-                    "{}{}",
-                    &code2[..1],
-                    (b'A' + rng.gen_range(0..26u8)) as char
-                );
+                code2 = format!("{}{}", &code2[..1], (b'A' + rng.gen_range(0..26u8)) as char);
             }
             while !code_pool.unique_check(&code3) {
-                code3 = format!(
-                    "{}{}",
-                    &code3[..2],
-                    (b'A' + rng.gen_range(0..26u8)) as char
-                );
+                code3 = format!("{}{}", &code3[..2], (b'A' + rng.gen_range(0..26u8)) as char);
             }
             code3s.push(code3.clone());
             // Size correlates with fame: famous countries are the big,
@@ -245,13 +237,10 @@ impl World {
                 code2,
                 code3,
                 continent: names::continent(&mut rng),
-                population: (10f64
-                    .powf(6.2 + 2.0 * pop_score + rng.gen_range(-0.2..0.2))
-                    as i64
+                population: (10f64.powf(6.2 + 2.0 * pop_score + rng.gen_range(-0.2..0.2)) as i64
                     / 1000)
                     * 1000,
-                gdp: ((0.2 + 24.0 * pop_score.powf(1.5) + rng.gen_range(-0.1..0.1))
-                    .max(0.1)
+                gdp: ((0.2 + 24.0 * pop_score.powf(1.5) + rng.gen_range(-0.1..0.1)).max(0.1)
                     * 100.0)
                     .round()
                     / 100.0,
@@ -330,8 +319,7 @@ impl World {
                 country: cities[city].country,
                 elevation: cities[city].elevation + rng.gen_range(-50..200),
                 // Busy hubs are the well-known ones.
-                yearly_passengers: (10f64
-                    .powf(5.7 + 2.3 * pop_score + rng.gen_range(-0.2..0.2))
+                yearly_passengers: (10f64.powf(5.7 + 2.3 * pop_score + rng.gen_range(-0.2..0.2))
                     as i64
                     / 1000)
                     * 1000,
@@ -356,9 +344,7 @@ impl World {
                 birth_year: rng.gen_range(1950..2004),
                 genre: names::genre(&mut rng),
                 // Stars are rich; the tail is not.
-                net_worth: ((2.0 + 480.0 * pop_score.powf(1.8)
-                    + rng.gen_range(0.0..15.0))
-                    * 10.0)
+                net_worth: ((2.0 + 480.0 * pop_score.powf(1.8) + rng.gen_range(0.0..15.0)) * 10.0)
                     .round()
                     / 10.0,
                 popularity: pop_score,
@@ -375,8 +361,7 @@ impl World {
                 name,
                 singer: rng.gen_range(0..singers.len()),
                 year,
-                attendance: (10f64.powf(3.2 + 1.9 * pop_score + rng.gen_range(-0.15..0.15))
-                    as i64
+                attendance: (10f64.powf(3.2 + 1.9 * pop_score + rng.gen_range(-0.15..0.15)) as i64
                     / 100)
                     * 100,
                 city: rng.gen_range(0..cities.len()),
@@ -459,7 +444,10 @@ mod tests {
         let w = World::generate(42);
         let unique = |v: Vec<&String>| {
             let n = v.len();
-            v.into_iter().collect::<std::collections::HashSet<_>>().len() == n
+            v.into_iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+                == n
         };
         assert!(unique(w.countries.iter().map(|c| &c.name).collect()));
         assert!(unique(w.cities.iter().map(|c| &c.name).collect()));

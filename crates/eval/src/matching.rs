@@ -1,6 +1,6 @@
 //! The content metric of Table 2: tuple mapping + cell-value matching.
 //!
-//! The paper "manually map[s] tuples between `R_D` … and `(R_M, T_M,
+//! The paper "manually map\[s\] tuples between `R_D` … and `(R_M, T_M,
 //! T_C_M)`" and counts matching cell values, accepting a numerical value
 //! "if the relative error w.r.t. `R_D` is less than 5%". This module
 //! mechanises that process: rows are greedily assigned to the ground-truth
@@ -8,7 +8,7 @@
 //! numbers, calendar equality for dates, and normalised case-insensitive
 //! equality for text.
 
-use galois_core::clean::{parse_date, parse_number, normalise_text, CleaningPolicy};
+use galois_core::clean::{normalise_text, parse_date, parse_number, CleaningPolicy};
 use galois_relational::{Relation, Value};
 
 /// Relative-error tolerance for numeric cells (paper §5).
@@ -66,8 +66,10 @@ pub fn cell_matches(truth: &Value, candidate: &str) -> bool {
             Some(c) => within_tolerance(*t, c),
             None => false,
         },
-        Value::Bool(t) => cand.eq_ignore_ascii_case(if *t { "true" } else { "false" })
-            || cand.eq_ignore_ascii_case(if *t { "yes" } else { "no" }),
+        Value::Bool(t) => {
+            cand.eq_ignore_ascii_case(if *t { "true" } else { "false" })
+                || cand.eq_ignore_ascii_case(if *t { "yes" } else { "no" })
+        }
         Value::Text(t) => normalise_text(t).eq_ignore_ascii_case(&cand),
         Value::Date(t) => match parse_date(&cand, &policy) {
             Some(d) => d == *t,

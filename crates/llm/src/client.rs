@@ -100,9 +100,7 @@ impl LlmClient {
             stats.completion_tokens += completion.usage.completion_tokens;
             batch_ms += completion.latency_ms;
             if self.cache_enabled {
-                self.cache
-                    .lock()
-                    .insert(prompt.clone(), completion.clone());
+                self.cache.lock().insert(prompt.clone(), completion.clone());
             }
             results.push(completion);
         }

@@ -181,8 +181,7 @@ impl Condition {
             return mk(CmpOp::Between, vec![va, vb]);
         }
         if let Some(r) = phrase.strip_prefix("one of ") {
-            let values: Option<Vec<PromptValue>> =
-                r.split(" / ").map(PromptValue::parse).collect();
+            let values: Option<Vec<PromptValue>> = r.split(" / ").map(PromptValue::parse).collect();
             return mk(CmpOp::In, values?);
         }
         if let Some(r) = phrase.strip_prefix("matching the pattern ") {

@@ -175,7 +175,10 @@ impl KnowledgeStore {
         let p = self.canonical_predicate(predicate);
         self.by_type
             .get(&entity_type.to_ascii_lowercase())
-            .map(|ids| ids.iter().any(|id| self.facts.contains_key(&(*id, p.clone()))))
+            .map(|ids| {
+                ids.iter()
+                    .any(|id| self.facts.contains_key(&(*id, p.clone())))
+            })
             .unwrap_or(false)
     }
 

@@ -197,11 +197,14 @@ fn parse_count(t: &str) -> Option<QueryIntent> {
         None => (None, t.strip_prefix("How many ")?),
     };
     let body = rest.strip_suffix('?')?;
-    let body = body.strip_suffix(" entries exist").map(str::to_string).or_else(|| {
-        // Condition follows "exist".
-        let (head, cond) = body.split_once(" entries exist whose ")?;
-        Some(format!("{head} whose {cond}"))
-    })?;
+    let body = body
+        .strip_suffix(" entries exist")
+        .map(str::to_string)
+        .or_else(|| {
+            // Condition follows "exist".
+            let (head, cond) = body.split_once(" entries exist whose ")?;
+            Some(format!("{head} whose {cond}"))
+        })?;
     let (relation, condition) = split_condition(&body)?;
     Some(QueryIntent {
         relation,

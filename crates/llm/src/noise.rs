@@ -213,7 +213,13 @@ pub fn perturb_number(v: f64, rel_err: f64, rng: &mut StdRng) -> f64 {
 /// Shifts a date by up to `max_days` days in either direction via its
 /// year/month/day parts (approximate calendar arithmetic is fine: the
 /// result only needs to be a *different valid-looking* date).
-pub fn perturb_date(year: i32, month: u8, day: u8, max_days: i64, rng: &mut StdRng) -> (i32, u8, u8) {
+pub fn perturb_date(
+    year: i32,
+    month: u8,
+    day: u8,
+    max_days: i64,
+    rng: &mut StdRng,
+) -> (i32, u8, u8) {
     if max_days == 0 {
         return (year, month, day);
     }
@@ -303,7 +309,10 @@ mod tests {
             "about 1,234"
         );
         assert_eq!(render_number(2.5, NumberStyle::Plain), "2.50");
-        assert_eq!(render_number(-1234567.0, NumberStyle::Thousands), "-1,234,567");
+        assert_eq!(
+            render_number(-1234567.0, NumberStyle::Thousands),
+            "-1,234,567"
+        );
     }
 
     #[test]

@@ -212,12 +212,7 @@ impl ModelProfile {
 
     /// All four evaluation profiles, in the paper's table order.
     pub fn all() -> Vec<ModelProfile> {
-        vec![
-            Self::flan(),
-            Self::tk(),
-            Self::gpt3(),
-            Self::chatgpt(),
-        ]
+        vec![Self::flan(), Self::tk(), Self::gpt3(), Self::chatgpt()]
     }
 
     /// Looks a profile up by name.

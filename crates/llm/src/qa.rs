@@ -80,7 +80,11 @@ pub fn answer_question(model: &SimLlm, q: &QueryIntent, cot: bool, prompt: &str)
             // silently skips entities it cannot complete (the paper's T_M
             // joins reach 8%, T_C_M 0%); CoT makes it slightly worse.
             let join_dropout = (profile.qa_join_dropout
-                * if cot { profile.cot_arithmetic_factor } else { 1.0 })
+                * if cot {
+                    profile.cot_arithmetic_factor
+                } else {
+                    1.0
+                })
             .min(0.99);
             if rng.gen::<f64>() < join_dropout {
                 continue;
@@ -191,8 +195,10 @@ fn answer_aggregate(
             let vals = member_values(survivors);
             match compute(&vals, rng) {
                 Some(v) => {
-                    let rendered =
-                        noise::render_number(v, noise::pick_number_style(rng, profile.format_noise));
+                    let rendered = noise::render_number(
+                        v,
+                        noise::pick_number_style(rng, profile.format_noise),
+                    );
                     if profile.verbose {
                         format!("The answer is {rendered}.")
                     } else {
@@ -225,8 +231,10 @@ fn answer_aggregate(
                 let members = &groups[&label];
                 let vals = member_values(members);
                 if let Some(v) = compute(&vals, rng) {
-                    let rendered =
-                        noise::render_number(v, noise::pick_number_style(rng, profile.format_noise));
+                    let rendered = noise::render_number(
+                        v,
+                        noise::pick_number_style(rng, profile.format_noise),
+                    );
                     lines.push(format!("- {label}: {rendered}"));
                 }
             }

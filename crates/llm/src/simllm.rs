@@ -131,7 +131,10 @@ impl SimLlm {
                     truth.clone()
                 } else {
                     let donor = donors[rng.gen_range(0..donors.len())];
-                    self.kb.fact(donor.id, attribute).cloned().unwrap_or_else(|| truth.clone())
+                    self.kb
+                        .fact(donor.id, attribute)
+                        .cloned()
+                        .unwrap_or_else(|| truth.clone())
                 }
             }
         }

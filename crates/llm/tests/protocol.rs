@@ -3,7 +3,9 @@
 //! be total on arbitrary text.
 
 use galois_llm::intent::{parse_task, render_task, CmpOp, Condition, PromptValue, TaskIntent};
-use galois_llm::nlq::{parse_question, render_question, AggIntent, AggKind, JoinIntent, QueryIntent};
+use galois_llm::nlq::{
+    parse_question, render_question, AggIntent, AggKind, JoinIntent, QueryIntent,
+};
 use proptest::prelude::*;
 
 /// Identifier-ish words safe inside the templates (no protocol markers).
@@ -17,7 +19,8 @@ fn word() -> impl Strategy<Value = String> {
 
 fn prompt_value() -> impl Strategy<Value = PromptValue> {
     prop_oneof![
-        "[a-zA-Z0-9 ]{1,12}".prop_map(|s| PromptValue::Text(s.trim().to_string()))
+        "[a-zA-Z0-9 ]{1,12}"
+            .prop_map(|s| PromptValue::Text(s.trim().to_string()))
             .prop_filter("non-empty after trim", |v| match v {
                 PromptValue::Text(s) => !s.is_empty() && s.parse::<f64>().is_err(),
                 _ => true,
@@ -128,7 +131,7 @@ proptest! {
                 aggregate: Some(AggIntent {
                     kind: AggKind::Count,
                     attribute: None,
-                    group_by: if group.len() % 2 == 0 { Some(group) } else { None },
+                    group_by: if group.len().is_multiple_of(2) { Some(group) } else { None },
                 }),
             },
             _ => QueryIntent {
@@ -139,7 +142,7 @@ proptest! {
                 aggregate: Some(AggIntent {
                     kind: AggKind::Avg,
                     attribute: Some(agg_attr),
-                    group_by: if group.len() % 2 == 0 { Some(group) } else { None },
+                    group_by: if group.len().is_multiple_of(2) { Some(group) } else { None },
                 }),
             },
         };

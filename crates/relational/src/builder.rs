@@ -11,9 +11,7 @@ use crate::expr::{ResolvedColumn, ScalarExpr};
 use crate::plan::{aggregate_schema, AggCall, AggFunc, JoinCondition, LogicalPlan, SortKey};
 use crate::schema::{PlanColumn, PlanSchema};
 use crate::table::Catalog;
-use galois_sql::ast::{
-    self, Expr as AstExpr, FunctionArgs, JoinType, SelectItem, SelectStatement,
-};
+use galois_sql::ast::{self, Expr as AstExpr, FunctionArgs, JoinType, SelectItem, SelectStatement};
 
 /// Plans a SELECT statement against `catalog`.
 pub fn plan_select(stmt: &SelectStatement, catalog: &Catalog) -> Result<LogicalPlan> {
@@ -161,11 +159,7 @@ impl<'a> Builder<'a> {
             match item {
                 SelectItem::Wildcard => {
                     for (i, c) in input_schema.columns.iter().enumerate() {
-                        visible.push((
-                            column_expr(i, c),
-                            c.name.clone(),
-                            None,
-                        ));
+                        visible.push((column_expr(i, c), c.name.clone(), None));
                     }
                 }
                 SelectItem::QualifiedWildcard(binding) => {
@@ -212,8 +206,7 @@ impl<'a> Builder<'a> {
         }
         if stmt.distinct && !hidden.is_empty() {
             return Err(EngineError::InvalidQuery(
-                "for SELECT DISTINCT, ORDER BY expressions must appear in the select list"
-                    .into(),
+                "for SELECT DISTINCT, ORDER BY expressions must appear in the select list".into(),
             ));
         }
 
@@ -239,9 +232,8 @@ impl<'a> Builder<'a> {
 
         // Aggregate calls from SELECT, HAVING and ORDER BY.
         let mut calls: Vec<(String, AggCall)> = Vec::new();
-        let mut collect = |e: &AstExpr| -> Result<()> {
-            collect_aggregates(e, &input_schema, &mut calls)
-        };
+        let mut collect =
+            |e: &AstExpr| -> Result<()> { collect_aggregates(e, &input_schema, &mut calls) };
         for item in &stmt.items {
             match item {
                 SelectItem::Expr { expr, .. } => collect(expr)?,
@@ -301,8 +293,7 @@ impl<'a> Builder<'a> {
         let mut hidden: Vec<(ScalarExpr, String)> = Vec::new();
         let mut sort_keys = Vec::new();
         for o in &stmt.order_by {
-            let compiled =
-                self.resolve_order_key(&o.expr, &visible, &schema, Some(&rewriter))?;
+            let compiled = self.resolve_order_key(&o.expr, &visible, &schema, Some(&rewriter))?;
             let index = match visible.iter().position(|(e, _, _)| *e == compiled) {
                 Some(i) => i,
                 None => {
@@ -318,8 +309,7 @@ impl<'a> Builder<'a> {
         }
         if stmt.distinct && !hidden.is_empty() {
             return Err(EngineError::InvalidQuery(
-                "for SELECT DISTINCT, ORDER BY expressions must appear in the select list"
-                    .into(),
+                "for SELECT DISTINCT, ORDER BY expressions must appear in the select list".into(),
             ));
         }
 
@@ -363,10 +353,8 @@ fn assemble(
     stmt: &SelectStatement,
 ) -> LogicalPlan {
     let visible_len = visible.len();
-    let mut exprs: Vec<(ScalarExpr, String)> = visible
-        .into_iter()
-        .map(|(e, n, _)| (e, n))
-        .collect();
+    let mut exprs: Vec<(ScalarExpr, String)> =
+        visible.into_iter().map(|(e, n, _)| (e, n)).collect();
     exprs.extend(hidden);
 
     let cols: Vec<PlanColumn> = exprs
@@ -459,11 +447,7 @@ pub enum ExprContext {
 }
 
 /// Compiles an AST expression against a schema (no aggregates allowed).
-pub fn compile_expr(
-    expr: &AstExpr,
-    schema: &PlanSchema,
-    _ctx: ExprContext,
-) -> Result<ScalarExpr> {
+pub fn compile_expr(expr: &AstExpr, schema: &PlanSchema, _ctx: ExprContext) -> Result<ScalarExpr> {
     match expr {
         AstExpr::Column(c) => {
             let idx = schema.resolve(c.table.as_deref(), &c.column)?;
@@ -490,7 +474,9 @@ pub fn compile_expr(
                     "aggregate {name} not allowed here"
                 )))
             } else {
-                Err(EngineError::InvalidQuery(format!("unknown function {name}")))
+                Err(EngineError::InvalidQuery(format!(
+                    "unknown function {name}"
+                )))
             }
         }
         AstExpr::IsNull { expr, negated } => Ok(ScalarExpr::IsNull {
@@ -543,11 +529,7 @@ fn literal_value(l: &ast::Literal) -> crate::value::Value {
     }
 }
 
-fn check_binary_types(
-    l: &ScalarExpr,
-    op: galois_sql::ast::BinaryOp,
-    r: &ScalarExpr,
-) -> Result<()> {
+fn check_binary_types(l: &ScalarExpr, op: galois_sql::ast::BinaryOp, r: &ScalarExpr) -> Result<()> {
     use crate::value::DataType::*;
     use galois_sql::ast::BinaryOp as B;
     let lt = l.data_type();
@@ -563,9 +545,7 @@ fn check_binary_types(
         B::And | B::Or => lt == Bool && rt == Bool,
         B::Add | B::Sub | B::Mul | B::Div => lt.is_numeric() && rt.is_numeric(),
         B::Mod => lt == Int && rt == Int,
-        _ if op.is_comparison() => {
-            lt == rt || (lt.is_numeric() && rt.is_numeric())
-        }
+        _ if op.is_comparison() => lt == rt || (lt.is_numeric() && rt.is_numeric()),
         _ => true,
     };
     if ok {
@@ -633,15 +613,9 @@ fn try_equi(conj: &ScalarExpr, left_arity: usize) -> Option<(ScalarExpr, ScalarE
     let all_left = |v: &[usize]| v.iter().all(|&i| i < left_arity);
     let all_right = |v: &[usize]| v.iter().all(|&i| i >= left_arity);
     if all_left(&l_refs) && all_right(&r_refs) {
-        Some((
-            (**left).clone(),
-            right.remap_indices(&|i| i - left_arity),
-        ))
+        Some(((**left).clone(), right.remap_indices(&|i| i - left_arity)))
     } else if all_right(&l_refs) && all_left(&r_refs) {
-        Some((
-            (**right).clone(),
-            left.remap_indices(&|i| i - left_arity),
-        ))
+        Some(((**right).clone(), left.remap_indices(&|i| i - left_arity)))
     } else {
         None
     }
@@ -666,9 +640,7 @@ fn collect_aggregates(
             let arg = match args {
                 FunctionArgs::Star => {
                     if func != AggFunc::Count {
-                        return Err(EngineError::InvalidQuery(format!(
-                            "{name}(*) is not valid"
-                        )));
+                        return Err(EngineError::InvalidQuery(format!("{name}(*) is not valid")));
                     }
                     None
                 }
@@ -785,7 +757,10 @@ impl PostAggRewriter<'_> {
                 negated,
             } => Ok(ScalarExpr::InList {
                 expr: Box::new(self.rewrite(expr)?),
-                list: list.iter().map(|e| self.rewrite(e)).collect::<Result<_>>()?,
+                list: list
+                    .iter()
+                    .map(|e| self.rewrite(e))
+                    .collect::<Result<_>>()?,
                 negated: *negated,
             }),
             AstExpr::Between {

@@ -129,11 +129,7 @@ mod tests {
         let r = db
             .execute("SELECT name FROM city WHERE population > 1000000")
             .unwrap();
-        let names: Vec<String> = r
-            .rows
-            .iter()
-            .map(|row| row[0].render())
-            .collect();
+        let names: Vec<String> = r.rows.iter().map(|row| row[0].render()).collect();
         assert_eq!(names, vec!["Rome", "Milan", "Paris"]);
     }
 
@@ -273,9 +269,7 @@ mod tests {
     fn left_join_keeps_unmatched() {
         let db = sample_db();
         let r = db
-            .execute(
-                "SELECT c.name, k.gdp FROM city c LEFT JOIN country k ON c.country = k.name",
-            )
+            .execute("SELECT c.name, k.gdp FROM city c LEFT JOIN country k ON c.country = k.name")
             .unwrap();
         assert_eq!(r.len(), 5);
         let berlin = r
@@ -330,7 +324,9 @@ mod tests {
     #[test]
     fn where_type_error() {
         let db = sample_db();
-        assert!(db.execute("SELECT name FROM city WHERE population").is_err());
+        assert!(db
+            .execute("SELECT name FROM city WHERE population")
+            .is_err());
         assert!(db
             .execute("SELECT name FROM city WHERE name > population")
             .is_err());
@@ -387,9 +383,7 @@ mod tests {
     #[test]
     fn min_max_on_text_and_dates() {
         let db = sample_db();
-        let r = db
-            .execute("SELECT MIN(name), MAX(name) FROM city")
-            .unwrap();
+        let r = db.execute("SELECT MIN(name), MAX(name) FROM city").unwrap();
         assert_eq!(r.rows[0][0].render(), "Berlin");
         assert_eq!(r.rows[0][1].render(), "Rome");
     }
@@ -405,9 +399,7 @@ mod tests {
     fn order_by_aggregate_not_in_select() {
         let db = sample_db();
         let r = db
-            .execute(
-                "SELECT country FROM city GROUP BY country ORDER BY COUNT(*) DESC, country",
-            )
+            .execute("SELECT country FROM city GROUP BY country ORDER BY COUNT(*) DESC, country")
             .unwrap();
         assert_eq!(r.schema.arity(), 1);
         assert_eq!(r.rows[0][0].render(), "France");

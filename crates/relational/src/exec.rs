@@ -104,11 +104,7 @@ impl fmt::Display for Relation {
 /// Executes `plan` against `catalog`.
 pub fn execute(plan: &LogicalPlan, catalog: &Catalog) -> Result<Relation> {
     match plan {
-        LogicalPlan::Scan {
-            table,
-            schema,
-            ..
-        } => {
+        LogicalPlan::Scan { table, schema, .. } => {
             if table.is_empty() {
                 // "dual": one empty row feeding table-less SELECTs.
                 return Ok(Relation {
@@ -361,9 +357,10 @@ impl AggState {
                     )));
                 };
                 let cur = acc.unwrap_or(0);
-                *acc = Some(cur.checked_add(*i).ok_or_else(|| {
-                    EngineError::Evaluation("SUM overflow".into())
-                })?);
+                *acc = Some(
+                    cur.checked_add(*i)
+                        .ok_or_else(|| EngineError::Evaluation("SUM overflow".into()))?,
+                );
             }
             AggState::SumFloat(acc) => {
                 let f = v.as_f64().ok_or_else(|| {
@@ -432,7 +429,13 @@ fn aggregate(
         states: aggregates.iter().map(AggState::new).collect(),
         distinct_seen: aggregates
             .iter()
-            .map(|a| if a.distinct { Some(HashSet::new()) } else { None })
+            .map(|a| {
+                if a.distinct {
+                    Some(HashSet::new())
+                } else {
+                    None
+                }
+            })
             .collect(),
     };
 
@@ -540,7 +543,10 @@ mod tests {
         let schema = l.schema.join(&r.schema.as_nullable());
         let out = join(&l, &r, JoinType::LeftOuter, &cond, &schema).unwrap();
         assert_eq!(out.len(), 2);
-        assert!(out.rows.iter().any(|r| r == &vec![Value::Int(2), Value::Null]));
+        assert!(out
+            .rows
+            .iter()
+            .any(|r| r == &vec![Value::Int(2), Value::Null]));
     }
 
     #[test]
@@ -563,11 +569,7 @@ mod tests {
 
     #[test]
     fn sort_rows_null_first_and_desc() {
-        let mut rows = vec![
-            vec![Value::Int(2)],
-            vec![Value::Null],
-            vec![Value::Int(1)],
-        ];
+        let mut rows = vec![vec![Value::Int(2)], vec![Value::Null], vec![Value::Int(1)]];
         sort_rows(
             &mut rows,
             &[SortKey {

@@ -109,9 +109,7 @@ impl ScalarExpr {
                 op if op.is_comparison() => DataType::Bool,
                 BinaryOp::Div => DataType::Float,
                 _ => {
-                    if left.data_type() == DataType::Float
-                        || right.data_type() == DataType::Float
-                    {
+                    if left.data_type() == DataType::Float || right.data_type() == DataType::Float {
                         DataType::Float
                     } else {
                         left.data_type()
@@ -364,11 +362,7 @@ fn eval_binary(left: &ScalarExpr, op: BinaryOp, right: &ScalarExpr, row: &Row) -
     }
     if op.is_comparison() {
         let ord = l.sql_cmp(&r).ok_or_else(|| {
-            EngineError::TypeMismatch(format!(
-                "cannot compare {} with {}",
-                l.render(),
-                r.render()
-            ))
+            EngineError::TypeMismatch(format!("cannot compare {} with {}", l.render(), r.render()))
         })?;
         use std::cmp::Ordering::*;
         let b = match op {
@@ -583,7 +577,11 @@ mod tests {
     #[test]
     fn arithmetic_int_and_float() {
         let row = vec![Value::Int(6), Value::Float(1.5)];
-        let e = bin(col(0, DataType::Int), BinaryOp::Add, col(1, DataType::Float));
+        let e = bin(
+            col(0, DataType::Int),
+            BinaryOp::Add,
+            col(1, DataType::Float),
+        );
         assert_eq!(e.eval(&row).unwrap(), Value::Float(7.5));
         let e = bin(col(0, DataType::Int), BinaryOp::Mul, lit(2i64));
         assert_eq!(e.eval(&row).unwrap(), Value::Int(12));
@@ -617,7 +615,13 @@ mod tests {
     #[test]
     fn kleene_logic() {
         let row = vec![Value::Null, Value::Bool(true), Value::Bool(false)];
-        let and = |a, b| bin(col(a, DataType::Bool), BinaryOp::And, col(b, DataType::Bool));
+        let and = |a, b| {
+            bin(
+                col(a, DataType::Bool),
+                BinaryOp::And,
+                col(b, DataType::Bool),
+            )
+        };
         let or = |a, b| bin(col(a, DataType::Bool), BinaryOp::Or, col(b, DataType::Bool));
         // false AND null = false; true AND null = null
         assert_eq!(and(2, 0).eval(&row).unwrap(), Value::Bool(false));

@@ -12,9 +12,9 @@
 //! and for Galois because predicates sitting directly above a scan are the
 //! candidates for prompt pushdown (paper §6 "Query optimization").
 
+use crate::builder::{split_conjuncts, split_join_condition};
 use crate::expr::ScalarExpr;
 use crate::plan::LogicalPlan;
-use crate::builder::{split_conjuncts, split_join_condition};
 use galois_sql::ast::{BinaryOp, JoinType};
 
 /// Optimizes a logical plan.
@@ -106,13 +106,16 @@ fn map_children(plan: LogicalPlan, f: impl Fn(LogicalPlan) -> LogicalPlan + Copy
 
 fn and_all(mut conjuncts: Vec<ScalarExpr>) -> Option<ScalarExpr> {
     let first = conjuncts.pop()?;
-    Some(conjuncts.into_iter().rev().fold(first, |acc, c| {
-        ScalarExpr::Binary {
-            left: Box::new(c),
-            op: BinaryOp::And,
-            right: Box::new(acc),
-        }
-    }))
+    Some(
+        conjuncts
+            .into_iter()
+            .rev()
+            .fold(first, |acc, c| ScalarExpr::Binary {
+                left: Box::new(c),
+                op: BinaryOp::And,
+                right: Box::new(acc),
+            }),
+    )
 }
 
 fn filter_over(input: LogicalPlan, conjuncts: Vec<ScalarExpr>) -> LogicalPlan {

@@ -232,8 +232,9 @@ impl LogicalPlan {
             | LogicalPlan::Sort { input, .. }
             | LogicalPlan::Distinct { input }
             | LogicalPlan::Limit { input, .. } => vec![input],
-            LogicalPlan::Join { left, right, .. }
-            | LogicalPlan::CrossJoin { left, right, .. } => vec![left, right],
+            LogicalPlan::Join { left, right, .. } | LogicalPlan::CrossJoin { left, right, .. } => {
+                vec![left, right]
+            }
         }
     }
 
@@ -281,10 +282,7 @@ impl LogicalPlan {
                 input.explain_into(out, depth + 1);
             }
             LogicalPlan::Project { input, exprs, .. } => {
-                let cols: Vec<String> = exprs
-                    .iter()
-                    .map(|(e, n)| format!("{e} AS {n}"))
-                    .collect();
+                let cols: Vec<String> = exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
                 out.push_str(&format!("{pad}Project {}\n", cols.join(", ")));
                 input.explain_into(out, depth + 1);
             }
@@ -367,10 +365,7 @@ impl LogicalPlan {
 }
 
 /// Builds the output schema of an aggregate node.
-pub fn aggregate_schema(
-    group_by: &[(ScalarExpr, String)],
-    aggregates: &[AggCall],
-) -> PlanSchema {
+pub fn aggregate_schema(group_by: &[(ScalarExpr, String)], aggregates: &[AggCall]) -> PlanSchema {
     let mut cols = Vec::with_capacity(group_by.len() + aggregates.len());
     for (expr, name) in group_by {
         let (binding, nullable) = match expr {
@@ -385,7 +380,10 @@ pub fn aggregate_schema(
         });
     }
     for agg in aggregates {
-        cols.push(PlanColumn::computed(agg.output_name.clone(), agg.output_type()));
+        cols.push(PlanColumn::computed(
+            agg.output_name.clone(),
+            agg.output_type(),
+        ));
     }
     PlanSchema::new(cols)
 }
@@ -400,10 +398,19 @@ mod tests {
         assert_eq!(AggFunc::from_name("AVG"), Some(AggFunc::Avg));
         assert_eq!(AggFunc::from_name("LOWER"), None);
         assert_eq!(AggFunc::Count.output_type(None), DataType::Int);
-        assert_eq!(AggFunc::Sum.output_type(Some(DataType::Float)), DataType::Float);
+        assert_eq!(
+            AggFunc::Sum.output_type(Some(DataType::Float)),
+            DataType::Float
+        );
         assert_eq!(AggFunc::Sum.output_type(Some(DataType::Int)), DataType::Int);
-        assert_eq!(AggFunc::Avg.output_type(Some(DataType::Int)), DataType::Float);
-        assert_eq!(AggFunc::Max.output_type(Some(DataType::Date)), DataType::Date);
+        assert_eq!(
+            AggFunc::Avg.output_type(Some(DataType::Int)),
+            DataType::Float
+        );
+        assert_eq!(
+            AggFunc::Max.output_type(Some(DataType::Date)),
+            DataType::Date
+        );
     }
 
     #[test]

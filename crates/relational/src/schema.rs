@@ -256,9 +256,7 @@ mod tests {
 
     #[test]
     fn nullable_key_rejected() {
-        assert!(
-            TableSchema::new(vec![Column::nullable("a", DataType::Int)], "a").is_err()
-        );
+        assert!(TableSchema::new(vec![Column::nullable("a", DataType::Int)], "a").is_err());
     }
 
     #[test]

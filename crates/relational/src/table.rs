@@ -182,7 +182,8 @@ mod tests {
     #[test]
     fn insert_valid_row() {
         let mut t = city_table();
-        t.insert(vec!["Rome".into(), Value::Int(2_800_000)]).unwrap();
+        t.insert(vec!["Rome".into(), Value::Int(2_800_000)])
+            .unwrap();
         assert_eq!(t.len(), 1);
         assert!(t.find_by_key(&"Rome".into()).is_some());
     }

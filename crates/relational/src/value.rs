@@ -248,9 +248,7 @@ impl Value {
         match (self, other) {
             (Value::Null, Value::Null) => Ordering::Equal,
             _ => match type_rank(self).cmp(&type_rank(other)) {
-                Ordering::Equal => self
-                    .sql_cmp(other)
-                    .unwrap_or(Ordering::Equal),
+                Ordering::Equal => self.sql_cmp(other).unwrap_or(Ordering::Equal),
                 o => o,
             },
         }
@@ -303,7 +301,9 @@ impl Value {
             (Value::Text(s), DataType::Bool) => match s.trim().to_ascii_lowercase().as_str() {
                 "true" | "t" | "yes" | "1" => Ok(Value::Bool(true)),
                 "false" | "f" | "no" | "0" => Ok(Value::Bool(false)),
-                _ => Err(EngineError::Evaluation(format!("cannot cast '{s}' to BOOL"))),
+                _ => Err(EngineError::Evaluation(format!(
+                    "cannot cast '{s}' to BOOL"
+                ))),
             },
             (Value::Text(s), DataType::Date) => Date::parse_iso(s).map(Value::Date),
             (v, DataType::Text) => Ok(Value::Text(v.render())),

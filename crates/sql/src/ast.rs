@@ -461,8 +461,12 @@ fn expr_precedence(expr: &Expr) -> u8 {
             BinaryOp::Add | BinaryOp::Sub => 6,
             BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => 7,
         },
-        Expr::Unary { op: UnaryOp::Not, .. } => 3,
-        Expr::Unary { op: UnaryOp::Neg, .. } => 8,
+        Expr::Unary {
+            op: UnaryOp::Not, ..
+        } => 3,
+        Expr::Unary {
+            op: UnaryOp::Neg, ..
+        } => 8,
         Expr::IsNull { .. } | Expr::InList { .. } | Expr::Between { .. } | Expr::Like { .. } => 5,
         Expr::Column(_) | Expr::Literal(_) | Expr::Function { .. } => 9,
     }

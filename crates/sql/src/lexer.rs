@@ -244,13 +244,19 @@ impl<'a> Lexer<'a> {
         }
         let text = &self.input[start..self.pos];
         if is_float {
-            text.parse::<f64>()
-                .map(TokenKind::Float)
-                .map_err(|e| SqlError::new(format!("bad float literal: {e}"), Span::new(start, self.pos)))
+            text.parse::<f64>().map(TokenKind::Float).map_err(|e| {
+                SqlError::new(
+                    format!("bad float literal: {e}"),
+                    Span::new(start, self.pos),
+                )
+            })
         } else {
-            text.parse::<i64>()
-                .map(TokenKind::Integer)
-                .map_err(|e| SqlError::new(format!("bad integer literal: {e}"), Span::new(start, self.pos)))
+            text.parse::<i64>().map(TokenKind::Integer).map_err(|e| {
+                SqlError::new(
+                    format!("bad integer literal: {e}"),
+                    Span::new(start, self.pos),
+                )
+            })
         }
     }
 

@@ -83,7 +83,11 @@ impl Parser {
         if self.eat_keyword(kw) {
             Ok(())
         } else {
-            Err(self.error_here(format!("expected {}, found {}", kw.as_str(), self.peek_kind())))
+            Err(self.error_here(format!(
+                "expected {}, found {}",
+                kw.as_str(),
+                self.peek_kind()
+            )))
         }
     }
 
@@ -548,7 +552,9 @@ mod tests {
     use super::*;
 
     fn roundtrip(sql: &str) -> String {
-        parse(sql).unwrap_or_else(|e| panic!("{sql}: {e}")).to_string()
+        parse(sql)
+            .unwrap_or_else(|e| panic!("{sql}: {e}"))
+            .to_string()
     }
 
     #[test]

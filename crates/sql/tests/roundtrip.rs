@@ -8,9 +8,24 @@ use proptest::prelude::*;
 /// Identifiers that can never collide with dialect keywords.
 fn ident_strategy() -> impl Strategy<Value = String> {
     prop::sample::select(vec![
-        "city", "country", "mayor", "population", "gdp", "name", "code",
-        "airport", "singer", "salary", "area", "capital", "elevation",
-        "t_alias", "col_1", "x", "y", "z",
+        "city",
+        "country",
+        "mayor",
+        "population",
+        "gdp",
+        "name",
+        "code",
+        "airport",
+        "singer",
+        "salary",
+        "area",
+        "capital",
+        "elevation",
+        "t_alias",
+        "col_1",
+        "x",
+        "y",
+        "z",
     ])
     .prop_map(str::to_string)
 }

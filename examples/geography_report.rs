@@ -16,7 +16,10 @@ use std::sync::Arc;
 fn main() {
     let scenario = Scenario::generate(42);
     let queries = [
-        ("large cities", "SELECT name FROM city WHERE population > 1000000"),
+        (
+            "large cities",
+            "SELECT name FROM city WHERE population > 1000000",
+        ),
         (
             "rich countries",
             "SELECT name, gdp FROM country WHERE gdp > 5.0",

@@ -35,6 +35,8 @@
 //! assert!(!r.relation.is_empty());
 //! ```
 
+#![warn(missing_docs)]
+
 pub use galois_core as core;
 pub use galois_dataset as dataset;
 pub use galois_eval as eval;

@@ -2,7 +2,7 @@
 //! LLM → parsing/cleaning → relational tail → relation.
 
 use galois::core::{
-    CompileOptions, DefaultSource, FilterMode, Galois, GaloisOptions, QaBaseline, BaselineKind,
+    BaselineKind, CompileOptions, DefaultSource, FilterMode, Galois, GaloisOptions, QaBaseline,
 };
 use galois::dataset::Scenario;
 use galois::eval::{match_records, relation_to_records};
@@ -80,7 +80,9 @@ fn qa_baseline_is_deterministic() {
             scenario.knowledge.clone(),
             ModelProfile::chatgpt(),
         ));
-        QaBaseline::new(model).ask(&question, BaselineKind::Plain).text
+        QaBaseline::new(model)
+            .ask(&question, BaselineKind::Plain)
+            .text
     };
     assert_eq!(ask(0), ask(1));
 }
@@ -134,7 +136,10 @@ fn hybrid_query_matches_all_db_execution_under_oracle() {
     let got = galois.execute(hybrid).unwrap();
     let truth = scenario.database.execute(all_db).unwrap();
     assert_eq!(sorted_rows(&got.relation), sorted_rows(&truth));
-    assert!(got.stats.total_prompts() > 0, "the LLM side must be prompted");
+    assert!(
+        got.stats.total_prompts() > 0,
+        "the LLM side must be prompted"
+    );
 }
 
 #[test]
@@ -200,10 +205,7 @@ fn session_stats_accumulate_and_cache_dedupes() {
     // Second execution of the identical query is fully cache-served.
     let second = galois.execute(sql).unwrap();
     assert_eq!(second.stats.cache_hits, first.stats.total_prompts());
-    assert_eq!(
-        sorted_rows(&first.relation),
-        sorted_rows(&second.relation)
-    );
+    assert_eq!(sorted_rows(&first.relation), sorted_rows(&second.relation));
 }
 
 #[test]
@@ -274,12 +276,9 @@ fn prompt_text_is_the_only_interface() {
 
     let transcript: std::collections::HashMap<String, String> =
         recorder.log.lock().unwrap().iter().cloned().collect();
-    let replayed = Galois::new(
-        Arc::new(Replayer { transcript }),
-        scenario.database.clone(),
-    )
-    .execute(sql)
-    .unwrap();
+    let replayed = Galois::new(Arc::new(Replayer { transcript }), scenario.database.clone())
+        .execute(sql)
+        .unwrap();
 
     assert_eq!(
         sorted_rows(&original.relation),

@@ -88,13 +88,16 @@ fn adversarial_queries_are_optimizer_invariant() {
 fn optimizer_removes_cross_joins_from_suite_join_queries() {
     use galois::relational::plan_stats;
     let s = Scenario::generate(42);
-    for spec in s.suite.iter().filter(|q| {
-        matches!(q.category, galois::dataset::QueryCategory::Join)
-    }) {
+    for spec in s
+        .suite
+        .iter()
+        .filter(|q| matches!(q.category, galois::dataset::QueryCategory::Join))
+    {
         let plan = s.database.plan(&spec.to_sql()).unwrap();
         let stats = plan_stats(&plan);
         assert_eq!(
-            stats.cross_joins, 0,
+            stats.cross_joins,
+            0,
             "q{} kept a cross join:\n{}",
             spec.id,
             plan.explain()

@@ -1,0 +1,127 @@
+//! Offline shim for the slice of the
+//! [`criterion`](https://docs.rs/criterion/0.5) API this workspace uses:
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Timing is a single warm-up pass followed by a fixed measurement window;
+//! it reports mean wall-clock time per iteration with no statistics,
+//! outlier rejection or HTML reports. Good enough to smoke-test bench
+//! targets and eyeball relative cost; swap for the registry `criterion`
+//! when networked builds become available.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque hint preventing the optimizer from deleting a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Benchmark driver handed to each registered bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    /// Wall-clock budget for one `bench_function` measurement window.
+    measurement_time: Duration,
+}
+
+impl Criterion {
+    fn measurement(&self) -> Duration {
+        if self.measurement_time.is_zero() {
+            Duration::from_millis(200)
+        } else {
+            self.measurement_time
+        }
+    }
+
+    /// Runs `f` under the bench harness and prints a one-line mean timing.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            budget: self.measurement(),
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let mean = if bencher.iters == 0 {
+            Duration::ZERO
+        } else {
+            bencher.elapsed / bencher.iters
+        };
+        println!(
+            "{name:<40} time: {mean:>12.3?}   ({} iterations)",
+            bencher.iters
+        );
+        self
+    }
+}
+
+/// Per-benchmark timing loop.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    iters: u32,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly until the measurement budget is spent,
+    /// accumulating wall-clock time per call.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // One warm-up call, unmeasured.
+        black_box(routine());
+        let window = Instant::now();
+        while window.elapsed() < self.budget && self.iters < 1_000_000 {
+            let start = Instant::now();
+            black_box(routine());
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Registers bench functions under a group name, mirroring `criterion`'s
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running each registered group, mirroring `criterion`'s
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        let mut criterion = Criterion {
+            measurement_time: Duration::from_millis(5),
+        };
+        let mut ran = false;
+        criterion.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+}

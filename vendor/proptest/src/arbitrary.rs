@@ -1,0 +1,62 @@
+//! `any::<T>()` — default strategies per type.
+
+use crate::strategy::BoxedStrategy;
+
+/// Types with a default generation strategy.
+pub trait Arbitrary: Sized + 'static {
+    /// The default strategy for this type.
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+/// Returns the default strategy for `T`, mirroring `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary()
+}
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<bool> {
+        BoxedStrategy::from_fn(|rng| rng.next_u64() & 1 == 1)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($int:ty),*) => {$(
+        impl Arbitrary for $int {
+            fn arbitrary() -> BoxedStrategy<$int> {
+                BoxedStrategy::from_fn(|rng| {
+                    // Half small values (readable failure output, denser
+                    // edge coverage near zero), half full-width bits.
+                    if rng.next_u64() & 1 == 0 {
+                        (rng.below(2001) as i64 - 1000) as $int
+                    } else {
+                        rng.next_u64() as $int
+                    }
+                })
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_arbitrary_float {
+    ($($float:ident),*) => {$(
+        impl Arbitrary for $float {
+            fn arbitrary() -> BoxedStrategy<$float> {
+                BoxedStrategy::from_fn(|rng| match rng.below(10) {
+                    // Weird corner of the space: raw bit patterns cover
+                    // NaN, infinities, subnormals and extreme magnitudes.
+                    0..=2 => $float::from_bits(rng.next_u64() as _),
+                    // Tame decimals, e.g. -483.07.
+                    _ => {
+                        let whole = rng.below(2_000_001) as i64 - 1_000_000;
+                        let scale = [1.0, 10.0, 100.0, 10_000.0][rng.below(4) as usize];
+                        whole as $float / scale
+                    }
+                })
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_float!(f32, f64);

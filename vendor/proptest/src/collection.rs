@@ -1,0 +1,18 @@
+//! Collection strategies.
+
+use std::ops::Range;
+
+use crate::strategy::{BoxedStrategy, Strategy};
+
+/// Vectors of `element` values with a length drawn uniformly from `size`
+/// (half-open, like `proptest::collection::vec` with a range argument).
+pub fn vec<S>(element: S, size: Range<usize>) -> BoxedStrategy<Vec<S::Value>>
+where
+    S: Strategy + 'static,
+{
+    assert!(size.start < size.end, "empty vec() size range");
+    BoxedStrategy::from_fn(move |rng| {
+        let len = size.start + rng.below((size.end - size.start) as u64) as usize;
+        (0..len).map(|_| element.generate(rng)).collect()
+    })
+}

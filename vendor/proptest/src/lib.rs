@@ -1,0 +1,221 @@
+//! Offline shim for the slice of the
+//! [`proptest`](https://docs.rs/proptest/1) API this workspace's property
+//! tests use.
+//!
+//! Implemented surface:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, `prop_filter`, `prop_recursive`
+//!   and `boxed`; [`strategy::Just`]; tuples, integer ranges and
+//!   regex-subset string literals as strategies;
+//! * [`arbitrary::any`] for `bool`, integers and floats;
+//! * [`sample::select`], [`collection::vec`], [`option::of`];
+//! * the [`proptest!`] test macro with `#![proptest_config(..)]`,
+//!   [`prop_assert!`]-family macros and [`prop_assume!`];
+//! * [`test_runner::ProptestConfig`] and [`test_runner::TestCaseError`].
+//!
+//! Differences from the real crate, by design: generation is driven by a
+//! deterministic per-test SplitMix64 stream (no `PROPTEST_*` env knobs), and
+//! there is **no shrinking** — a failing case panics with the generated
+//! values in the message instead of a minimized counterexample. Swap for the
+//! registry `proptest` when networked builds become available.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespace alias mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { body }` item
+/// expands to a `#[test]` running `body` over `ProptestConfig::cases`
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr);
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                let mut __accepted: u32 = 0;
+                let mut __rejected: u32 = 0;
+                while __accepted < __config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strategy),
+                            &mut __rng,
+                        );
+                    )*
+                    let __outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => __accepted += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(__why),
+                        ) => {
+                            __rejected += 1;
+                            assert!(
+                                __rejected < 10_000,
+                                "{}: too many prop_assume rejections ({})",
+                                stringify!($name),
+                                __why,
+                            );
+                        }
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(__msg),
+                        ) => {
+                            panic!(
+                                "property {} failed after {} passing cases: {}",
+                                stringify!($name),
+                                __accepted,
+                                __msg,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Chooses uniformly between several strategies producing the same value
+/// type. Weighted arms are not supported by this shim.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $( $crate::strategy::Strategy::boxed($strategy) ),+
+        ])
+    };
+}
+
+/// Fails the current test case (with an optional formatted message) unless
+/// the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        if !(__left == __right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}", __left, __right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        if !(__left == __right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {:?} != {:?}: {}",
+                    __left,
+                    __right,
+                    format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fails the current test case if the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        if __left == __right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} == {:?}", __left, __right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        if __left == __right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {:?} == {:?}: {}",
+                    __left,
+                    __right,
+                    format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// Discards the current test case (without counting it against the case
+/// budget) unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                format!("assumption failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+}

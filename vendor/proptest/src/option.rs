@@ -1,0 +1,18 @@
+//! Optional-value strategies.
+
+use crate::strategy::{BoxedStrategy, Strategy};
+
+/// Wraps a strategy's values in `Some` three times out of four, `None`
+/// otherwise; mirrors `proptest::option::of`.
+pub fn of<S>(inner: S) -> BoxedStrategy<Option<S::Value>>
+where
+    S: Strategy + 'static,
+{
+    BoxedStrategy::from_fn(move |rng| {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(inner.generate(rng))
+        }
+    })
+}

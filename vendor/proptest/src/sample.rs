@@ -1,0 +1,9 @@
+//! Sampling from explicit value lists.
+
+use crate::strategy::BoxedStrategy;
+
+/// Uniform choice from `options`, mirroring `proptest::sample::select`.
+pub fn select<T: Clone + 'static>(options: Vec<T>) -> BoxedStrategy<T> {
+    assert!(!options.is_empty(), "select() needs at least one option");
+    BoxedStrategy::from_fn(move |rng| options[rng.below(options.len() as u64) as usize].clone())
+}

@@ -1,0 +1,192 @@
+//! The [`Strategy`] trait, its combinators, and strategy implementations
+//! for ranges, tuples, string patterns and constants.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A type-erased, reference-counted strategy. Cloning is cheap and shares
+/// the underlying sampler, which is what lets recursive strategies close
+/// over themselves.
+pub struct BoxedStrategy<T> {
+    sampler: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            sampler: Rc::clone(&self.sampler),
+        }
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wraps a sampling closure as a strategy.
+    pub fn from_fn(sample: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        BoxedStrategy {
+            sampler: Rc::new(sample),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.sampler)(rng)
+    }
+}
+
+/// A recipe for generating values of one type from the deterministic test
+/// stream. Unlike the real crate there is no value tree and no shrinking:
+/// `generate` directly yields a final value.
+pub trait Strategy: Clone {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| self.generate(rng))
+    }
+
+    /// Applies `map` to every generated value.
+    fn prop_map<U, F>(self, map: F) -> BoxedStrategy<U>
+    where
+        Self: 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| map(self.generate(rng)))
+    }
+
+    /// Discards generated values failing the predicate, retrying with fresh
+    /// draws. Panics (failing the test) if 1000 consecutive draws are
+    /// rejected — filters are meant for rare exclusions, not narrow search.
+    fn prop_filter<F>(self, reason: &str, keep: F) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        let reason = reason.to_string();
+        BoxedStrategy::from_fn(move |rng| {
+            for _ in 0..1000 {
+                let value = self.generate(rng);
+                if keep(&value) {
+                    return value;
+                }
+            }
+            panic!("prop_filter({reason:?}) rejected 1000 consecutive values");
+        })
+    }
+
+    /// Builds a recursive strategy: `expand` receives the strategy for the
+    /// previous depth and returns the strategy for one more level. Leaves
+    /// are mixed in at every level so sizes stay bounded; `_desired_size`
+    /// and `_expected_branch` are accepted for signature compatibility but
+    /// only `depth` limits recursion.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        expand: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.boxed();
+        let mut tree = leaf.clone();
+        for _ in 0..depth {
+            let expanded = expand(tree).boxed();
+            let leaf = leaf.clone();
+            tree = BoxedStrategy::from_fn(move |rng| {
+                // One-third leaves keeps expected node counts finite even
+                // for wide branching factors.
+                if rng.below(3) == 0 {
+                    leaf.generate(rng)
+                } else {
+                    expanded.generate(rng)
+                }
+            });
+        }
+        tree
+    }
+}
+
+/// A strategy that always yields clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among same-valued strategies; backs [`crate::prop_oneof!`].
+pub fn union<T: 'static>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    BoxedStrategy::from_fn(move |rng| {
+        let index = rng.below(arms.len() as u64) as usize;
+        arms[index].generate(rng)
+    })
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($int:ty),*) => {$(
+        impl Strategy for Range<$int> {
+            type Value = $int;
+
+            fn generate(&self, rng: &mut TestRng) -> $int {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % width;
+                (self.start as i128 + offset as i128) as $int
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    /// String literals are regex-subset patterns; see [`crate::string`].
+    fn generate(&self, rng: &mut TestRng) -> String {
+        crate::string::generate(self, rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident . $index:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$index.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9);

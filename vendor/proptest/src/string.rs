@@ -1,0 +1,150 @@
+//! Generation of strings from the regex subset this workspace's tests use:
+//! sequences of literal characters and `[..]` character classes, each with
+//! an optional `{n}`, `{m,n}`, `?`, `*` or `+` quantifier.
+
+use crate::test_runner::TestRng;
+
+/// One pattern element: inclusive character ranges to choose from, plus a
+/// repetition interval.
+struct Piece {
+    ranges: Vec<(char, char)>,
+    min: u32,
+    max: u32,
+}
+
+/// Generates one string matching `pattern`. Panics on syntax outside the
+/// supported subset, which fails the offending test loudly rather than
+/// producing silently wrong data.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = piece.min + (rng.below(u64::from(piece.max - piece.min) + 1) as u32);
+        for _ in 0..count {
+            out.push(sample_class(&piece.ranges, rng));
+        }
+    }
+    out
+}
+
+fn sample_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u64 = ranges
+        .iter()
+        .map(|&(lo, hi)| u64::from(hi) - u64::from(lo) + 1)
+        .sum();
+    let mut pick = rng.below(total);
+    for &(lo, hi) in ranges {
+        let span = u64::from(hi) - u64::from(lo) + 1;
+        if pick < span {
+            return char::from_u32(lo as u32 + pick as u32)
+                .expect("class ranges stay inside valid scalar values");
+        }
+        pick -= span;
+    }
+    unreachable!("pick is bounded by the total class size")
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let ranges = match chars[i] {
+            '[' => {
+                let (ranges, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                ranges
+            }
+            '\\' => {
+                i += 2;
+                vec![(chars[i - 1], chars[i - 1])]
+            }
+            literal => {
+                i += 1;
+                vec![(literal, literal)]
+            }
+        };
+        let (min, max, next) = parse_quantifier(&chars, i, pattern);
+        i = next;
+        pieces.push(Piece { ranges, min, max });
+    }
+    pieces
+}
+
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<(char, char)>, usize) {
+    let mut ranges = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let lo = chars[i];
+        // `a-z` is a range unless the dash is the last class character.
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let hi = chars[i + 2];
+            assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+            ranges.push((lo, hi));
+            i += 3;
+        } else {
+            ranges.push((lo, lo));
+            i += 1;
+        }
+    }
+    assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+    assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+    (ranges, i + 1)
+}
+
+fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (u32, u32, usize) {
+    match chars.get(i) {
+        Some('?') => (0, 1, i + 1),
+        // Unbounded quantifiers get a small cap; the tests only use them
+        // for filler text.
+        Some('*') => (0, 8, i + 1),
+        Some('+') => (1, 8, i + 1),
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|offset| i + offset)
+                .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((min, max)) => (
+                    min.parse().expect("quantifier minimum"),
+                    max.parse().expect("quantifier maximum"),
+                ),
+                None => {
+                    let exact = body.parse().expect("quantifier count");
+                    (exact, exact)
+                }
+            };
+            assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+            (min, max, close + 1)
+        }
+        _ => (1, 1, i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn patterns_produce_matching_strings() {
+        let mut rng = TestRng::deterministic("patterns");
+        for _ in 0..200 {
+            let ident = generate("[a-zA-Z][a-zA-Z0-9]{0,10}", &mut rng);
+            assert!((1..=11).contains(&ident.chars().count()), "{ident:?}");
+            assert!(ident.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(ident.chars().all(|c| c.is_ascii_alphanumeric()));
+
+            let printable = generate("[ -~]{0,80}", &mut rng);
+            assert!(printable.chars().count() <= 80);
+            assert!(printable.chars().all(|c| (' '..='~').contains(&c)));
+
+            let like = generate("[a-z%_]{1,6}", &mut rng);
+            assert!((1..=6).contains(&like.chars().count()));
+            assert!(like
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '%' || c == '_'));
+        }
+    }
+}

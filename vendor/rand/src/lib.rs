@@ -1,0 +1,205 @@
+//! Offline shim for the slice of the [`rand`](https://docs.rs/rand/0.8) 0.8
+//! API this workspace uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! and the [`Rng`] methods `gen`, `gen_bool` and `gen_range` over integer and
+//! float ranges.
+//!
+//! The build container has no crates.io access, so this crate stands in via a
+//! workspace path dependency. The generator is a SplitMix64 — deterministic,
+//! seedable and statistically adequate for simulation and test data; it is
+//! **not** the ChaCha12 stream the real `StdRng` uses, and it is not
+//! cryptographically secure. Swap this crate for the registry `rand` when
+//! networked builds become available (seeded streams will change).
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Minimal core RNG interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Returns the next value of the underlying uniform `u64` stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding interface; only the `seed_from_u64` entry point is provided.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore + Sized {
+    /// Samples a value uniformly from `range` (integer or float, half-open
+    /// or inclusive).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// Samples a value of a [`Standard`]-distributed type: `f64` uniform in
+    /// `[0, 1)`, `bool` as a fair coin.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+/// Types samplable by [`Rng::gen`]; mirrors `rand`'s `Standard` distribution.
+pub trait Standard: Sized {
+    /// Draws one standard-distributed value from `rng`.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        // 53 random mantissa bits scaled into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`]; mirrors `rand`'s `SampleRange`.
+/// The single blanket impl per range shape (rather than one impl per
+/// element type) is what lets `gen_range(-50..200)` infer its element type
+/// from the surrounding expression, exactly as the real crate does.
+pub trait SampleRange<T> {
+    /// Samples a value uniformly from this range.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        T::sample_between(start, end, true, rng)
+    }
+}
+
+/// Element types uniformly samplable from a range.
+pub trait SampleUniform: Sized {
+    /// Samples uniformly from `[start, end)`, or `[start, end]` when
+    /// `inclusive`. Panics on an empty range.
+    fn sample_between<R: RngCore>(start: Self, end: Self, inclusive: bool, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore>(
+                start: Self,
+                end: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let width = (end as i128 - start as i128) as u128 + u128::from(inclusive);
+                assert!(width > 0, "empty gen_range");
+                let offset = (rng.next_u64() as u128) % width;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore>(
+                start: Self,
+                end: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                assert!(
+                    if inclusive { start <= end } else { start < end },
+                    "empty gen_range"
+                );
+                start + (f64::sample_standard(rng) as $t) * (end - start)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic seedable generator (SplitMix64 under the hood).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // Pre-mix once so seeds 0 and 1 do not yield correlated streams.
+            let mut rng = StdRng { state };
+            rng.next_u64();
+            StdRng { state: rng.state }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..32 {
+            assert_eq!(a.gen_range(0..1_000_000), b.gen_range(0..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-50..200);
+            assert!((-50..200).contains(&v));
+            let f = rng.gen_range(-0.25..0.25);
+            assert!((-0.25..0.25).contains(&f));
+            let m = rng.gen_range(1..=12);
+            assert!((1..=12).contains(&m));
+            let u = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}
