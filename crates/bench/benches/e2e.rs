@@ -3,7 +3,7 @@
 //! These are the macro-level numbers behind the reproduction tables.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use galois_core::{BaselineKind, Galois, QaBaseline};
+use galois_core::{BaselineKind, Galois, GaloisOptions, Parallelism, QaBaseline};
 use galois_dataset::Scenario;
 use galois_eval::model_for;
 use galois_llm::ModelProfile;
@@ -33,6 +33,31 @@ fn bench_galois_queries(c: &mut Criterion) {
     }
 }
 
+/// The 10× world: same 46 query shapes over relations ten times larger,
+/// so retrieval wall-clock is dominated by prompt volume — the regime the
+/// scheduler's worker threads target. One sequential and one 8-way
+/// scheduled session run the same query for a direct wall-clock A/B.
+fn bench_galois_scaled_world(c: &mut Criterion) {
+    let s = Scenario::generate_scaled(42, 10);
+    let sql = "SELECT name, population FROM city WHERE elevation < 800";
+    for (name, parallelism) in [("e2e_scaled10_seq", 1), ("e2e_scaled10_par8", 8)] {
+        let galois = Galois::with_options(
+            model_for(&s, ModelProfile::chatgpt()),
+            s.database.clone(),
+            GaloisOptions {
+                parallelism: Parallelism::new(parallelism),
+                ..Default::default()
+            },
+        );
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                galois.client().clear_cache();
+                galois.execute(black_box(sql)).unwrap()
+            })
+        });
+    }
+}
+
 fn bench_qa_baseline(c: &mut Criterion) {
     let s = Scenario::generate(42);
     let baseline = QaBaseline::new(model_for(&s, ModelProfile::chatgpt()));
@@ -42,5 +67,10 @@ fn bench_qa_baseline(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_galois_queries, bench_qa_baseline);
+criterion_group!(
+    benches,
+    bench_galois_queries,
+    bench_galois_scaled_world,
+    bench_qa_baseline
+);
 criterion_main!(benches);

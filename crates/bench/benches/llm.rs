@@ -16,7 +16,7 @@ fn bench_completion(c: &mut Criterion) {
         relation: "city".into(),
         key_attr: "name".into(),
         condition: None,
-        exclude: vec![],
+        exclude: std::sync::Arc::new(vec![]),
     });
     let fetch_prompt = builder.task(&TaskIntent::FetchAttr {
         relation: "city".into(),

@@ -1,0 +1,143 @@
+//! Emits `BENCH_e2e.json`: end-to-end prompt/latency accounting for the
+//! 46-query oracle suite, before and after the concurrent prompt
+//! scheduler.
+//!
+//! Methods reported:
+//!
+//! * `galois_sequential` — `Parallelism(1)`, one harness thread: the
+//!   pre-scheduler numbers (`virtual_ms == serial_virtual_ms`);
+//! * `galois_scheduled` — `Parallelism(K)` request lanes inside every
+//!   query *and* `K` concurrent query streams across the suite;
+//! * `qa_baseline` / `qa_cot_baseline` — the paper's `T_M` and `T_C_M`
+//!   one-prompt-per-question methods, across `K` streams.
+//!
+//! Usage: `perf_report [--seed 42] [--parallelism 8] [--out BENCH_e2e.json]`.
+
+use galois_bench::{parsed_flag, seed_from_args, string_flag};
+use galois_core::{BaselineKind, GaloisOptions, Parallelism};
+use galois_dataset::Scenario;
+use galois_eval::{
+    run_baseline_suite_parallel, run_galois_suite_parallel, suite_totals, BaselineRun, SuiteTotals,
+};
+use galois_llm::{lane_schedule, ModelProfile};
+
+/// One method's row in the JSON report.
+struct MethodReport {
+    name: &'static str,
+    parallelism: usize,
+    threads: usize,
+    totals: SuiteTotals,
+}
+
+impl MethodReport {
+    fn to_json(&self) -> String {
+        format!(
+            "    \"{}\": {{ \"parallelism\": {}, \"threads\": {}, \"virtual_ms\": {}, \
+             \"serial_virtual_ms\": {}, \"wall_ms\": {}, \"prompts\": {}, \"cache_hits\": {} }}",
+            self.name,
+            self.parallelism,
+            self.threads,
+            self.totals.virtual_ms,
+            self.totals.serial_virtual_ms,
+            self.totals.wall_ms,
+            self.totals.prompts,
+            self.totals.cache_hits,
+        )
+    }
+}
+
+fn baseline_totals(run: &BaselineRun, lanes: usize) -> SuiteTotals {
+    SuiteTotals {
+        prompts: run.outcomes.len(),
+        cache_hits: 0,
+        serial_virtual_ms: run.outcomes.iter().map(|o| o.virtual_ms).sum(),
+        virtual_ms: lane_schedule(run.outcomes.iter().map(|o| o.virtual_ms), lanes),
+        wall_ms: run.wall_ms,
+    }
+}
+
+fn main() {
+    let seed = seed_from_args();
+    let lanes = parsed_flag::<usize>("--parallelism").unwrap_or(8).max(1);
+    let out = string_flag("--out").unwrap_or_else(|| "BENCH_e2e.json".to_string());
+    let scenario = Scenario::generate(seed);
+
+    let sequential = run_galois_suite_parallel(
+        &scenario,
+        ModelProfile::oracle(),
+        GaloisOptions::default(),
+        1,
+    );
+    let scheduled = run_galois_suite_parallel(
+        &scenario,
+        ModelProfile::oracle(),
+        GaloisOptions {
+            parallelism: Parallelism::new(lanes),
+            ..Default::default()
+        },
+        lanes,
+    );
+    let qa = run_baseline_suite_parallel(
+        &scenario,
+        ModelProfile::oracle(),
+        BaselineKind::Plain,
+        lanes,
+    );
+    let cot = run_baseline_suite_parallel(
+        &scenario,
+        ModelProfile::oracle(),
+        BaselineKind::ChainOfThought,
+        lanes,
+    );
+
+    let methods = [
+        MethodReport {
+            name: "galois_sequential",
+            parallelism: 1,
+            threads: 1,
+            totals: suite_totals(&sequential, 1),
+        },
+        MethodReport {
+            name: "galois_scheduled",
+            parallelism: lanes,
+            threads: lanes,
+            totals: suite_totals(&scheduled, lanes),
+        },
+        MethodReport {
+            name: "qa_baseline",
+            parallelism: lanes,
+            threads: lanes,
+            totals: baseline_totals(&qa, lanes),
+        },
+        MethodReport {
+            name: "qa_cot_baseline",
+            parallelism: lanes,
+            threads: lanes,
+            totals: baseline_totals(&cot, lanes),
+        },
+    ];
+
+    let before = methods[0].totals.virtual_ms;
+    let after = methods[1].totals.virtual_ms.max(1);
+    let speedup = before as f64 / after as f64;
+
+    let rows: Vec<String> = methods.iter().map(MethodReport::to_json).collect();
+    let json = format!(
+        "{{\n  \"seed\": {seed},\n  \"suite\": \"oracle-46\",\n  \"parallelism\": {lanes},\n  \
+         \"methods\": {{\n{}\n  }},\n  \"virtual_speedup\": {speedup:.2}\n}}\n",
+        rows.join(",\n"),
+    );
+    std::fs::write(&out, &json).expect("write report");
+
+    println!("wrote {out}");
+    println!(
+        "suite virtual time: {} ms sequential -> {} ms scheduled ({speedup:.1}x, {} lanes)",
+        before, after, lanes
+    );
+    for m in &methods {
+        println!(
+            "  {:<18} prompts {:>5}  cache_hits {:>5}  virtual {:>7} ms  wall {:>5} ms",
+            m.name, m.totals.prompts, m.totals.cache_hits, m.totals.virtual_ms, m.totals.wall_ms
+        );
+    }
+}

@@ -17,7 +17,7 @@ fn main() {
         relation: "city".into(),
         key_attr: "name".into(),
         condition: None,
-        exclude: vec![],
+        exclude: std::sync::Arc::new(vec![]),
     };
     println!("=== base-relation access (key retrieval) ===");
     println!("{}\n", builder.task(&scan));
@@ -26,7 +26,7 @@ fn main() {
         relation: "city".into(),
         key_attr: "name".into(),
         condition: None,
-        exclude: vec!["New York City".into(), "Chicago".into()],
+        exclude: std::sync::Arc::new(vec!["New York City".into(), "Chicago".into()]),
     };
     println!("=== \"Return more results\" iteration ===");
     println!("{}\n", question_line(&builder.task(&more)));

@@ -22,11 +22,28 @@
 /// Parses a `--seed N` argument pair from `std::env::args`, defaulting to
 /// 42. Shared by all reproduction binaries.
 pub fn seed_from_args() -> u64 {
+    parsed_flag("--seed").unwrap_or(42)
+}
+
+/// Parses a `--threads N` argument pair, defaulting to 1 (the sequential,
+/// paper-faithful harness).
+pub fn threads_from_args() -> usize {
+    parsed_flag("--threads").unwrap_or(1).max(1)
+}
+
+/// Parses an arbitrary `<flag> <value>` pair from `std::env::args`.
+pub fn parsed_flag<T: std::str::FromStr>(flag: &str) -> Option<T> {
     let args: Vec<String> = std::env::args().collect();
     args.windows(2)
-        .find(|w| w[0] == "--seed")
+        .find(|w| w[0] == flag)
         .and_then(|w| w[1].parse().ok())
-        .unwrap_or(42)
+}
+
+/// Parses a `<flag> <value>` string pair from `std::env::args`
+/// (convenience alias for `parsed_flag::<String>`, whose parse is
+/// infallible).
+pub fn string_flag(flag: &str) -> Option<String> {
+    parsed_flag(flag)
 }
 
 #[cfg(test)]
@@ -35,5 +52,12 @@ mod tests {
     fn default_seed_is_42() {
         // Arguments of the test harness never contain --seed.
         assert_eq!(super::seed_from_args(), 42);
+    }
+
+    #[test]
+    fn default_threads_is_one() {
+        assert_eq!(super::threads_from_args(), 1);
+        assert_eq!(super::parsed_flag::<usize>("--no-such-flag"), None);
+        assert_eq!(super::string_flag("--no-such-flag"), None);
     }
 }

@@ -58,20 +58,29 @@ impl QaBaseline {
     }
 
     /// Asks the question and extracts records.
+    ///
+    /// Accounting comes from the call's own [`galois_llm::BatchOutcome`]
+    /// rather than global counter deltas, so concurrent `ask`s (the
+    /// multi-threaded harness) attribute tokens and virtual time to the
+    /// right question.
     pub fn ask(&self, question: &str, kind: BaselineKind) -> BaselineResult {
         let prompt = match kind {
             BaselineKind::Plain => self.prompt_builder.question(question),
             BaselineKind::ChainOfThought => self.prompt_builder.question_cot(question),
         };
-        let before = self.client.stats();
-        let completion = self.client.complete(&prompt);
-        let after = self.client.stats();
+        let outcome = self.client.complete_outcome(&prompt);
+        let text = outcome
+            .completions
+            .into_iter()
+            .next()
+            .expect("one completion per prompt")
+            .text;
         BaselineResult {
-            records: extract_records(&completion.text),
-            text: completion.text,
-            prompt_tokens: after.prompt_tokens - before.prompt_tokens,
-            completion_tokens: after.completion_tokens - before.completion_tokens,
-            virtual_ms: after.virtual_ms - before.virtual_ms,
+            records: extract_records(&text),
+            text,
+            prompt_tokens: outcome.prompt_tokens,
+            completion_tokens: outcome.completion_tokens,
+            virtual_ms: outcome.virtual_ms,
         }
     }
 }

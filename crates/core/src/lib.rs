@@ -34,6 +34,7 @@
 //! | [`parse`] | §4 workflow (3): answers → CELL values |
 //! | [`clean`] | §4 workflow (3): normalisation + domain constraints |
 //! | [`session`] | §4 workflow (1)–(4), §5 prompt accounting |
+//! | [`schedule`] | concurrent prompt scheduler (worker-thread waves) |
 //! | [`baselines`] | §5 `T_M` and `T_C_M` |
 
 #![warn(missing_docs)]
@@ -44,10 +45,13 @@ pub mod compile;
 pub mod error;
 pub mod parse;
 pub mod prompts;
+pub mod schedule;
 pub mod session;
 
 pub use baselines::{BaselineKind, BaselineResult, QaBaseline};
 pub use clean::CleaningPolicy;
 pub use compile::{CompileOptions, CompiledQuery, DefaultSource, FilterMode, LlmScanStep};
 pub use error::{GaloisError, Result};
+pub use galois_llm::Parallelism;
+pub use schedule::Scheduler;
 pub use session::{Galois, GaloisOptions, GaloisResult, QueryStats};

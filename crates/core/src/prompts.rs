@@ -94,7 +94,7 @@ mod tests {
             relation: "city".into(),
             key_attr: "name".into(),
             condition: None,
-            exclude: vec![],
+            exclude: std::sync::Arc::new(vec![]),
         }
     }
 

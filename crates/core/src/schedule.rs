@@ -1,0 +1,192 @@
+//! The prompt scheduler: real worker threads for independent retrieval
+//! units.
+//!
+//! The session decomposes a compiled query into *waves* of independent
+//! work units — every distinct [`crate::compile::LlmScanStep`] of the
+//! query, every chunk of one filter condition, every `(column, chunk)`
+//! cell of the attribute-fetch phase. A wave's units share no data
+//! dependencies, so [`Scheduler::run_wave`] may execute them on up to
+//! `K` OS threads (`K` = the session's [`Parallelism`] knob); results are
+//! always returned in submission order, so downstream code is oblivious
+//! to the interleaving.
+//!
+//! With `Parallelism(1)` the scheduler runs every unit inline on the
+//! calling thread, in submission order — the exact pre-scheduler
+//! behaviour, which keeps the sequential path bit-for-bit reproducible.
+//!
+//! Virtual-time accounting is deliberately *not* done here: units return
+//! their own virtual cost and the caller packs those costs onto simulated
+//! lanes with [`galois_llm::lane_schedule`], so the virtual clock is a
+//! deterministic function of the work, not of OS thread timing.
+
+use galois_llm::Parallelism;
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Set on scheduler worker threads so *nested* waves (a step wave
+    /// spawning its condition/fetch waves, or the harness wave spawning
+    /// per-query step waves) run inline instead of multiplying threads —
+    /// real concurrency stays bounded by the top-level wave's `K` rather
+    /// than compounding to `K²`/`K³`.
+    static IN_WAVE_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Executes waves of independent closures across a bounded worker pool.
+#[derive(Debug, Clone, Copy)]
+pub struct Scheduler {
+    workers: usize,
+}
+
+impl Scheduler {
+    /// A scheduler running at most `parallelism` units concurrently.
+    pub fn new(parallelism: Parallelism) -> Self {
+        Scheduler {
+            workers: parallelism.get(),
+        }
+    }
+
+    /// The worker-pool bound.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs one wave of independent units, returning their results in
+    /// submission order.
+    ///
+    /// Units are claimed from a shared queue by up to `workers` scoped
+    /// threads; with one worker (or at most one unit), or when already on
+    /// a wave worker thread (nested waves), everything runs inline on the
+    /// calling thread — real thread count is bounded by the *outermost*
+    /// wave's worker count. A panicking unit propagates when the scope
+    /// joins. The virtual clock never depends on this choice: callers
+    /// account unit costs structurally via `lane_schedule`.
+    pub fn run_wave<T, F>(&self, units: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        if self.workers <= 1 || units.len() <= 1 || IN_WAVE_WORKER.with(Cell::get) {
+            return units.into_iter().map(|unit| unit()).collect();
+        }
+        let n = units.len();
+        let jobs: Vec<Mutex<Option<F>>> = units.into_iter().map(|u| Mutex::new(Some(u))).collect();
+        let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers.min(n) {
+                scope.spawn(|| {
+                    IN_WAVE_WORKER.with(|flag| flag.set(true));
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let unit = jobs[i].lock().take().expect("each unit claimed once");
+                        *results[i].lock() = Some(unit());
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every unit ran"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_submission_order() {
+        let sched = Scheduler::new(Parallelism::new(4));
+        let units: Vec<_> = (0..32)
+            .map(|i| {
+                move || {
+                    // Stagger so late units often finish first.
+                    std::thread::sleep(std::time::Duration::from_micros((32 - i as u64) * 50));
+                    i * 10
+                }
+            })
+            .collect();
+        let got = sched.run_wave(units);
+        assert_eq!(got, (0..32).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_runs_inline_in_order() {
+        let sched = Scheduler::new(Parallelism::new(1));
+        let log = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let units: Vec<_> = (0..5)
+            .map(|i| {
+                let log = log.clone();
+                move || {
+                    log.lock().push(i);
+                    i
+                }
+            })
+            .collect();
+        let got = sched.run_wave(units);
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert_eq!(*log.lock(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nested_waves_run_inline_on_the_worker_thread() {
+        let sched = Scheduler::new(Parallelism::new(4));
+        let units: Vec<_> = (0..4)
+            .map(|_| {
+                move || {
+                    let outer_thread = std::thread::current().id();
+                    let inner = Scheduler::new(Parallelism::new(4));
+                    let inner_units: Vec<_> = (0..3)
+                        .map(|_| move || std::thread::current().id())
+                        .collect();
+                    inner
+                        .run_wave(inner_units)
+                        .into_iter()
+                        .all(|id| id == outer_thread)
+                }
+            })
+            .collect();
+        assert!(
+            sched.run_wave(units).into_iter().all(|inline| inline),
+            "nested waves must not spawn further threads"
+        );
+    }
+
+    #[test]
+    fn empty_wave_is_fine() {
+        let sched = Scheduler::new(Parallelism::new(8));
+        let got: Vec<i32> = sched.run_wave(Vec::<fn() -> i32>::new());
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn wave_actually_uses_multiple_threads() {
+        let sched = Scheduler::new(Parallelism::new(4));
+        let concurrent = std::sync::Arc::new(AtomicUsize::new(0));
+        let peak = std::sync::Arc::new(AtomicUsize::new(0));
+        let units: Vec<_> = (0..8)
+            .map(|_| {
+                let concurrent = concurrent.clone();
+                let peak = peak.clone();
+                move || {
+                    let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    concurrent.fetch_sub(1, Ordering::SeqCst);
+                }
+            })
+            .collect();
+        sched.run_wave(units);
+        assert!(
+            peak.load(Ordering::SeqCst) > 1,
+            "expected overlapping units, peak {}",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+}

@@ -8,16 +8,31 @@
 //! (3) convert answer strings to typed CELL values (parse + clean)
 //! (4) run the remaining operators (joins, aggregates, …) traditionally
 //! ```
+//!
+//! Retrieval runs through the **prompt scheduler** ([`crate::schedule`]):
+//! every distinct LLM scan step of the query, every chunk of a filter
+//! condition, and every `(column, chunk)` cell of the fetch phase is an
+//! independent work unit submitted as one wave and executed across up to
+//! `K` worker threads, where `K` is [`GaloisOptions::parallelism`]. The
+//! virtual clock packs each wave onto `K` simulated request lanes
+//! ([`galois_llm::lane_schedule`]); `Parallelism(1)` reproduces the
+//! original strictly-sequential accounting bit-for-bit. Filter conditions
+//! keep their conjunctive short-circuit order (condition *n + 1* only
+//! prompts for keys that survived condition *n*) because evaluating all
+//! conditions on all keys would inflate prompt volume — the scheduler
+//! parallelises *within* each condition instead.
 
 use crate::clean::{clean_to_type, normalise_text, CleaningPolicy};
 use crate::compile::{compile, CompileOptions, CompiledQuery, LlmScanStep};
 use crate::error::{GaloisError, Result};
 use crate::parse::{parse_boolean_answer, parse_list_answer, parse_value_answer, ListAnswer};
 use crate::prompts::PromptBuilder;
+use crate::schedule::Scheduler;
 use galois_llm::intent::TaskIntent;
-use galois_llm::{ClientStats, LanguageModel, LlmClient};
+use galois_llm::{lane_schedule, BatchOutcome, ClientStats, LanguageModel, LlmClient, Parallelism};
 use galois_relational::{Column, Database, Relation, Table, TableSchema, Value};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Tuning knobs of a session.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +47,10 @@ pub struct GaloisOptions {
     pub max_list_iterations: usize,
     /// Prompts per batch request.
     pub batch_size: usize,
+    /// Concurrency knob: simulated request lanes for the virtual clock
+    /// *and* real worker threads for the scheduler. `Parallelism(1)` (the
+    /// default) is the paper-faithful sequential configuration.
+    pub parallelism: Parallelism,
 }
 
 impl Default for GaloisOptions {
@@ -41,6 +60,7 @@ impl Default for GaloisOptions {
             cleaning: CleaningPolicy::default(),
             max_list_iterations: 32,
             batch_size: 20,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -61,8 +81,15 @@ pub struct QueryStats {
     pub prompt_tokens: usize,
     /// Total completion tokens.
     pub completion_tokens: usize,
-    /// Virtual milliseconds spent in the model.
+    /// Virtual milliseconds spent in the model under the session's lane
+    /// count (sequential phases sum; waves of independent units pack onto
+    /// the lanes).
     pub virtual_ms: u64,
+    /// Virtual milliseconds a single-lane run would have spent on the same
+    /// batches (`serial_virtual_ms == virtual_ms` at `Parallelism(1)`).
+    pub serial_virtual_ms: u64,
+    /// Real wall-clock milliseconds spent executing the query.
+    pub wall_ms: u64,
     /// Rows materialised from the LLM across all scans.
     pub rows_retrieved: usize,
 }
@@ -76,6 +103,50 @@ impl QueryStats {
     /// Virtual seconds spent.
     pub fn virtual_seconds(&self) -> f64 {
         self.virtual_ms as f64 / 1000.0
+    }
+
+    /// Virtual speedup over a single-lane run (1.0 when sequential).
+    pub fn virtual_speedup(&self) -> f64 {
+        if self.virtual_ms == 0 {
+            1.0
+        } else {
+            self.serial_virtual_ms as f64 / self.virtual_ms as f64
+        }
+    }
+
+    /// Fraction of the `lanes × virtual_ms` budget that did useful work.
+    pub fn lane_utilisation(&self, lanes: usize) -> f64 {
+        let budget = (lanes.max(1) as u64 * self.virtual_ms) as f64;
+        if budget == 0.0 {
+            0.0
+        } else {
+            self.serial_virtual_ms as f64 / budget
+        }
+    }
+}
+
+/// Per-step accounting accumulated during retrieval, folded into
+/// [`QueryStats`] once the step wave completes.
+#[derive(Debug, Clone, Copy, Default)]
+struct StepStats {
+    list_prompts: usize,
+    filter_prompts: usize,
+    fetch_prompts: usize,
+    cache_hits: usize,
+    prompt_tokens: usize,
+    completion_tokens: usize,
+    virtual_ms: u64,
+    serial_ms: u64,
+}
+
+impl StepStats {
+    /// Folds one batch's counters in (time is phase-structured and added
+    /// by the caller, not here).
+    fn absorb(&mut self, outcome: &BatchOutcome) {
+        self.cache_hits += outcome.hits;
+        self.prompt_tokens += outcome.prompt_tokens;
+        self.completion_tokens += outcome.completion_tokens;
+        self.serial_ms += outcome.serial_ms;
     }
 }
 
@@ -94,6 +165,9 @@ pub struct GaloisResult {
 /// (but no instances) is provided together with the query") and any
 /// `DB.`-qualified instance data for hybrid queries; LLM-sourced relations
 /// are materialised through prompts at query time.
+///
+/// Sessions are `Sync`: one session may serve queries from many threads
+/// concurrently (the harness does exactly that), sharing the prompt cache.
 pub struct Galois {
     client: LlmClient,
     db: Database,
@@ -115,7 +189,7 @@ impl Galois {
     ) -> Self {
         let prompt_builder = PromptBuilder::for_model(model.name());
         Galois {
-            client: LlmClient::new(model),
+            client: LlmClient::with_parallelism(model, options.parallelism),
             db,
             prompt_builder,
             options,
@@ -152,27 +226,46 @@ impl Galois {
     }
 
     /// Executes an already-compiled query.
+    ///
+    /// All distinct LLM scan steps are submitted to the scheduler as one
+    /// wave; the query's virtual time is the lane-packed makespan of the
+    /// step times (their sum at `Parallelism(1)`).
     pub fn execute_compiled(&self, compiled: &CompiledQuery) -> Result<GaloisResult> {
-        let before = self.client.stats();
-        let mut stats = QueryStats::default();
+        let started = Instant::now();
+        let scheduler = Scheduler::new(self.options.parallelism);
+        let lanes = self.options.parallelism.get();
 
+        let step_units: Vec<_> = compiled
+            .steps
+            .iter()
+            .map(|step| move || self.retrieve(step))
+            .collect();
+        let retrieved = scheduler.run_wave(step_units);
+
+        let mut stats = QueryStats::default();
+        let mut step_virtuals = Vec::with_capacity(compiled.steps.len());
         let mut catalog = self.db.catalog().clone();
-        for step in &compiled.steps {
-            let table = self.retrieve(step, &mut stats)?;
+        for result in retrieved {
+            let (table, step_stats) = result?;
+            stats.list_prompts += step_stats.list_prompts;
+            stats.filter_prompts += step_stats.filter_prompts;
+            stats.fetch_prompts += step_stats.fetch_prompts;
+            stats.cache_hits += step_stats.cache_hits;
+            stats.prompt_tokens += step_stats.prompt_tokens;
+            stats.completion_tokens += step_stats.completion_tokens;
+            stats.serial_virtual_ms += step_stats.serial_ms;
             stats.rows_retrieved += table.len();
+            step_virtuals.push(step_stats.virtual_ms);
             catalog
                 .add_table(table)
                 .map_err(|e| GaloisError::Compile(format!("temp table: {e}")))?;
         }
+        stats.virtual_ms = lane_schedule(step_virtuals, lanes);
 
         let relation =
             galois_relational::execute(&compiled.plan, &catalog).map_err(GaloisError::from)?;
 
-        let after = self.client.stats();
-        stats.cache_hits = after.cache_hits - before.cache_hits;
-        stats.prompt_tokens = after.prompt_tokens - before.prompt_tokens;
-        stats.completion_tokens = after.completion_tokens - before.completion_tokens;
-        stats.virtual_ms = after.virtual_ms - before.virtual_ms;
+        stats.wall_ms = started.elapsed().as_millis() as u64;
         Ok(GaloisResult { relation, stats })
     }
 
@@ -185,10 +278,12 @@ impl Galois {
     // Retrieval (workflow steps 2–3)
     // -----------------------------------------------------------------
 
-    fn retrieve(&self, step: &LlmScanStep, stats: &mut QueryStats) -> Result<Table> {
-        let keys = self.scan_keys(step, stats);
-        let keys = self.apply_filters(step, keys, stats);
-        let rows = self.fetch_attributes(step, &keys, stats);
+    fn retrieve(&self, step: &LlmScanStep) -> Result<(Table, StepStats)> {
+        let scheduler = Scheduler::new(self.options.parallelism);
+        let mut acc = StepStats::default();
+        let keys = self.scan_keys(step, &mut acc);
+        let keys = self.apply_filters(step, keys, &scheduler, &mut acc);
+        let rows = self.fetch_attributes(step, &keys, &scheduler, &mut acc);
 
         // Materialise: same column order as the stored schema, everything
         // but the key nullable (unfetched attributes are NULL).
@@ -212,36 +307,48 @@ impl Galois {
             // the key-identifies-tuple assumption is enforced here.
             let _ = table.insert(row);
         }
-        Ok(table)
+        Ok((table, acc))
     }
 
     /// Key retrieval: iterate the list prompt until the model stops
     /// producing new values (paper: "we iterate with a prompt until we
     /// stop getting new results").
-    fn scan_keys(&self, step: &LlmScanStep, stats: &mut QueryStats) -> Vec<String> {
-        let mut keys: Vec<String> = Vec::new();
+    ///
+    /// Iterations chain on the exclusion list, so this phase is inherently
+    /// sequential; its batches add to the step's virtual time directly.
+    /// The growing exclusion list rides behind an `Arc`, so rendering each
+    /// iteration's prompt shares rather than re-clones every seen key.
+    fn scan_keys(&self, step: &LlmScanStep, acc: &mut StepStats) -> Vec<String> {
+        let mut keys: Arc<Vec<String>> = Arc::new(Vec::new());
         let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
         for _ in 0..self.options.max_list_iterations {
-            let intent = TaskIntent::ListKeys {
-                relation: step.table.clone(),
-                key_attr: step.key_attr.clone(),
-                condition: step.scan_condition.clone(),
-                exclude: keys.clone(),
+            let prompt = {
+                // Scoped so the intent's `Arc` clone dies before
+                // `Arc::make_mut` below — keeping the push in-place.
+                let intent = TaskIntent::ListKeys {
+                    relation: step.table.clone(),
+                    key_attr: step.key_attr.clone(),
+                    condition: step.scan_condition.clone(),
+                    exclude: Arc::clone(&keys),
+                };
+                self.prompt_builder.task(&intent)
             };
-            let prompt = self.prompt_builder.task(&intent);
-            let completion = self.client.complete(&prompt);
-            stats.list_prompts += 1;
-            match parse_list_answer(&completion.text) {
+            let outcome = self.client.complete_outcome(&prompt);
+            acc.list_prompts += 1;
+            acc.virtual_ms += outcome.virtual_ms;
+            acc.absorb(&outcome);
+            match parse_list_answer(&outcome.completions[0].text) {
                 ListAnswer::Exhausted => break,
                 ListAnswer::Values(values) => {
                     let mut got_new = false;
+                    let fresh = Arc::make_mut(&mut keys);
                     for v in values {
                         let cleaned = normalise_text(&v);
                         if cleaned.is_empty() {
                             continue;
                         }
                         if seen.insert(cleaned.to_ascii_lowercase()) {
-                            keys.push(cleaned);
+                            fresh.push(cleaned);
                             got_new = true;
                         }
                     }
@@ -251,17 +358,25 @@ impl Galois {
                 }
             }
         }
-        keys
+        Arc::try_unwrap(keys).unwrap_or_else(|shared| (*shared).clone())
     }
 
     /// Selection via boolean prompts: one "is its <attr> <op> <value>?"
     /// question per key per condition.
+    ///
+    /// Conditions stay in conjunctive short-circuit order (a key is only
+    /// asked about condition *n + 1* if it survived condition *n* — the
+    /// prompt-pruning the paper's operator relies on); the chunks *within*
+    /// one condition are independent and run as one scheduler wave.
     fn apply_filters(
         &self,
         step: &LlmScanStep,
         keys: Vec<String>,
-        stats: &mut QueryStats,
+        scheduler: &Scheduler,
+        acc: &mut StepStats,
     ) -> Vec<String> {
+        let lanes = self.options.parallelism.get();
+        let batch = self.options.batch_size.max(1);
         let mut keys = keys;
         for condition in &step.filter_conditions {
             let prompts: Vec<String> = keys
@@ -275,14 +390,20 @@ impl Galois {
                     })
                 })
                 .collect();
+            let units: Vec<_> = prompts
+                .chunks(batch)
+                .map(|chunk| move || self.client.complete_batch_outcome(chunk))
+                .collect();
+            let outcomes = scheduler.run_wave(units);
+            acc.filter_prompts += prompts.len();
+            acc.virtual_ms += lane_schedule(outcomes.iter().map(|o| o.virtual_ms), lanes);
             let mut verdicts = Vec::with_capacity(keys.len());
-            for chunk in prompts.chunks(self.options.batch_size.max(1)) {
-                let completions = self.client.complete_batch(chunk);
-                stats.filter_prompts += chunk.len();
-                for c in completions {
+            for outcome in &outcomes {
+                acc.absorb(outcome);
+                for completion in &outcome.completions {
                     // An unparseable verdict keeps the tuple out: the
                     // predicate did not evaluate to TRUE.
-                    verdicts.push(parse_boolean_answer(&c.text).unwrap_or(false));
+                    verdicts.push(parse_boolean_answer(&completion.text).unwrap_or(false));
                 }
             }
             keys = keys
@@ -295,12 +416,18 @@ impl Galois {
     }
 
     /// Attribute retrieval: one prompt per (key, attribute), batched.
+    ///
+    /// Every `(column, chunk)` cell is independent — the whole phase is a
+    /// single scheduler wave.
     fn fetch_attributes(
         &self,
         step: &LlmScanStep,
         keys: &[String],
-        stats: &mut QueryStats,
+        scheduler: &Scheduler,
+        acc: &mut StepStats,
     ) -> Vec<Vec<Value>> {
+        let lanes = self.options.parallelism.get();
+        let batch = self.options.batch_size.max(1);
         let arity = step.columns.len();
         let mut rows: Vec<Vec<Value>> = keys
             .iter()
@@ -317,26 +444,47 @@ impl Galois {
             })
             .collect();
 
-        for &col_idx in &step.fetch {
-            let column = &step.columns[col_idx];
-            let prompts: Vec<String> = keys
-                .iter()
-                .map(|key| {
-                    self.prompt_builder.task(&TaskIntent::FetchAttr {
-                        relation: step.table.clone(),
-                        key_attr: step.key_attr.clone(),
-                        key: key.clone(),
-                        attribute: column.name.clone(),
+        let col_prompts: Vec<(usize, Vec<String>)> = step
+            .fetch
+            .iter()
+            .map(|&col_idx| {
+                let column = &step.columns[col_idx];
+                let prompts = keys
+                    .iter()
+                    .map(|key| {
+                        self.prompt_builder.task(&TaskIntent::FetchAttr {
+                            relation: step.table.clone(),
+                            key_attr: step.key_attr.clone(),
+                            key: key.clone(),
+                            attribute: column.name.clone(),
+                        })
                     })
-                })
-                .collect();
-            let mut answers = Vec::with_capacity(prompts.len());
-            for chunk in prompts.chunks(self.options.batch_size.max(1)) {
-                let completions = self.client.complete_batch(chunk);
-                stats.fetch_prompts += chunk.len();
-                answers.extend(completions);
+                    .collect();
+                (col_idx, prompts)
+            })
+            .collect();
+
+        let mut unit_columns: Vec<usize> = Vec::new(); // unit → column ordinal
+        let mut units = Vec::new();
+        for (ord, (_, prompts)) in col_prompts.iter().enumerate() {
+            for chunk in prompts.chunks(batch) {
+                unit_columns.push(ord);
+                units.push(move || self.client.complete_batch_outcome(chunk));
             }
-            for (row, completion) in rows.iter_mut().zip(answers) {
+        }
+        let outcomes = scheduler.run_wave(units);
+        acc.virtual_ms += lane_schedule(outcomes.iter().map(|o| o.virtual_ms), lanes);
+
+        let mut answers: Vec<Vec<_>> = vec![Vec::new(); col_prompts.len()];
+        for (&ord, outcome) in unit_columns.iter().zip(outcomes) {
+            acc.absorb(&outcome);
+            acc.fetch_prompts += outcome.completions.len();
+            answers[ord].extend(outcome.completions);
+        }
+
+        for ((col_idx, _), col_answers) in col_prompts.iter().zip(answers) {
+            let column = &step.columns[*col_idx];
+            for (row, completion) in rows.iter_mut().zip(col_answers) {
                 let value = parse_value_answer(&completion.text)
                     .and_then(|raw| clean_to_type(&raw, column.data_type, &self.options.cleaning))
                     .map(|v| match v {
@@ -344,7 +492,7 @@ impl Galois {
                         other => other,
                     })
                     .unwrap_or(Value::Null);
-                row[col_idx] = value;
+                row[*col_idx] = value;
             }
         }
 
@@ -364,6 +512,20 @@ mod tests {
         let s = Scenario::generate(42);
         let model = Arc::new(SimLlm::new(s.knowledge.clone(), ModelProfile::oracle()));
         let g = Galois::new(model, s.database.clone());
+        (s, g)
+    }
+
+    fn oracle_session_parallel(lanes: usize) -> (Scenario, Galois) {
+        let s = Scenario::generate(42);
+        let model = Arc::new(SimLlm::new(s.knowledge.clone(), ModelProfile::oracle()));
+        let g = Galois::with_options(
+            model,
+            s.database.clone(),
+            GaloisOptions {
+                parallelism: Parallelism::new(lanes),
+                ..Default::default()
+            },
+        );
         (s, g)
     }
 
@@ -470,6 +632,60 @@ mod tests {
         assert!(got.stats.filter_prompts > 0);
         assert!(got.stats.fetch_prompts > 0);
         assert!(got.stats.virtual_ms > 0);
+    }
+
+    #[test]
+    fn sequential_serial_and_virtual_clocks_agree() {
+        let (_, g) = oracle_session();
+        let got = g
+            .execute("SELECT name, population FROM city WHERE elevation < 100")
+            .unwrap();
+        assert_eq!(got.stats.virtual_ms, got.stats.serial_virtual_ms);
+        assert!((got.stats.virtual_speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_results_and_counts() {
+        let sql = "SELECT p.name, r.electionYear FROM city p, cityMayor r WHERE p.mayor = r.name";
+        let (_, seq) = oracle_session_parallel(1);
+        let base = seq.execute(sql).unwrap();
+        for lanes in [2, 8] {
+            let (_, par) = oracle_session_parallel(lanes);
+            let got = par.execute(sql).unwrap();
+            assert_eq!(got.relation.rows, base.relation.rows, "lanes {lanes}");
+            assert_eq!(
+                got.stats.total_prompts(),
+                base.stats.total_prompts(),
+                "lanes {lanes}"
+            );
+            assert_eq!(got.stats.cache_hits, base.stats.cache_hits, "lanes {lanes}");
+            assert_eq!(
+                got.stats.serial_virtual_ms, base.stats.serial_virtual_ms,
+                "lanes {lanes}"
+            );
+            // Lanes can only shorten the virtual clock.
+            assert!(
+                got.stats.virtual_ms <= base.stats.virtual_ms,
+                "lanes {lanes}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_join_is_virtually_faster() {
+        let sql = "SELECT p.name, r.electionYear FROM city p, cityMayor r WHERE p.mayor = r.name";
+        let (_, seq) = oracle_session_parallel(1);
+        let (_, par) = oracle_session_parallel(8);
+        let a = seq.execute(sql).unwrap();
+        let b = par.execute(sql).unwrap();
+        assert!(
+            b.stats.virtual_ms * 2 <= a.stats.virtual_ms,
+            "expected ≥2× on a two-step join: {} vs {}",
+            a.stats.virtual_ms,
+            b.stats.virtual_ms
+        );
+        assert!(b.stats.virtual_speedup() >= 2.0);
+        assert!(b.stats.lane_utilisation(8) <= 1.0 + 1e-12);
     }
 
     #[test]

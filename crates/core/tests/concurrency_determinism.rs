@@ -1,0 +1,108 @@
+//! Determinism under concurrency: the prompt scheduler must be
+//! *observationally invisible*.
+//!
+//! For any parallelism level, a query must yield the identical `R_M`
+//! relation, identical per-kind prompt counts, identical cache-hit totals
+//! and identical single-lane virtual time as the strictly sequential path
+//! — only the lane-packed virtual clock (and the wall clock) may shrink.
+//! The suite below drives every retrieval shape (iterated scans,
+//! conjunctive filters, multi-column fetches, multi-step joins including a
+//! self-join whose steps race on identical prompts) through real worker
+//! threads.
+
+use galois_core::{Galois, GaloisOptions, Parallelism};
+use galois_dataset::{Scenario, WorldConfig};
+use galois_llm::{LanguageModel, ModelProfile, SimLlm};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Query shapes covering scans, filters, fetches, aggregates and joins.
+/// The self-join makes two concurrent steps issue *identical* prompts, so
+/// in-flight deduplication is exercised, not just sharded lookups.
+const QUERIES: [&str; 7] = [
+    "SELECT name FROM city",
+    "SELECT name, population FROM city WHERE elevation < 800",
+    "SELECT name FROM city WHERE population > 200000 AND elevation < 1500",
+    "SELECT COUNT(*), AVG(population) FROM city",
+    "SELECT continent, COUNT(*) FROM country GROUP BY continent ORDER BY continent",
+    "SELECT p.name, r.electionYear FROM city p, cityMayor r WHERE p.mayor = r.name",
+    "SELECT a.name, b.name FROM city a, city b WHERE a.mayor = b.mayor",
+];
+
+fn scenario(seed: u64) -> Scenario {
+    Scenario::generate_with(
+        seed,
+        WorldConfig {
+            countries: 6,
+            cities: 14,
+            airports: 6,
+            singers: 6,
+            concerts: 8,
+            employees: 10,
+        },
+    )
+}
+
+fn model(scenario: &Scenario, profile: &str) -> Arc<dyn LanguageModel> {
+    let profile = match profile {
+        "oracle" => ModelProfile::oracle(),
+        "chatgpt" => ModelProfile::chatgpt(),
+        _ => ModelProfile::flan(),
+    };
+    Arc::new(SimLlm::new(scenario.knowledge.clone(), profile))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn scheduler_parallelism_is_invisible(
+        seed in prop::sample::select(vec![7u64, 42, 99]),
+        sql in prop::sample::select(QUERIES.to_vec()),
+        profile in prop::sample::select(vec!["oracle", "chatgpt", "flan"]),
+    ) {
+        let s = scenario(seed);
+        let run = |lanes: usize| {
+            let g = Galois::with_options(
+                model(&s, profile),
+                s.database.clone(),
+                GaloisOptions {
+                    parallelism: Parallelism::new(lanes),
+                    ..Default::default()
+                },
+            );
+            g.execute(sql).unwrap()
+        };
+        let base = run(1);
+        for lanes in [2usize, 8] {
+            let got = run(lanes);
+            prop_assert_eq!(&got.relation.rows, &base.relation.rows,
+                "R_M diverged at parallelism {} for {}", lanes, sql);
+            prop_assert_eq!(got.stats.list_prompts, base.stats.list_prompts);
+            prop_assert_eq!(got.stats.filter_prompts, base.stats.filter_prompts);
+            prop_assert_eq!(got.stats.fetch_prompts, base.stats.fetch_prompts);
+            prop_assert_eq!(got.stats.cache_hits, base.stats.cache_hits,
+                "cache-hit totals diverged at parallelism {} for {}", lanes, sql);
+            prop_assert_eq!(got.stats.rows_retrieved, base.stats.rows_retrieved);
+            prop_assert_eq!(got.stats.serial_virtual_ms, base.stats.serial_virtual_ms);
+            prop_assert!(got.stats.virtual_ms <= base.stats.virtual_ms,
+                "lanes may only shorten the virtual clock");
+        }
+    }
+}
+
+/// The sequential path (`Parallelism(1)`) must itself be run-to-run
+/// deterministic — the property above compares against it as ground truth.
+#[test]
+fn sequential_baseline_is_stable() {
+    let s = scenario(42);
+    let run = || {
+        Galois::new(model(&s, "chatgpt"), s.database.clone())
+            .execute(QUERIES[6])
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.relation.rows, b.relation.rows);
+    assert_eq!(a.stats.virtual_ms, b.stats.virtual_ms);
+    assert_eq!(a.stats.cache_hits, b.stats.cache_hits);
+}

@@ -58,6 +58,15 @@ impl Scenario {
         Self::generate_with(seed, WorldConfig::default())
     }
 
+    /// Generates a scenario over a world `scale`× the default size.
+    ///
+    /// This is the bench knob for 10×/100× worlds: the suite is still the
+    /// same 46 query shapes, but every relation behind them is `scale`
+    /// times larger, so prompt volume grows proportionally.
+    pub fn generate_scaled(seed: u64, scale: usize) -> Scenario {
+        Self::generate_with(seed, WorldConfig::scaled(scale))
+    }
+
     /// Generates with explicit world sizes.
     pub fn generate_with(seed: u64, cfg: WorldConfig) -> Scenario {
         let world = World::generate_with(seed, cfg);

@@ -171,6 +171,23 @@ impl Default for WorldConfig {
     }
 }
 
+impl WorldConfig {
+    /// The default world with every entity count multiplied by `scale`
+    /// (clamped to ≥ 1) — the knob behind 10×/100× bench worlds.
+    pub fn scaled(scale: usize) -> Self {
+        let scale = scale.max(1);
+        let base = WorldConfig::default();
+        WorldConfig {
+            countries: base.countries * scale,
+            cities: base.cities * scale,
+            airports: base.airports * scale,
+            singers: base.singers * scale,
+            concerts: base.concerts * scale,
+            employees: base.employees * scale,
+        }
+    }
+}
+
 /// The generated world.
 #[derive(Debug, Clone)]
 pub struct World {
@@ -192,10 +209,61 @@ pub struct World {
     pub employees: Vec<Employee>,
 }
 
+/// Draws a person name unused in `pool`, appending a numeric disambiguator
+/// once the (bounded) name space is exhausted — scaled worlds need more
+/// people than there are first/last-name combinations.
+fn unique_person(pool: &mut NamePool, rng: &mut StdRng) -> (String, String) {
+    for _ in 0..512 {
+        let (full, short) = names::person(rng);
+        if pool.unique_check(&full) {
+            return (full, short);
+        }
+    }
+    let mut i = 2;
+    loop {
+        let (full, short) = names::person(rng);
+        let full = format!("{full} {i}");
+        if pool.unique_check(&full) {
+            return (full, format!("{short} {i}"));
+        }
+        i += 1;
+    }
+}
+
+/// Re-rolls the tail of a country code until it is unused in `pool`.
+/// Once a prefix's letter space saturates the code goes fully random, and
+/// it *grows by one letter* every further 512 attempts — large scaled
+/// worlds need more codes than any fixed length offers (676 two-letter
+/// codes < 2 400 countries at 100×), so termination requires widening.
+fn unique_code(pool: &mut NamePool, rng: &mut StdRng, code: &str) -> String {
+    let mut code = code.to_string();
+    let base_len = code.len();
+    let mut attempts = 0usize;
+    while !pool.unique_check(&code) {
+        attempts += 1;
+        let letter = |rng: &mut StdRng| (b'A' + rng.gen_range(0..26u8)) as char;
+        code = if attempts <= 512 {
+            // The original re-roll: keep the mnemonic prefix, vary the
+            // last letter.
+            format!("{}{}", &code[..code.len() - 1], letter(rng))
+        } else {
+            let len = base_len + attempts / 512;
+            (0..len).map(|_| letter(rng)).collect()
+        };
+    }
+    code
+}
+
 impl World {
     /// Generates a world with default sizes.
     pub fn generate(seed: u64) -> World {
         Self::generate_with(seed, WorldConfig::default())
+    }
+
+    /// Generates a world `scale`× the default size (10×/100× bench
+    /// worlds).
+    pub fn generate_scaled(seed: u64, scale: usize) -> World {
+        Self::generate_with(seed, WorldConfig::scaled(scale))
     }
 
     /// Generates a world with explicit sizes.
@@ -217,14 +285,10 @@ impl World {
         let mut countries = Vec::with_capacity(cfg.countries);
         for i in 0..cfg.countries {
             let name = country_pool.unique(&mut rng, names::country);
-            let (mut code2, mut code3) = names::country_codes(&name);
+            let (code2, code3) = names::country_codes(&name);
             // Ensure distinct codes across countries.
-            while !code_pool.unique_check(&code2) {
-                code2 = format!("{}{}", &code2[..1], (b'A' + rng.gen_range(0..26u8)) as char);
-            }
-            while !code_pool.unique_check(&code3) {
-                code3 = format!("{}{}", &code3[..2], (b'A' + rng.gen_range(0..26u8)) as char);
-            }
+            let code2 = unique_code(&mut code_pool, &mut rng, &code2);
+            let code3 = unique_code(&mut code_pool, &mut rng, &code3);
             code3s.push(code3.clone());
             // Size correlates with fame: famous countries are the big,
             // rich ones. This is what makes popularity-biased recall
@@ -256,12 +320,7 @@ impl World {
             let name = city_pool.unique(&mut rng, names::city);
             let country = rng.gen_range(0..countries.len());
             let pop = popularity(i, cfg.cities, &mut rng);
-            let (full, short) = loop {
-                let (f, s) = names::person(&mut rng);
-                if person_pool.unique_check(&f) {
-                    break (f, s);
-                }
-            };
+            let (full, short) = unique_person(&mut person_pool, &mut rng);
             mayors.push(Mayor {
                 name: full,
                 short,
@@ -330,12 +389,7 @@ impl World {
 
         let mut singers = Vec::with_capacity(cfg.singers);
         for i in 0..cfg.singers {
-            let (full, short) = loop {
-                let (f, s) = names::person(&mut rng);
-                if person_pool.unique_check(&f) {
-                    break (f, s);
-                }
-            };
+            let (full, short) = unique_person(&mut person_pool, &mut rng);
             let pop_score = popularity(i, cfg.singers, &mut rng);
             singers.push(Singer {
                 name: full,
@@ -437,6 +491,68 @@ mod tests {
         assert_eq!(w.singers.len(), 6);
         assert_eq!(w.concerts.len(), 7);
         assert_eq!(w.employees.len(), 9);
+    }
+
+    #[test]
+    fn scaled_world_multiplies_every_count() {
+        let w = World::generate_scaled(42, 10);
+        let base = WorldConfig::default();
+        assert_eq!(w.countries.len(), base.countries * 10);
+        assert_eq!(w.cities.len(), base.cities * 10);
+        assert_eq!(w.airports.len(), base.airports * 10);
+        assert_eq!(w.singers.len(), base.singers * 10);
+        assert_eq!(w.concerts.len(), base.concerts * 10);
+        assert_eq!(w.employees.len(), base.employees * 10);
+        // Uniqueness survives name-space exhaustion (600 cities from a
+        // ~450-name space forces the disambiguation paths).
+        let unique = |v: Vec<&String>| {
+            let n = v.len();
+            v.into_iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+                == n
+        };
+        assert!(unique(w.cities.iter().map(|c| &c.name).collect()));
+        assert!(unique(w.mayors.iter().map(|m| &m.name).collect()));
+        assert!(unique(w.singers.iter().map(|s| &s.name).collect()));
+        assert!(unique(
+            w.countries
+                .iter()
+                .flat_map(|c| [&c.code2, &c.code3])
+                .collect()
+        ));
+    }
+
+    #[test]
+    fn code_space_saturation_terminates() {
+        // 720 countries exceed the 676 two-letter codes (the regime a
+        // 30×–100× world hits), so generation must widen codes rather
+        // than loop forever.
+        let w = World::generate_with(
+            5,
+            WorldConfig {
+                countries: 720,
+                cities: 12,
+                airports: 4,
+                singers: 4,
+                concerts: 4,
+                employees: 4,
+            },
+        );
+        assert_eq!(w.countries.len(), 720);
+        let codes: std::collections::HashSet<&String> =
+            w.countries.iter().map(|c| &c.code2).collect();
+        assert_eq!(codes.len(), 720);
+        assert!(w.countries.iter().all(|c| c.code2.len() >= 2));
+    }
+
+    #[test]
+    fn scale_one_is_the_default_world() {
+        let a = World::generate(42);
+        let b = World::generate_scaled(42, 1);
+        assert_eq!(a.cities.len(), b.cities.len());
+        assert_eq!(a.cities[7].name, b.cities[7].name);
+        assert_eq!(a.countries[3].code3, b.countries[3].code3);
     }
 
     #[test]

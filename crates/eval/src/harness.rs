@@ -10,10 +10,11 @@
 use crate::cardinality::{average_diff, cardinality_diff_percent};
 use crate::matching::{match_records, relation_to_records, MatchOutcome};
 use crate::report::{percent0, signed1, TextTable};
-use galois_core::{BaselineKind, Galois, GaloisOptions, QaBaseline, QueryStats};
+use galois_core::{BaselineKind, Galois, GaloisOptions, QaBaseline, QueryStats, Scheduler};
 use galois_dataset::{QueryCategory, Scenario};
-use galois_llm::{LanguageModel, ModelProfile, SimLlm};
+use galois_llm::{lane_schedule, LanguageModel, ModelProfile, Parallelism, SimLlm};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// One query's outcome under Galois.
 #[derive(Debug, Clone)]
@@ -41,6 +42,8 @@ pub struct GaloisRun {
     pub model: String,
     /// Per-query outcomes, in suite order.
     pub outcomes: Vec<QueryOutcome>,
+    /// Real wall-clock milliseconds for the whole suite.
+    pub wall_ms: u64,
 }
 
 impl GaloisRun {
@@ -75,45 +78,104 @@ pub fn model_for(scenario: &Scenario, profile: ModelProfile) -> Arc<dyn Language
     Arc::new(SimLlm::new(scenario.knowledge.clone(), profile))
 }
 
-/// Runs all 46 queries through Galois on the given model.
+/// Runs all 46 queries through Galois on the given model, sequentially
+/// (equivalent to [`run_galois_suite_parallel`] with one thread).
 pub fn run_galois_suite(
     scenario: &Scenario,
     profile: ModelProfile,
     options: GaloisOptions,
 ) -> GaloisRun {
+    run_galois_suite_parallel(scenario, profile, options, 1)
+}
+
+/// Runs all 46 queries through Galois on the given model, across up to
+/// `threads` worker threads.
+///
+/// One shared session serves every query (as in the sequential harness, so
+/// the prompt cache is reused across queries), workers claim queries from
+/// a shared queue, and outcomes are always collected in suite order — the
+/// report artifacts (Table 1 / Table 2) are byte-identical to a
+/// single-threaded run for any thread count, because each query's `R_M`
+/// relation is a deterministic function of its prompts alone.
+pub fn run_galois_suite_parallel(
+    scenario: &Scenario,
+    profile: ModelProfile,
+    options: GaloisOptions,
+    threads: usize,
+) -> GaloisRun {
+    let started = Instant::now();
     let model_name = profile.name.clone();
     let model = model_for(scenario, profile);
     let galois = Galois::with_options(model, scenario.database.clone(), options);
-    let mut outcomes = Vec::with_capacity(scenario.suite.len());
-    for spec in &scenario.suite {
-        let sql = spec.to_sql();
-        let truth = scenario
-            .database
-            .execute(&sql)
-            .expect("suite queries execute on ground truth");
-        let (relation, stats) = match galois.execute(&sql) {
-            Ok(r) => (r.relation, r.stats),
-            // An execution failure contributes an empty result — the
-            // system returned nothing for this query.
-            Err(_) => (
-                galois_relational::Relation::empty(truth.schema.clone()),
-                QueryStats::default(),
-            ),
-        };
-        let matching = match_records(&truth, &relation_to_records(&relation));
-        outcomes.push(QueryOutcome {
-            id: spec.id,
-            category: spec.category,
-            truth_rows: truth.len(),
-            result_rows: relation.len(),
-            cardinality_diff: cardinality_diff_percent(truth.len(), relation.len()),
-            matching,
-            stats,
-        });
-    }
+    let scheduler = Scheduler::new(Parallelism::new(threads));
+    let units: Vec<_> = scenario
+        .suite
+        .iter()
+        .map(|spec| {
+            let galois = &galois;
+            move || {
+                let sql = spec.to_sql();
+                let truth = scenario
+                    .database
+                    .execute(&sql)
+                    .expect("suite queries execute on ground truth");
+                let (relation, stats) = match galois.execute(&sql) {
+                    Ok(r) => (r.relation, r.stats),
+                    // An execution failure contributes an empty result —
+                    // the system returned nothing for this query.
+                    Err(_) => (
+                        galois_relational::Relation::empty(truth.schema.clone()),
+                        QueryStats::default(),
+                    ),
+                };
+                let matching = match_records(&truth, &relation_to_records(&relation));
+                QueryOutcome {
+                    id: spec.id,
+                    category: spec.category,
+                    truth_rows: truth.len(),
+                    result_rows: relation.len(),
+                    cardinality_diff: cardinality_diff_percent(truth.len(), relation.len()),
+                    matching,
+                    stats,
+                }
+            }
+        })
+        .collect();
+    let outcomes = scheduler.run_wave(units);
     GaloisRun {
         model: model_name,
         outcomes,
+        wall_ms: started.elapsed().as_millis() as u64,
+    }
+}
+
+/// Aggregate prompt/latency accounting over one Galois suite run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuiteTotals {
+    /// Prompts that reached the model or cache, across all queries.
+    pub prompts: usize,
+    /// Cache hits across all queries.
+    pub cache_hits: usize,
+    /// Sum of per-query single-lane virtual time (the pre-scheduler
+    /// "total virtual_ms" of the suite).
+    pub serial_virtual_ms: u64,
+    /// Virtual makespan of the suite: per-query virtual times packed onto
+    /// `lanes` concurrent query streams (equals `serial_virtual_ms` when
+    /// both the session parallelism and `lanes` are 1).
+    pub virtual_ms: u64,
+    /// Real wall-clock milliseconds for the run.
+    pub wall_ms: u64,
+}
+
+/// Folds a run's per-query stats into [`SuiteTotals`], modelling `lanes`
+/// concurrent query streams for the suite-level virtual makespan.
+pub fn suite_totals(run: &GaloisRun, lanes: usize) -> SuiteTotals {
+    SuiteTotals {
+        prompts: run.outcomes.iter().map(|o| o.stats.total_prompts()).sum(),
+        cache_hits: run.outcomes.iter().map(|o| o.stats.cache_hits).sum(),
+        serial_virtual_ms: run.outcomes.iter().map(|o| o.stats.serial_virtual_ms).sum(),
+        virtual_ms: lane_schedule(run.outcomes.iter().map(|o| o.stats.virtual_ms), lanes),
+        wall_ms: run.wall_ms,
     }
 }
 
@@ -126,6 +188,8 @@ pub struct BaselineOutcome {
     pub category: QueryCategory,
     /// Content matching outcome.
     pub matching: MatchOutcome,
+    /// Virtual milliseconds spent answering the question.
+    pub virtual_ms: u64,
 }
 
 /// A QA baseline run over the suite.
@@ -137,6 +201,8 @@ pub struct BaselineRun {
     pub kind: BaselineKind,
     /// Per-query outcomes.
     pub outcomes: Vec<BaselineOutcome>,
+    /// Real wall-clock milliseconds for the whole suite.
+    pub wall_ms: u64,
 }
 
 impl BaselineRun {
@@ -156,42 +222,75 @@ impl BaselineRun {
     }
 }
 
-/// Runs the NL-question baseline over the suite.
+/// Runs the NL-question baseline over the suite, sequentially.
 pub fn run_baseline_suite(
     scenario: &Scenario,
     profile: ModelProfile,
     kind: BaselineKind,
 ) -> BaselineRun {
+    run_baseline_suite_parallel(scenario, profile, kind, 1)
+}
+
+/// Runs the NL-question baseline over the suite across up to `threads`
+/// worker threads, with outcomes in suite order.
+pub fn run_baseline_suite_parallel(
+    scenario: &Scenario,
+    profile: ModelProfile,
+    kind: BaselineKind,
+    threads: usize,
+) -> BaselineRun {
+    let started = Instant::now();
     let model_name = profile.name.clone();
     let model = model_for(scenario, profile);
     let baseline = QaBaseline::new(model);
-    let mut outcomes = Vec::with_capacity(scenario.suite.len());
-    for spec in &scenario.suite {
-        let truth = scenario
-            .database
-            .execute(&spec.to_sql())
-            .expect("suite queries execute on ground truth");
-        let result = baseline.ask(&spec.question(), kind);
-        let matching = match_records(&truth, &result.records);
-        outcomes.push(BaselineOutcome {
-            id: spec.id,
-            category: spec.category,
-            matching,
-        });
-    }
+    let scheduler = Scheduler::new(Parallelism::new(threads));
+    let units: Vec<_> = scenario
+        .suite
+        .iter()
+        .map(|spec| {
+            let baseline = &baseline;
+            move || {
+                let truth = scenario
+                    .database
+                    .execute(&spec.to_sql())
+                    .expect("suite queries execute on ground truth");
+                let result = baseline.ask(&spec.question(), kind);
+                let matching = match_records(&truth, &result.records);
+                BaselineOutcome {
+                    id: spec.id,
+                    category: spec.category,
+                    matching,
+                    virtual_ms: result.virtual_ms,
+                }
+            }
+        })
+        .collect();
+    let outcomes = scheduler.run_wave(units);
     BaselineRun {
         model: model_name,
         kind,
         outcomes,
+        wall_ms: started.elapsed().as_millis() as u64,
     }
 }
 
 /// Regenerates **Table 1**: average cardinality difference per model.
 pub fn table1(scenario: &Scenario, profiles: &[ModelProfile]) -> (TextTable, Vec<(String, f64)>) {
+    table1_parallel(scenario, profiles, 1)
+}
+
+/// [`table1`] with each profile's suite run across `threads` workers; the
+/// rendered table is byte-identical for any thread count.
+pub fn table1_parallel(
+    scenario: &Scenario,
+    profiles: &[ModelProfile],
+    threads: usize,
+) -> (TextTable, Vec<(String, f64)>) {
     let mut table = TextTable::new(&["model", "diff as % of |R_D|"]);
     let mut values = Vec::new();
     for profile in profiles {
-        let run = run_galois_suite(scenario, profile.clone(), GaloisOptions::default());
+        let run =
+            run_galois_suite_parallel(scenario, profile.clone(), GaloisOptions::default(), threads);
         let avg = run.average_cardinality_diff();
         table.row(vec![run.model.clone(), signed1(avg)]);
         values.push((run.model, avg));
@@ -233,6 +332,12 @@ impl Table2 {
 
 /// Regenerates **Table 2** on one model (the paper uses ChatGPT).
 pub fn table2(scenario: &Scenario, profile: ModelProfile) -> Table2 {
+    table2_parallel(scenario, profile, 1)
+}
+
+/// [`table2`] with each suite run across `threads` workers; the rendered
+/// table is byte-identical for any thread count.
+pub fn table2_parallel(scenario: &Scenario, profile: ModelProfile, threads: usize) -> Table2 {
     let by_cat = |scores: &dyn Fn(Option<QueryCategory>) -> f64| {
         (
             scores(None),
@@ -241,9 +346,12 @@ pub fn table2(scenario: &Scenario, profile: ModelProfile) -> Table2 {
             scores(Some(QueryCategory::Join)),
         )
     };
-    let galois_run = run_galois_suite(scenario, profile.clone(), GaloisOptions::default());
-    let qa_run = run_baseline_suite(scenario, profile.clone(), BaselineKind::Plain);
-    let cot_run = run_baseline_suite(scenario, profile, BaselineKind::ChainOfThought);
+    let galois_run =
+        run_galois_suite_parallel(scenario, profile.clone(), GaloisOptions::default(), threads);
+    let qa_run =
+        run_baseline_suite_parallel(scenario, profile.clone(), BaselineKind::Plain, threads);
+    let cot_run =
+        run_baseline_suite_parallel(scenario, profile, BaselineKind::ChainOfThought, threads);
     Table2 {
         galois: by_cat(&|c| galois_run.content_score(c)),
         qa: by_cat(&|c| qa_run.content_score(c)),
@@ -367,5 +475,63 @@ mod tests {
         let (table, values) = table1(&s, &[ModelProfile::oracle()]);
         assert_eq!(values.len(), 1);
         assert!(table.render().contains("oracle"));
+    }
+
+    #[test]
+    fn parallel_harness_reports_are_byte_identical() {
+        let s = small_scenario();
+        let (seq_t1, _) = table1(&s, &[ModelProfile::oracle(), ModelProfile::flan()]);
+        let (par_t1, _) = table1_parallel(&s, &[ModelProfile::oracle(), ModelProfile::flan()], 4);
+        assert_eq!(seq_t1.render(), par_t1.render());
+        let seq_t2 = table2(&s, ModelProfile::chatgpt()).render();
+        let par_t2 = table2_parallel(&s, ModelProfile::chatgpt(), 4).render();
+        assert_eq!(seq_t2, par_t2);
+    }
+
+    #[test]
+    fn parallel_harness_preserves_suite_totals() {
+        let s = small_scenario();
+        let seq = run_galois_suite(&s, ModelProfile::chatgpt(), GaloisOptions::default());
+        let par =
+            run_galois_suite_parallel(&s, ModelProfile::chatgpt(), GaloisOptions::default(), 8);
+        let a = suite_totals(&seq, 1);
+        let b = suite_totals(&par, 1);
+        // Prompt volume, cache-hit totals and serial virtual time are
+        // interleaving-independent; only per-query *attribution* of
+        // cross-query cache hits may shift.
+        assert_eq!(a.prompts, b.prompts);
+        assert_eq!(a.cache_hits, b.cache_hits);
+        assert_eq!(a.serial_virtual_ms, b.serial_virtual_ms);
+        for (x, y) in seq.outcomes.iter().zip(&par.outcomes) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.result_rows, y.result_rows);
+            assert_eq!(x.stats.total_prompts(), y.stats.total_prompts());
+            assert_eq!(x.matching.score(), y.matching.score());
+        }
+    }
+
+    #[test]
+    fn scheduled_suite_is_virtually_faster() {
+        let s = small_scenario();
+        let lanes = 8;
+        let sequential = run_galois_suite(&s, ModelProfile::oracle(), GaloisOptions::default());
+        let scheduled = run_galois_suite_parallel(
+            &s,
+            ModelProfile::oracle(),
+            GaloisOptions {
+                parallelism: galois_llm::Parallelism::new(lanes),
+                ..Default::default()
+            },
+            lanes,
+        );
+        let before = suite_totals(&sequential, 1);
+        let after = suite_totals(&scheduled, lanes);
+        assert_eq!(before.virtual_ms, before.serial_virtual_ms);
+        assert!(
+            after.virtual_ms * 4 <= before.virtual_ms,
+            "expected ≥4× lower suite virtual time: {} vs {}",
+            before.virtual_ms,
+            after.virtual_ms
+        );
     }
 }

@@ -6,18 +6,39 @@
 //! clock: every completion carries a simulated latency, batches add one
 //! request overhead, and a prompt cache models the obvious deduplication a
 //! production system would deploy. No real time passes.
+//!
+//! The client is built to be shared across worker threads:
+//!
+//! * the prompt cache is striped over [`CACHE_SHARDS`] mutexes keyed by
+//!   prompt hash, so concurrent lookups of different prompts do not
+//!   serialise on one lock (and a hit costs a single lock acquisition);
+//! * a prompt that is being completed on one thread parks concurrent
+//!   requests for the *same* prompt until the first completion lands
+//!   (in-flight deduplication) — the model is called exactly once per
+//!   unique prompt, and the waiters count as cache hits, exactly as they
+//!   would have in a sequential run;
+//! * the stats mutex is taken once per batch, after all model calls, never
+//!   across them.
+//!
+//! Virtual time honours the [`Parallelism`] knob: a batch of independent
+//! prompts costs `overhead + max(lane sums)` across `K` simulated request
+//! lanes ([`lane_schedule`]), with `K = 1` reproducing the original
+//! sequential accounting bit-for-bit.
 
+use crate::lanes::{lane_schedule, Parallelism};
 use crate::model::{Completion, LanguageModel};
 use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 /// Usage counters accumulated by a client.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClientStats {
     /// Prompts answered by the model (cache misses).
     pub prompts: usize,
-    /// Prompts served from the cache.
+    /// Prompts served from the cache (including in-flight waiters).
     pub cache_hits: usize,
     /// Batch requests issued.
     pub batches: usize,
@@ -25,8 +46,11 @@ pub struct ClientStats {
     pub prompt_tokens: usize,
     /// Total completion tokens received (cache misses only).
     pub completion_tokens: usize,
-    /// Total virtual elapsed milliseconds.
+    /// Total virtual elapsed milliseconds under the client's lane count.
     pub virtual_ms: u64,
+    /// Virtual milliseconds a single-lane client would have charged for the
+    /// same batches (`virtual_ms == serial_ms` when `Parallelism` is 1).
+    pub serial_ms: u64,
 }
 
 impl ClientStats {
@@ -39,22 +63,162 @@ impl ClientStats {
 /// Fixed virtual overhead per batch request (network + queueing).
 pub const BATCH_OVERHEAD_MS: u64 = 250;
 
-/// A caching, stats-keeping client over any [`LanguageModel`].
+/// Number of mutex-striped shards in the prompt cache.
+pub const CACHE_SHARDS: usize = 16;
+
+/// Accounting for one batch request, returned alongside the completions so
+/// callers (the session scheduler) can compose per-phase virtual time
+/// without re-deriving it from global counter deltas.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// One completion per prompt, in prompt order.
+    pub completions: Vec<Completion>,
+    /// Prompts served from the cache (or an in-flight duplicate).
+    pub hits: usize,
+    /// Prompts that reached the model.
+    pub misses: usize,
+    /// Prompt tokens sent (misses only).
+    pub prompt_tokens: usize,
+    /// Completion tokens received (misses only).
+    pub completion_tokens: usize,
+    /// Virtual cost of the batch: overhead + miss latencies packed onto the
+    /// client's request lanes.
+    pub virtual_ms: u64,
+    /// Virtual cost the same batch would have had on one lane.
+    pub serial_ms: u64,
+}
+
+/// A cache slot: a landed completion, or a marker that some thread is
+/// already asking the model for this prompt.
+enum Slot {
+    Ready(Completion),
+    InFlight(Arc<InFlight>),
+}
+
+/// Progress of one in-flight completion.
+enum InFlightState {
+    Pending,
+    Ready(Completion),
+    /// The owning thread unwound before fulfilling; waiters must retry.
+    Abandoned,
+}
+
+/// Rendezvous for concurrent requests of one prompt. Uses `std::sync`
+/// primitives directly because waiters need a [`Condvar`].
+struct InFlight {
+    state: StdMutex<InFlightState>,
+    ready: Condvar,
+}
+
+impl Default for InFlight {
+    fn default() -> Self {
+        InFlight {
+            state: StdMutex::new(InFlightState::Pending),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+impl InFlight {
+    fn resolve(&self, state: InFlightState) {
+        let mut slot = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        *slot = state;
+        drop(slot);
+        self.ready.notify_all();
+    }
+
+    /// Blocks until the owner resolves; `None` means the completion was
+    /// abandoned (the owner panicked) and the caller should retry.
+    fn wait(&self) -> Option<Completion> {
+        let mut slot = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match &*slot {
+                InFlightState::Pending => {}
+                InFlightState::Ready(c) => return Some(c.clone()),
+                InFlightState::Abandoned => return None,
+            }
+            slot = self.ready.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Unwind guard for the thread that owns an [`InFlight`] marker: if the
+/// model call panics, the marker is removed from the shard and waiters are
+/// woken with `Abandoned` instead of blocking forever (the panic itself
+/// still propagates when the scheduler scope joins).
+struct FulfillGuard<'a> {
+    shard: &'a Mutex<HashMap<String, Slot>>,
+    prompt: &'a str,
+    pending: &'a Arc<InFlight>,
+    armed: bool,
+}
+
+impl Drop for FulfillGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let mut map = self.shard.lock();
+        if let Some(Slot::InFlight(current)) = map.get(self.prompt) {
+            if Arc::ptr_eq(current, self.pending) {
+                map.remove(self.prompt);
+            }
+        }
+        drop(map);
+        self.pending.resolve(InFlightState::Abandoned);
+    }
+}
+
+/// The mutex-striped prompt cache.
+struct ShardedCache {
+    shards: Vec<Mutex<HashMap<String, Slot>>>,
+}
+
+impl ShardedCache {
+    fn new() -> Self {
+        ShardedCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, prompt: &str) -> &Mutex<HashMap<String, Slot>> {
+        let mut hasher = DefaultHasher::new();
+        prompt.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % CACHE_SHARDS]
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+    }
+}
+
+/// A caching, stats-keeping, thread-safe client over any [`LanguageModel`].
 pub struct LlmClient {
     model: Arc<dyn LanguageModel>,
-    cache: Mutex<HashMap<String, Completion>>,
+    cache: ShardedCache,
     stats: Mutex<ClientStats>,
     cache_enabled: bool,
+    parallelism: Parallelism,
 }
 
 impl LlmClient {
-    /// Wraps a model with caching enabled.
+    /// Wraps a model with caching enabled and one request lane.
     pub fn new(model: Arc<dyn LanguageModel>) -> Self {
+        Self::with_parallelism(model, Parallelism::default())
+    }
+
+    /// Wraps a model with caching enabled and `parallelism` request lanes.
+    pub fn with_parallelism(model: Arc<dyn LanguageModel>, parallelism: Parallelism) -> Self {
         LlmClient {
             model,
-            cache: Mutex::new(HashMap::new()),
+            cache: ShardedCache::new(),
             stats: Mutex::new(ClientStats::default()),
             cache_enabled: true,
+            parallelism,
         }
     }
 
@@ -71,41 +235,155 @@ impl LlmClient {
         self.model.name().to_string()
     }
 
+    /// The request-lane count in use.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
     /// Completes one prompt (counts as a batch of one).
     pub fn complete(&self, prompt: &str) -> Completion {
-        self.complete_batch(std::slice::from_ref(&prompt.to_string()))
+        self.complete_outcome(prompt)
+            .completions
             .pop()
             .expect("one completion per prompt")
     }
 
+    /// Completes one prompt, returning full batch accounting.
+    pub fn complete_outcome(&self, prompt: &str) -> BatchOutcome {
+        let (completion, hit) = self.lookup_or_complete(prompt);
+        if hit {
+            self.charge(vec![completion], 1, &[], 0, 0)
+        } else {
+            let latency = [completion.latency_ms];
+            let p_tok = completion.usage.prompt_tokens;
+            let c_tok = completion.usage.completion_tokens;
+            self.charge(vec![completion], 0, &latency, p_tok, c_tok)
+        }
+    }
+
     /// Completes a batch of prompts; one batch overhead is charged and the
-    /// member latencies accumulate (the provider decodes sequentially per
-    /// request stream).
+    /// member latencies pack onto the client's request lanes (one lane:
+    /// the provider decodes sequentially per request stream).
     pub fn complete_batch(&self, prompts: &[String]) -> Vec<Completion> {
-        let mut results = Vec::with_capacity(prompts.len());
-        let mut stats = self.stats.lock();
-        stats.batches += 1;
-        let mut batch_ms = BATCH_OVERHEAD_MS;
+        self.complete_batch_outcome(prompts).completions
+    }
+
+    /// Completes a batch of prompts, returning full accounting.
+    pub fn complete_batch_outcome(&self, prompts: &[String]) -> BatchOutcome {
+        let mut completions = Vec::with_capacity(prompts.len());
+        let mut miss_latencies = Vec::new();
+        let (mut hits, mut p_tok, mut c_tok) = (0usize, 0usize, 0usize);
         for prompt in prompts {
-            if self.cache_enabled {
-                if let Some(hit) = self.cache.lock().get(prompt) {
-                    stats.cache_hits += 1;
-                    results.push(hit.clone());
-                    continue;
+            let (completion, hit) = self.lookup_or_complete(prompt);
+            if hit {
+                hits += 1;
+            } else {
+                p_tok += completion.usage.prompt_tokens;
+                c_tok += completion.usage.completion_tokens;
+                miss_latencies.push(completion.latency_ms);
+            }
+            completions.push(completion);
+        }
+        self.charge(completions, hits, &miss_latencies, p_tok, c_tok)
+    }
+
+    /// One cache round-trip for one prompt; returns `(completion, hit)`.
+    ///
+    /// Hits take a single shard-lock acquisition. Misses insert an
+    /// [`InFlight`] marker, release the lock, call the model, then swap the
+    /// marker for the landed completion — concurrent requests for the same
+    /// prompt wait on the marker and count as hits.
+    fn lookup_or_complete(&self, prompt: &str) -> (Completion, bool) {
+        if !self.cache_enabled {
+            return (self.model.complete(prompt), false);
+        }
+        enum Found {
+            Ready(Completion),
+            Wait(Arc<InFlight>),
+            Mine(Arc<InFlight>),
+        }
+        let shard = self.cache.shard(prompt);
+        loop {
+            let found = {
+                let mut map = shard.lock();
+                match map.get(prompt) {
+                    Some(Slot::Ready(c)) => Found::Ready(c.clone()),
+                    Some(Slot::InFlight(pending)) => Found::Wait(Arc::clone(pending)),
+                    None => {
+                        let pending = Arc::new(InFlight::default());
+                        map.insert(prompt.to_string(), Slot::InFlight(Arc::clone(&pending)));
+                        Found::Mine(pending)
+                    }
+                }
+            };
+            match found {
+                Found::Ready(c) => return (c, true),
+                Found::Wait(pending) => match pending.wait() {
+                    Some(c) => return (c, true),
+                    // The owner panicked before fulfilling: retry the
+                    // lookup and complete the prompt ourselves.
+                    None => continue,
+                },
+                Found::Mine(pending) => {
+                    let mut guard = FulfillGuard {
+                        shard,
+                        prompt,
+                        pending: &pending,
+                        armed: true,
+                    };
+                    let completion = self.model.complete(prompt);
+                    guard.armed = false;
+                    {
+                        let mut map = shard.lock();
+                        match map.get_mut(prompt) {
+                            // Normal path: replace our own marker in place.
+                            Some(slot) => *slot = Slot::Ready(completion.clone()),
+                            // The cache was cleared mid-flight; re-insert.
+                            None => {
+                                map.insert(prompt.to_string(), Slot::Ready(completion.clone()));
+                            }
+                        }
+                    }
+                    pending.resolve(InFlightState::Ready(completion.clone()));
+                    return (completion, false);
                 }
             }
-            let completion = self.model.complete(prompt);
-            stats.prompts += 1;
-            stats.prompt_tokens += completion.usage.prompt_tokens;
-            stats.completion_tokens += completion.usage.completion_tokens;
-            batch_ms += completion.latency_ms;
-            if self.cache_enabled {
-                self.cache.lock().insert(prompt.clone(), completion.clone());
-            }
-            results.push(completion);
         }
-        stats.virtual_ms += batch_ms;
-        results
+    }
+
+    /// Folds one batch's accounting into the global stats (single stats
+    /// lock acquisition, after all model calls) and builds the outcome.
+    fn charge(
+        &self,
+        completions: Vec<Completion>,
+        hits: usize,
+        miss_latencies: &[u64],
+        prompt_tokens: usize,
+        completion_tokens: usize,
+    ) -> BatchOutcome {
+        let misses = miss_latencies.len();
+        let virtual_ms = BATCH_OVERHEAD_MS
+            + lane_schedule(miss_latencies.iter().copied(), self.parallelism.get());
+        let serial_ms = BATCH_OVERHEAD_MS + miss_latencies.iter().sum::<u64>();
+        {
+            let mut stats = self.stats.lock();
+            stats.batches += 1;
+            stats.prompts += misses;
+            stats.cache_hits += hits;
+            stats.prompt_tokens += prompt_tokens;
+            stats.completion_tokens += completion_tokens;
+            stats.virtual_ms += virtual_ms;
+            stats.serial_ms += serial_ms;
+        }
+        BatchOutcome {
+            completions,
+            hits,
+            misses,
+            prompt_tokens,
+            completion_tokens,
+            virtual_ms,
+            serial_ms,
+        }
     }
 
     /// Snapshot of the accumulated stats.
@@ -120,7 +398,7 @@ impl LlmClient {
 
     /// Clears the prompt cache.
     pub fn clear_cache(&self) {
-        self.cache.lock().clear();
+        self.cache.clear();
     }
 }
 
@@ -169,6 +447,39 @@ mod tests {
         assert_eq!(s.prompts, 10);
         // 1 overhead + 10 × 1ms model latency.
         assert_eq!(s.virtual_ms, BATCH_OVERHEAD_MS + 10);
+        assert_eq!(s.serial_ms, s.virtual_ms);
+    }
+
+    #[test]
+    fn lanes_shorten_batches_but_not_serial_accounting() {
+        let c = LlmClient::with_parallelism(
+            Arc::new(FixedResponder {
+                model_name: "fixed".into(),
+                response: "ok".into(),
+            }),
+            Parallelism::new(5),
+        );
+        let prompts: Vec<String> = (0..10).map(|i| format!("p{i}")).collect();
+        let outcome = c.complete_batch_outcome(&prompts);
+        // 10 × 1ms over 5 lanes: 2ms of decode instead of 10.
+        assert_eq!(outcome.virtual_ms, BATCH_OVERHEAD_MS + 2);
+        assert_eq!(outcome.serial_ms, BATCH_OVERHEAD_MS + 10);
+        assert_eq!(outcome.misses, 10);
+        let s = c.stats();
+        assert_eq!(s.virtual_ms, BATCH_OVERHEAD_MS + 2);
+        assert_eq!(s.serial_ms, BATCH_OVERHEAD_MS + 10);
+    }
+
+    #[test]
+    fn outcome_reports_hits_and_tokens() {
+        let c = client();
+        c.complete("a");
+        let outcome = c.complete_batch_outcome(&["a".to_string(), "b".to_string()]);
+        assert_eq!(outcome.hits, 1);
+        assert_eq!(outcome.misses, 1);
+        assert!(outcome.prompt_tokens > 0);
+        // Hit latency is never charged.
+        assert_eq!(outcome.serial_ms, BATCH_OVERHEAD_MS + 1);
     }
 
     #[test]
@@ -191,5 +502,115 @@ mod tests {
             ..Default::default()
         };
         assert!((s.virtual_seconds() - 1.5).abs() < 1e-9);
+    }
+
+    /// A model that records how many times it was actually invoked.
+    struct CountingModel {
+        calls: std::sync::atomic::AtomicUsize,
+    }
+
+    impl LanguageModel for CountingModel {
+        fn name(&self) -> &str {
+            "counting"
+        }
+        fn context_window(&self) -> usize {
+            4096
+        }
+        fn complete(&self, prompt: &str) -> Completion {
+            self.calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            // Give concurrent duplicates a window to pile up on the marker.
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            Completion {
+                text: format!("echo:{prompt}"),
+                usage: crate::model::Usage {
+                    prompt_tokens: 1,
+                    completion_tokens: 1,
+                },
+                latency_ms: 1,
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_duplicates_call_the_model_once() {
+        let model = Arc::new(CountingModel {
+            calls: std::sync::atomic::AtomicUsize::new(0),
+        });
+        let c = Arc::new(LlmClient::new(model.clone()));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                s.spawn(move || c.complete("same prompt"));
+            }
+        });
+        assert_eq!(model.calls.load(std::sync::atomic::Ordering::SeqCst), 1);
+        let stats = c.stats();
+        assert_eq!(stats.prompts, 1);
+        assert_eq!(stats.cache_hits, 7);
+        // Totals match what a sequential run of 8 calls would report.
+        assert_eq!(stats.batches, 8);
+    }
+
+    /// A model whose first completion panics; later calls succeed.
+    struct FlakyModel {
+        fail_first: std::sync::atomic::AtomicBool,
+    }
+
+    impl LanguageModel for FlakyModel {
+        fn name(&self) -> &str {
+            "flaky"
+        }
+        fn context_window(&self) -> usize {
+            4096
+        }
+        fn complete(&self, _prompt: &str) -> Completion {
+            if self
+                .fail_first
+                .swap(false, std::sync::atomic::Ordering::SeqCst)
+            {
+                panic!("model exploded");
+            }
+            Completion {
+                text: "ok".into(),
+                usage: crate::model::Usage {
+                    prompt_tokens: 1,
+                    completion_tokens: 1,
+                },
+                latency_ms: 1,
+            }
+        }
+    }
+
+    #[test]
+    fn panicked_completion_does_not_poison_the_prompt() {
+        let c = Arc::new(LlmClient::new(Arc::new(FlakyModel {
+            fail_first: std::sync::atomic::AtomicBool::new(true),
+        })));
+        let worker = Arc::clone(&c);
+        let outcome = std::thread::spawn(move || worker.complete("boom")).join();
+        assert!(outcome.is_err(), "the model panic must propagate");
+        // The in-flight marker must have been abandoned and removed — a
+        // retry completes normally instead of parking forever behind the
+        // dead owner's marker.
+        assert_eq!(c.complete("boom").text, "ok");
+        assert_eq!(c.stats().prompts, 1);
+    }
+
+    #[test]
+    fn concurrent_distinct_prompts_all_complete() {
+        let c = Arc::new(client());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let got = c.complete(&format!("p{t}-{i}"));
+                        assert_eq!(got.text, "ok");
+                    }
+                });
+            }
+        });
+        assert_eq!(c.stats().prompts, 200);
+        assert_eq!(c.stats().cache_hits, 0);
     }
 }

@@ -15,6 +15,7 @@
 //! kept in one module precisely so the "protocol" cannot silently fork.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// Comparison operators usable in prompt conditions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -209,7 +210,10 @@ pub enum TaskIntent {
         /// Optional pushed-down condition (prompt-pushdown optimization).
         condition: Option<Condition>,
         /// Keys already retrieved (the "Return more results" iteration).
-        exclude: Vec<String>,
+        /// Shared behind an `Arc` so the iterating caller can hand the
+        /// growing list to each successive prompt without re-cloning every
+        /// previously seen key (the list is O(relation) by the last page).
+        exclude: Arc<Vec<String>>,
     },
     /// Fetch one attribute value for one key (paper: injected retrieval
     /// node before selections/joins/projections).
@@ -333,12 +337,14 @@ fn parse_list_keys(q: &str) -> Option<TaskIntent> {
     let (body, exclude) = match body.split_once(", excluding: ") {
         Some((b, ex)) => (
             b,
-            ex.split("; ")
-                .map(|s| s.trim().to_string())
-                .filter(|s| !s.is_empty())
-                .collect(),
+            Arc::new(
+                ex.split("; ")
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect(),
+            ),
         ),
-        None => (body, Vec::new()),
+        None => (body, Arc::new(Vec::new())),
     };
     let (relation, condition) = match body.split_once(" whose ") {
         Some((r, c)) => (r.trim().to_string(), Some(Condition::parse(c)?)),
@@ -457,7 +463,7 @@ mod tests {
                 CmpOp::Gt,
                 vec![PromptValue::Number(1e6)],
             )),
-            exclude: vec![],
+            exclude: std::sync::Arc::new(vec![]),
         };
         assert_eq!(parse_task(&render_task(&t)), Some(t));
     }
@@ -468,7 +474,7 @@ mod tests {
             relation: "city".into(),
             key_attr: "name".into(),
             condition: None,
-            exclude: vec!["Rome".into(), "Paris".into()],
+            exclude: std::sync::Arc::new(vec!["Rome".into(), "Paris".into()]),
         };
         assert_eq!(parse_task(&render_task(&t)), Some(t));
     }

@@ -1,0 +1,145 @@
+//! Virtual request lanes: the concurrency model of the simulated clock.
+//!
+//! The paper's latency numbers (§5: ~20 s and ~110 batched prompts per
+//! query) assume every prompt decodes sequentially. A production deployment
+//! would instead hold `K` concurrent request lanes open against the
+//! provider; independent prompts then cost `max` over lanes rather than
+//! `sum` over members. [`Parallelism`] is that knob, and [`lane_schedule`]
+//! is the accounting rule shared by the client's per-batch clock and the
+//! session scheduler's per-wave clock.
+//!
+//! `Parallelism::new(1)` reproduces the original sequential accounting
+//! bit-for-bit: with one lane, `lane_schedule` degenerates to a plain sum.
+//!
+//! The knob applies *per scheduling level*: a batch's members decode
+//! across `K` provider streams, a wave's independent batches occupy `K`
+//! request lanes, and the harness may additionally run `K` concurrent
+//! query streams. Because the levels compose, an end-to-end speedup can
+//! exceed `K` (it is bounded by the product of the levels involved) — the
+//! model is "each scheduling point sees `K`-way concurrency", not a
+//! single global pool of `K` connections.
+
+use std::fmt;
+
+/// Number of concurrent request lanes a deployment offers.
+///
+/// The same value drives two things:
+///
+/// * the **virtual clock** — a batch of `n` independent prompts costs
+///   `overhead + max(lane sums)` across `K` simulated lanes instead of
+///   `overhead + sum`, and a wave of independent work units is packed onto
+///   `K` lanes the same way;
+/// * the **real worker pool** — the session scheduler runs at most `K`
+///   retrieval units on OS threads at once.
+///
+/// Values are clamped to at least 1; `Parallelism::default()` is 1, the
+/// paper-faithful sequential configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Parallelism(usize);
+
+impl Parallelism {
+    /// Creates a knob with `lanes` request lanes (clamped to ≥ 1).
+    pub fn new(lanes: usize) -> Self {
+        Parallelism(lanes.max(1))
+    }
+
+    /// The number of lanes.
+    pub fn get(self) -> usize {
+        self.0
+    }
+
+    /// True for the single-lane (paper-faithful, sequential) setting.
+    pub fn is_sequential(self) -> bool {
+        self.0 == 1
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism(1)
+    }
+}
+
+impl From<usize> for Parallelism {
+    fn from(lanes: usize) -> Self {
+        Parallelism::new(lanes)
+    }
+}
+
+impl fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Greedy multi-lane makespan.
+///
+/// Durations are assigned in submission order, each to the currently
+/// least-loaded lane (first lane wins ties, so equal durations round-robin
+/// deterministically); the result is the maximum lane total. With one lane
+/// this is exactly the sum of the durations — the pre-scheduler accounting.
+pub fn lane_schedule<I>(durations: I, lanes: usize) -> u64
+where
+    I: IntoIterator<Item = u64>,
+{
+    let lanes = lanes.max(1);
+    if lanes == 1 {
+        return durations.into_iter().sum();
+    }
+    let mut load = vec![0u64; lanes];
+    for d in durations {
+        let min = (0..lanes)
+            .min_by_key(|&i| load[i])
+            .expect("at least one lane");
+        load[min] += d;
+    }
+    load.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_lane_is_a_sum() {
+        assert_eq!(lane_schedule([3, 5, 7], 1), 15);
+        assert_eq!(lane_schedule([], 1), 0);
+    }
+
+    #[test]
+    fn equal_durations_round_robin() {
+        // 8 × 10ms over 4 lanes: two per lane.
+        assert_eq!(lane_schedule(std::iter::repeat_n(10, 8), 4), 20);
+    }
+
+    #[test]
+    fn more_lanes_than_work_costs_the_longest_item() {
+        assert_eq!(lane_schedule([5, 9, 2], 16), 9);
+    }
+
+    #[test]
+    fn greedy_balances_uneven_durations() {
+        // 10 goes to lane 0, 1s pack onto lane 1: makespan 10, not 13.
+        assert_eq!(lane_schedule([10, 1, 1, 1], 2), 10);
+    }
+
+    #[test]
+    fn makespan_never_beats_the_critical_path_or_the_mean() {
+        let durations = [7u64, 3, 9, 4, 1, 12, 5];
+        let total: u64 = durations.iter().sum();
+        for lanes in 1..6 {
+            let m = lane_schedule(durations, lanes);
+            assert!(m >= total.div_ceil(lanes as u64));
+            assert!(m >= 12); // longest single duration
+            assert!(m <= total);
+        }
+    }
+
+    #[test]
+    fn parallelism_clamps_to_one() {
+        assert_eq!(Parallelism::new(0).get(), 1);
+        assert!(Parallelism::default().is_sequential());
+        assert_eq!(Parallelism::from(8).get(), 8);
+        assert_eq!(Parallelism::new(3).to_string(), "3");
+    }
+}

@@ -29,6 +29,7 @@
 pub mod client;
 pub mod intent;
 pub mod knowledge;
+pub mod lanes;
 pub mod model;
 pub mod nlq;
 pub mod noise;
@@ -37,9 +38,10 @@ pub mod qa;
 pub mod simllm;
 pub mod tokenizer;
 
-pub use client::{ClientStats, LlmClient};
+pub use client::{BatchOutcome, ClientStats, LlmClient, BATCH_OVERHEAD_MS, CACHE_SHARDS};
 pub use intent::{CmpOp, Condition, PromptValue, TaskIntent};
 pub use knowledge::{Entity, EntityId, FactValue, KnowledgeStore};
+pub use lanes::{lane_schedule, Parallelism};
 pub use model::{Completion, FixedResponder, LanguageModel, Usage};
 pub use nlq::{AggIntent, AggKind, JoinIntent, QueryIntent};
 pub use profiles::ModelProfile;

@@ -304,7 +304,13 @@ impl SimLlm {
                 key_attr,
                 condition,
                 exclude,
-            } => self.answer_list_keys(relation, key_attr, condition.as_ref(), exclude, prompt),
+            } => self.answer_list_keys(
+                relation,
+                key_attr,
+                condition.as_ref(),
+                exclude.as_slice(),
+                prompt,
+            ),
             TaskIntent::FetchAttr {
                 relation,
                 key_attr: _,
@@ -561,7 +567,7 @@ mod tests {
             relation: "city".into(),
             key_attr: "name".into(),
             condition: None,
-            exclude: vec![],
+            exclude: std::sync::Arc::new(vec![]),
         };
         let ans = m.complete(&render_task(&t)).text;
         for name in ["Rome", "Milan", "Paris", "Lyon"] {
@@ -576,7 +582,12 @@ mod tests {
             relation: "city".into(),
             key_attr: "name".into(),
             condition: None,
-            exclude: vec!["Rome".into(), "Milan".into(), "Paris".into(), "Lyon".into()],
+            exclude: std::sync::Arc::new(vec![
+                "Rome".into(),
+                "Milan".into(),
+                "Paris".into(),
+                "Lyon".into(),
+            ]),
         };
         assert_eq!(m.complete(&render_task(&t)).text, "No more results");
     }
@@ -631,7 +642,7 @@ mod tests {
                 op: CmpOp::Gt,
                 values: vec![PromptValue::Number(1_000_000.0)],
             }),
-            exclude: vec![],
+            exclude: std::sync::Arc::new(vec![]),
         };
         let ans = m.complete(&render_task(&t)).text;
         assert!(ans.contains("Rome") && ans.contains("Paris") && ans.contains("Milan"));
@@ -680,7 +691,7 @@ mod tests {
             relation: "volcano".into(),
             key_attr: "name".into(),
             condition: None,
-            exclude: vec![],
+            exclude: std::sync::Arc::new(vec![]),
         };
         assert_eq!(m.complete(&render_task(&t)).text, "Unknown");
     }

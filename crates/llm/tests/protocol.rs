@@ -75,7 +75,7 @@ proptest! {
                 relation,
                 key_attr,
                 condition: Some(cond),
-                exclude,
+                exclude: exclude.into(),
             },
             1 => TaskIntent::FetchAttr {
                 relation,
