@@ -7,14 +7,18 @@
 //! * `galois_sequential` — `Parallelism(1)`, one harness thread: the
 //!   pre-scheduler numbers (`virtual_ms == serial_virtual_ms`);
 //! * `galois_scheduled` — `Parallelism(K)` request lanes inside every
-//!   query *and* `K` concurrent query streams across the suite;
+//!   query *and* `K` concurrent query streams across the suite, with the
+//!   default heuristic planner;
+//! * `galois_cost_planner` — same concurrency, but plans chosen by the
+//!   cost-based prompt-aware planner (`Planner::CostBased`): identical
+//!   relations, fewer prompts, lower virtual time;
 //! * `qa_baseline` / `qa_cot_baseline` — the paper's `T_M` and `T_C_M`
 //!   one-prompt-per-question methods, across `K` streams.
 //!
 //! Usage: `perf_report [--seed 42] [--parallelism 8] [--out BENCH_e2e.json]`.
 
 use galois_bench::{parsed_flag, seed_from_args, string_flag};
-use galois_core::{BaselineKind, GaloisOptions, Parallelism};
+use galois_core::{BaselineKind, GaloisOptions, Parallelism, Planner};
 use galois_dataset::Scenario;
 use galois_eval::{
     run_baseline_suite_parallel, run_galois_suite_parallel, suite_totals, BaselineRun, SuiteTotals,
@@ -77,6 +81,16 @@ fn main() {
         },
         lanes,
     );
+    let cost_planned = run_galois_suite_parallel(
+        &scenario,
+        ModelProfile::oracle(),
+        GaloisOptions {
+            parallelism: Parallelism::new(lanes),
+            planner: Planner::CostBased,
+            ..Default::default()
+        },
+        lanes,
+    );
     let qa = run_baseline_suite_parallel(
         &scenario,
         ModelProfile::oracle(),
@@ -104,6 +118,12 @@ fn main() {
             totals: suite_totals(&scheduled, lanes),
         },
         MethodReport {
+            name: "galois_cost_planner",
+            parallelism: lanes,
+            threads: lanes,
+            totals: suite_totals(&cost_planned, lanes),
+        },
+        MethodReport {
             name: "qa_baseline",
             parallelism: lanes,
             threads: lanes,
@@ -120,6 +140,8 @@ fn main() {
     let before = methods[0].totals.virtual_ms;
     let after = methods[1].totals.virtual_ms.max(1);
     let speedup = before as f64 / after as f64;
+    let planned = methods[2].totals.virtual_ms.max(1);
+    let planner_speedup = after as f64 / planned as f64;
 
     let rows: Vec<String> = methods.iter().map(MethodReport::to_json).collect();
     let json = format!(
@@ -133,6 +155,10 @@ fn main() {
     println!(
         "suite virtual time: {} ms sequential -> {} ms scheduled ({speedup:.1}x, {} lanes)",
         before, after, lanes
+    );
+    println!(
+        "cost-based planner: {} ms scheduled-heuristic -> {} ms ({planner_speedup:.2}x)",
+        after, planned
     );
     for m in &methods {
         println!(

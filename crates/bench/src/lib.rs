@@ -14,6 +14,8 @@
 //! | `ablation_pushdown` | §6 — prompt pushdown on/off |
 //! | `ablation_cleaning` | §4 — cleaning on/off |
 //! | `ablation_iteration` | §4 — "more results" iteration cap sweep |
+//! | `ablation_planner` | §6 — cost-based planner vs. fixed heuristic |
+//! | `perf_report` | end-to-end accounting (`BENCH_e2e.json`), incl. the planner row |
 //!
 //! Every binary accepts `--seed <u64>` (default 42).
 

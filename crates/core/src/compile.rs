@@ -496,30 +496,37 @@ fn mirror(op: BinaryOp) -> BinaryOp {
     }
 }
 
+/// Renders one retrieval step's header and prompt protocol (the Figure-3
+/// step block, shared by [`explain_compiled`] and the planner's
+/// [`crate::plan_choice::PlannedQuery::render`]).
+pub fn render_step_into(step: &LlmScanStep, index: usize, out: &mut String) {
+    out.push_str(&format!(
+        "[LLM step {}] scan {} AS {} (key: {})\n",
+        index + 1,
+        step.table,
+        step.binding,
+        step.key_attr
+    ));
+    if let Some(c) = &step.scan_condition {
+        out.push_str(&format!("    pushed-down condition: {}\n", c.render()));
+    }
+    for f in &step.filter_conditions {
+        out.push_str(&format!("    filter prompt per key: {}\n", f.render()));
+    }
+    for idx in &step.fetch {
+        out.push_str(&format!(
+            "    fetch prompt per key: {}\n",
+            step.columns[*idx].name
+        ));
+    }
+}
+
 /// Renders the compiled query in Figure-3 style: retrieval steps plus the
 /// residual plan.
 pub fn explain_compiled(c: &CompiledQuery) -> String {
     let mut out = String::new();
     for (i, s) in c.steps.iter().enumerate() {
-        out.push_str(&format!(
-            "[LLM step {}] scan {} AS {} (key: {})\n",
-            i + 1,
-            s.table,
-            s.binding,
-            s.key_attr
-        ));
-        if let Some(c) = &s.scan_condition {
-            out.push_str(&format!("    pushed-down condition: {}\n", c.render()));
-        }
-        for f in &s.filter_conditions {
-            out.push_str(&format!("    filter prompt per key: {}\n", f.render()));
-        }
-        for idx in &s.fetch {
-            out.push_str(&format!(
-                "    fetch prompt per key: {}\n",
-                s.columns[*idx].name
-            ));
-        }
+        render_step_into(s, i, &mut out);
     }
     out.push_str("[relational plan]\n");
     out.push_str(&c.plan.explain());

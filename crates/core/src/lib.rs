@@ -30,6 +30,7 @@
 //! | module | paper § |
 //! |---|---|
 //! | [`compile`] | §4 Operators — plan → retrieval steps |
+//! | [`plan_choice`] | §6 Query optimization — cost-based, prompt-aware planner |
 //! | [`prompts`] | §4 Prompts, Figure 4 |
 //! | [`parse`] | §4 workflow (3): answers → CELL values |
 //! | [`clean`] | §4 workflow (3): normalisation + domain constraints |
@@ -44,6 +45,7 @@ pub mod clean;
 pub mod compile;
 pub mod error;
 pub mod parse;
+pub mod plan_choice;
 pub mod prompts;
 pub mod schedule;
 pub mod session;
@@ -53,5 +55,6 @@ pub use clean::CleaningPolicy;
 pub use compile::{CompileOptions, CompiledQuery, DefaultSource, FilterMode, LlmScanStep};
 pub use error::{GaloisError, Result};
 pub use galois_llm::Parallelism;
+pub use plan_choice::{PlanReport, PlannedQuery, Planner, PlannerParams, StepCost};
 pub use schedule::Scheduler;
 pub use session::{Galois, GaloisOptions, GaloisResult, QueryStats};

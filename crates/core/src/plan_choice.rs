@@ -1,0 +1,599 @@
+//! Cost-based, prompt-aware plan choice (paper §6 "Query optimization").
+//!
+//! The logical plan *is* the chain-of-thought: which conditions are pushed
+//! into the key-listing prompt, and how retrieval steps are laid out over
+//! the request lanes, directly determines how many prompts a query costs
+//! and how long it takes. The paper's prototype (and our
+//! [`Planner::Heuristic`] mode) makes those choices with fixed rules; this
+//! module adds a [`Planner::CostBased`] mode that *estimates* each
+//! candidate's prompt count, expected cache hits and virtual latency, and
+//! picks the cheapest.
+//!
+//! The estimator composes three ingredients:
+//!
+//! * **cardinalities** from [`galois_relational::cost`] — catalog row
+//!   counts shrunk by per-condition selectivities (the planner's table
+//!   statistics);
+//! * **prompt counts** from the retrieval protocol — key-list iterations,
+//!   one boolean prompt per surviving key per condition, one fetch prompt
+//!   per (key, attribute);
+//! * **latency** from the PR-2 lane model — every batch costs
+//!   `overhead + miss·latency/lanes`, waves of batches pack onto the
+//!   lanes, and observed [`ClientStats`] calibrate the expected per-prompt
+//!   latency and cache-hit rate. A session freezes this calibration at its
+//!   first planner use (`Galois::recalibrate_planner` re-freezes it), so
+//!   plan choice never depends on which concurrent query's prompts landed
+//!   first in the shared stats.
+//!
+//! The enumeration space per retrieval step is: leave every condition as a
+//! per-key boolean prompt chain, or push exactly one condition into the
+//! key-listing prompt (the paper pushes at most one — "combining too many
+//! prompts leads to complex questions", §6). Across steps, the planner
+//! orders retrievals longest-first so the scheduler's greedy lane packing
+//! approximates the optimal makespan (LPT). Both choices change only the
+//! prompt schedule, never the result relation: `R_M` is invariant across
+//! planner modes for a noise-free model, and [`Planner::Heuristic`]
+//! reproduces the pre-planner plans bit for bit.
+//!
+//! ```
+//! use galois_core::plan_choice::{plan_query, Planner, PlannerParams};
+//! use galois_core::CompileOptions;
+//! use galois_dataset::Scenario;
+//!
+//! let s = Scenario::generate(42);
+//! let plan = s.database.plan("SELECT name FROM city WHERE population > 1000000").unwrap();
+//! let params = PlannerParams::default();
+//! let heuristic = plan_query(
+//!     &plan, s.database.catalog(), &CompileOptions::default(), Planner::Heuristic, &params,
+//! ).unwrap();
+//! let cost_based = plan_query(
+//!     &plan, s.database.catalog(), &CompileOptions::default(), Planner::CostBased, &params,
+//! ).unwrap();
+//! // The cost-based planner pushes the selective condition into the key
+//! // scan, which the fixed heuristic (pushdown off) does not.
+//! assert!(cost_based.compiled.steps[0].scan_condition.is_some());
+//! assert!(heuristic.compiled.steps[0].scan_condition.is_none());
+//! assert!(cost_based.report.est_virtual_ms <= heuristic.report.est_virtual_ms);
+//! ```
+
+use crate::compile::{compile, CompileOptions, CompiledQuery, LlmScanStep};
+use crate::error::Result;
+use galois_llm::intent::{CmpOp, Condition};
+use galois_llm::{ClientStats, Parallelism, BATCH_OVERHEAD_MS};
+use galois_relational::cost as rcost;
+use galois_relational::{Catalog, LogicalPlan};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Expected per-prompt model latency (virtual ms) before any observed
+/// [`ClientStats`] are available to calibrate it.
+pub const DEFAULT_PROMPT_LATENCY_MS: f64 = 150.0;
+
+/// Expected keys returned per key-listing iteration before observation.
+pub const DEFAULT_LIST_PAGE: f64 = 15.0;
+
+/// Which plan-choice strategy a session uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Planner {
+    /// The fixed rules of the paper's prototype: compile the optimized
+    /// logical plan as-is, with prompt pushdown governed solely by
+    /// [`CompileOptions::pushdown`]. Guaranteed bit-identical to the
+    /// pre-planner pipeline — same plans, same prompts, same tables.
+    #[default]
+    Heuristic,
+    /// Estimate prompt count, cache hits and lane-model virtual latency
+    /// per candidate, push the cheapest single condition per retrieval
+    /// step, and order steps longest-first for the scheduler.
+    CostBased,
+}
+
+impl fmt::Display for Planner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Planner::Heuristic => write!(f, "heuristic"),
+            Planner::CostBased => write!(f, "cost-based"),
+        }
+    }
+}
+
+/// Calibration inputs of the cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannerParams {
+    /// Prompts per batch request ([`crate::GaloisOptions::batch_size`]).
+    pub batch_size: f64,
+    /// Request lanes / worker threads (`GaloisOptions::parallelism`).
+    pub lanes: usize,
+    /// Fixed virtual overhead charged per batch request.
+    pub batch_overhead_ms: f64,
+    /// Expected virtual latency of one cache-missing prompt.
+    pub prompt_latency_ms: f64,
+    /// Expected fraction of prompts served by the cache (in-flight
+    /// deduplication waiters count as hits, like the client's accounting).
+    pub cache_hit_rate: f64,
+    /// Expected keys per key-listing iteration.
+    pub list_page_size: f64,
+}
+
+impl Default for PlannerParams {
+    fn default() -> Self {
+        PlannerParams {
+            batch_size: 20.0,
+            lanes: 1,
+            batch_overhead_ms: BATCH_OVERHEAD_MS as f64,
+            prompt_latency_ms: DEFAULT_PROMPT_LATENCY_MS,
+            cache_hit_rate: 0.0,
+            list_page_size: DEFAULT_LIST_PAGE,
+        }
+    }
+}
+
+impl PlannerParams {
+    /// Builds params for a session, calibrating the expected per-prompt
+    /// latency and cache-hit rate from the client's observed stats (the
+    /// cold-start defaults apply until the session has served prompts).
+    pub fn from_session(batch_size: usize, parallelism: Parallelism, stats: &ClientStats) -> Self {
+        let mut p = PlannerParams {
+            batch_size: batch_size.max(1) as f64,
+            lanes: parallelism.get(),
+            ..Default::default()
+        };
+        if stats.prompts > 0 {
+            let model_ms = stats
+                .serial_ms
+                .saturating_sub(stats.batches as u64 * BATCH_OVERHEAD_MS);
+            p.prompt_latency_ms = (model_ms as f64 / stats.prompts as f64).max(1.0);
+        }
+        let answered = stats.prompts + stats.cache_hits;
+        if answered > 0 {
+            p.cache_hit_rate = stats.cache_hits as f64 / answered as f64;
+        }
+        p
+    }
+}
+
+/// Estimated cost of one LLM retrieval step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepCost {
+    /// Keys the key-listing phase is expected to produce.
+    pub est_keys_listed: f64,
+    /// Rows expected to survive every filter condition.
+    pub est_rows_out: f64,
+    /// Expected key-listing prompts (iterations + the exhausted page).
+    pub list_prompts: f64,
+    /// Expected per-key boolean filter prompts.
+    pub filter_prompts: f64,
+    /// Expected per-(key, attribute) fetch prompts.
+    pub fetch_prompts: f64,
+    /// Expected prompts served by the cache.
+    pub expected_cache_hits: f64,
+    /// Expected virtual milliseconds under the lane model.
+    pub virtual_ms: f64,
+}
+
+impl StepCost {
+    /// All prompts the step is expected to issue.
+    pub fn total_prompts(&self) -> f64 {
+        self.list_prompts + self.filter_prompts + self.fetch_prompts
+    }
+}
+
+/// The planner's decision for one query: the compiled retrieval program
+/// plus the cost report that justified it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedQuery {
+    /// Retrieval steps + residual relational plan, ready to execute.
+    pub compiled: CompiledQuery,
+    /// Cost accounting per step and for the whole query.
+    pub report: PlanReport,
+}
+
+/// Cost accounting attached to a [`PlannedQuery`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanReport {
+    /// Strategy that produced the plan.
+    pub planner: Planner,
+    /// Candidate plans whose costs were compared (1 for the heuristic).
+    pub candidates_considered: usize,
+    /// Per-step estimates, parallel to `compiled.steps`.
+    pub steps: Vec<StepCost>,
+    /// Expected query virtual time: step estimates packed onto the lanes.
+    pub est_virtual_ms: f64,
+    /// Expected total prompts across steps.
+    pub est_total_prompts: f64,
+    /// Expected cache hits across steps.
+    pub est_cache_hits: f64,
+}
+
+/// Selectivity of a prompt-protocol condition, using the same System-R
+/// constants as the relational estimator.
+pub fn condition_selectivity(cond: &Condition) -> f64 {
+    match cond.op {
+        CmpOp::Eq => rcost::SEL_EQ,
+        CmpOp::NotEq => 1.0 - rcost::SEL_EQ,
+        CmpOp::Gt | CmpOp::GtEq | CmpOp::Lt | CmpOp::LtEq => rcost::SEL_RANGE,
+        CmpOp::Between => rcost::SEL_BETWEEN,
+        CmpOp::In => (rcost::SEL_IN_PER_ITEM * cond.values.len() as f64).min(1.0),
+        CmpOp::Like => rcost::SEL_LIKE,
+        CmpOp::IsNull => rcost::SEL_IS_NULL,
+        CmpOp::IsNotNull => 1.0 - rcost::SEL_IS_NULL,
+    }
+}
+
+/// Expected virtual time of one wave of `batches` batch requests carrying
+/// `prompts` prompts in total: each batch costs `overhead` plus its
+/// cache-missing members decoded across the lanes, and the batches
+/// themselves occupy the lanes wave-style.
+fn wave_ms(prompts: f64, batches: f64, params: &PlannerParams) -> f64 {
+    if batches < 1.0 {
+        return 0.0;
+    }
+    let lanes = params.lanes as f64;
+    let misses_per_batch = (prompts / batches) * (1.0 - params.cache_hit_rate);
+    let per_batch =
+        params.batch_overhead_ms + (misses_per_batch / lanes) * params.prompt_latency_ms;
+    (batches / lanes).ceil() * per_batch
+}
+
+/// Estimates the cost of one retrieval step against the catalog's stats.
+pub fn estimate_step(step: &LlmScanStep, catalog: &Catalog, params: &PlannerParams) -> StepCost {
+    let base = catalog
+        .get(&step.table)
+        .map(|t| t.len() as f64)
+        .unwrap_or(rcost::DEFAULT_SCAN_ROWS);
+    let mut keys = base;
+    if let Some(cond) = &step.scan_condition {
+        keys *= condition_selectivity(cond);
+    }
+    let est_keys_listed = keys;
+
+    // Key listing iterates page by page plus one exhausted page, and the
+    // iterations chain — a strictly sequential phase of one-prompt batches.
+    let list_prompts = (est_keys_listed / params.list_page_size).ceil().max(0.0) + 1.0;
+    let miss = 1.0 - params.cache_hit_rate;
+    let mut virtual_ms =
+        list_prompts * (params.batch_overhead_ms + miss * params.prompt_latency_ms);
+
+    // Filter conditions chain (condition n+1 only prompts survivors of n);
+    // the chunks within one condition run as one wave.
+    let mut filter_prompts = 0.0;
+    let mut n = est_keys_listed;
+    for cond in &step.filter_conditions {
+        filter_prompts += n;
+        virtual_ms += wave_ms(n, (n / params.batch_size).ceil(), params);
+        n *= condition_selectivity(cond);
+    }
+
+    // Every (column × chunk) fetch cell is independent — one wave.
+    let cols = step.fetch.len() as f64;
+    let fetch_prompts = n * cols;
+    virtual_ms += wave_ms(fetch_prompts, (n / params.batch_size).ceil() * cols, params);
+
+    let total = list_prompts + filter_prompts + fetch_prompts;
+    StepCost {
+        est_keys_listed,
+        est_rows_out: n,
+        list_prompts,
+        filter_prompts,
+        fetch_prompts,
+        expected_cache_hits: params.cache_hit_rate * total,
+        virtual_ms,
+    }
+}
+
+/// Packs per-step virtual estimates onto the lanes (the step wave).
+fn pack_steps(costs: &[StepCost], lanes: usize) -> f64 {
+    galois_llm::lane_schedule(
+        costs.iter().map(|c| c.virtual_ms.round().max(0.0) as u64),
+        lanes,
+    ) as f64
+}
+
+fn make_report(
+    planner: Planner,
+    candidates_considered: usize,
+    steps: Vec<StepCost>,
+    params: &PlannerParams,
+) -> PlanReport {
+    let est_virtual_ms = pack_steps(&steps, params.lanes);
+    let est_total_prompts = steps.iter().map(StepCost::total_prompts).sum();
+    let est_cache_hits = steps.iter().map(|c| c.expected_cache_hits).sum();
+    PlanReport {
+        planner,
+        candidates_considered,
+        steps,
+        est_virtual_ms,
+        est_total_prompts,
+        est_cache_hits,
+    }
+}
+
+/// Picks the cheapest pushdown variant of one step. Returns the chosen
+/// step, its cost, and how many candidates were costed.
+fn best_step_variant(
+    step: &LlmScanStep,
+    catalog: &Catalog,
+    params: &PlannerParams,
+) -> (LlmScanStep, StepCost, usize) {
+    let mut best = step.clone();
+    let mut best_cost = estimate_step(step, catalog, params);
+    let mut considered = 1;
+    if step.scan_condition.is_some() {
+        return (best, best_cost, considered);
+    }
+    for j in 0..step.filter_conditions.len() {
+        let mut candidate = step.clone();
+        let cond = candidate.filter_conditions.remove(j);
+        candidate.scan_condition = Some(cond);
+        let cost = estimate_step(&candidate, catalog, params);
+        considered += 1;
+        // Strict improvement keeps ties on the heuristic shape (and on the
+        // lowest j), which keeps the choice deterministic.
+        if cost.virtual_ms < best_cost.virtual_ms - 1e-9
+            || (cost.virtual_ms <= best_cost.virtual_ms + 1e-9
+                && cost.total_prompts() < best_cost.total_prompts() - 1e-9)
+        {
+            best = candidate;
+            best_cost = cost;
+        }
+    }
+    (best, best_cost, considered)
+}
+
+/// Chooses a retrieval program for an optimized logical plan.
+///
+/// * [`Planner::Heuristic`] compiles the plan exactly as the pre-planner
+///   pipeline did (bit-identical [`CompiledQuery`]) and merely *annotates*
+///   it with cost estimates.
+/// * [`Planner::CostBased`] enumerates one pushed-down condition per step
+///   (or none), keeps the cheapest, and orders steps longest-first.
+pub fn plan_query(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    options: &CompileOptions,
+    planner: Planner,
+    params: &PlannerParams,
+) -> Result<PlannedQuery> {
+    match planner {
+        Planner::Heuristic => {
+            let compiled = compile(plan, catalog, options)?;
+            let steps = compiled
+                .steps
+                .iter()
+                .map(|s| estimate_step(s, catalog, params))
+                .collect();
+            Ok(PlannedQuery {
+                compiled,
+                report: make_report(planner, 1, steps, params),
+            })
+        }
+        Planner::CostBased => {
+            // Start from the no-pushdown compilation so every condition is
+            // a candidate, then choose per step.
+            let base_options = CompileOptions {
+                pushdown: false,
+                ..*options
+            };
+            let mut compiled = compile(plan, catalog, &base_options)?;
+            let mut candidates = 0usize;
+            let mut costs = Vec::with_capacity(compiled.steps.len());
+            for step in &mut compiled.steps {
+                let (chosen, cost, considered) = best_step_variant(step, catalog, params);
+                *step = chosen;
+                costs.push(cost);
+                candidates += considered;
+            }
+            // LPT ordering: the scheduler packs the step wave greedily, so
+            // submitting the longest retrieval first minimises the
+            // estimated makespan. Stable on the original order for ties.
+            let mut order: Vec<usize> = (0..compiled.steps.len()).collect();
+            order.sort_by(|&a, &b| {
+                costs[b]
+                    .virtual_ms
+                    .partial_cmp(&costs[a].virtual_ms)
+                    .expect("cost estimates are finite")
+                    .then(a.cmp(&b))
+            });
+            let steps: Vec<LlmScanStep> =
+                order.iter().map(|&i| compiled.steps[i].clone()).collect();
+            let costs: Vec<StepCost> = order.iter().map(|&i| costs[i]).collect();
+            compiled.steps = steps;
+            Ok(PlannedQuery {
+                compiled,
+                report: make_report(planner, candidates.max(1), costs, params),
+            })
+        }
+    }
+}
+
+impl PlannedQuery {
+    /// Renders the `EXPLAIN` report: every retrieval step with its prompt
+    /// protocol and cost estimates, then the residual relational plan with
+    /// cardinality annotations, then query totals.
+    pub fn render(&self, catalog: &Catalog, params: &PlannerParams) -> String {
+        let mut out = format!(
+            "galois plan  (planner: {}, lanes: {}, candidates considered: {})\n",
+            self.report.planner, params.lanes, self.report.candidates_considered
+        );
+        let mut temp_rows: HashMap<String, f64> = HashMap::new();
+        for (i, (step, cost)) in self
+            .compiled
+            .steps
+            .iter()
+            .zip(&self.report.steps)
+            .enumerate()
+        {
+            crate::compile::render_step_into(step, i, &mut out);
+            out.push_str(&format!(
+                "    cost: keys≈{:.0}, prompts≈{:.0} ({:.0} list + {:.0} filter + {:.0} fetch), \
+                 cache hits≈{:.0}, virtual≈{:.0} ms\n",
+                cost.est_keys_listed,
+                cost.total_prompts(),
+                cost.list_prompts,
+                cost.filter_prompts,
+                cost.fetch_prompts,
+                cost.expected_cache_hits,
+                cost.virtual_ms,
+            ));
+            temp_rows.insert(step.temp_name.to_ascii_lowercase(), cost.est_rows_out);
+        }
+        out.push_str("[relational plan]\n");
+        out.push_str(&rcost::explain_with_rows_overridden(
+            &self.compiled.plan,
+            catalog,
+            &temp_rows,
+        ));
+        out.push_str(&format!(
+            "total: prompts≈{:.0}, cache hits≈{:.0}, virtual≈{:.0} ms\n",
+            self.report.est_total_prompts, self.report.est_cache_hits, self.report.est_virtual_ms,
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galois_dataset::Scenario;
+
+    fn planned(sql: &str, planner: Planner, params: &PlannerParams) -> PlannedQuery {
+        let s = Scenario::generate(42);
+        let plan = s.database.plan(sql).unwrap();
+        plan_query(
+            &plan,
+            s.database.catalog(),
+            &CompileOptions::default(),
+            planner,
+            params,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn heuristic_matches_direct_compilation_bit_for_bit() {
+        let s = Scenario::generate(42);
+        for sql in [
+            "SELECT name FROM city WHERE population > 1000000",
+            "SELECT p.name, r.electionYear FROM city p, cityMayor r WHERE p.mayor = r.name",
+            "SELECT continent, COUNT(*) FROM country GROUP BY continent",
+        ] {
+            let plan = s.database.plan(sql).unwrap();
+            let options = CompileOptions::default();
+            let direct = compile(&plan, s.database.catalog(), &options).unwrap();
+            let chosen = plan_query(
+                &plan,
+                s.database.catalog(),
+                &options,
+                Planner::Heuristic,
+                &PlannerParams::default(),
+            )
+            .unwrap();
+            assert_eq!(chosen.compiled, direct, "{sql}");
+            assert_eq!(chosen.report.candidates_considered, 1);
+        }
+    }
+
+    #[test]
+    fn cost_based_pushes_a_selective_condition() {
+        let params = PlannerParams::default();
+        let q = "SELECT name FROM city WHERE population > 1000000";
+        let heuristic = planned(q, Planner::Heuristic, &params);
+        let cost_based = planned(q, Planner::CostBased, &params);
+        assert!(heuristic.compiled.steps[0].scan_condition.is_none());
+        assert!(cost_based.compiled.steps[0].scan_condition.is_some());
+        assert!(cost_based.compiled.steps[0].filter_conditions.is_empty());
+        assert!(
+            cost_based.report.est_total_prompts < heuristic.report.est_total_prompts,
+            "{} vs {}",
+            cost_based.report.est_total_prompts,
+            heuristic.report.est_total_prompts
+        );
+        assert!(cost_based.report.est_virtual_ms <= heuristic.report.est_virtual_ms);
+        assert!(cost_based.report.candidates_considered > 1);
+    }
+
+    #[test]
+    fn cost_based_pushes_the_cheapest_of_several_conditions() {
+        let params = PlannerParams::default();
+        // Eq is more selective than a range: the planner should push it.
+        let q = "SELECT name FROM city WHERE population > 100 AND country = 'Veladria'";
+        let cost_based = planned(q, Planner::CostBased, &params);
+        let step = &cost_based.compiled.steps[0];
+        let pushed = step.scan_condition.as_ref().expect("one condition pushed");
+        assert_eq!(pushed.attribute, "country");
+        assert_eq!(step.filter_conditions.len(), 1);
+        assert_eq!(step.filter_conditions[0].attribute, "population");
+    }
+
+    #[test]
+    fn cost_based_orders_steps_longest_first() {
+        let params = PlannerParams {
+            lanes: 8,
+            ..Default::default()
+        };
+        let q = "SELECT p.name, r.electionYear, r.party, r.birthDate \
+                 FROM city p, cityMayor r WHERE p.mayor = r.name";
+        let planned = planned(q, Planner::CostBased, &params);
+        let costs = &planned.report.steps;
+        assert_eq!(costs.len(), 2);
+        assert!(costs[0].virtual_ms >= costs[1].virtual_ms);
+    }
+
+    #[test]
+    fn stats_calibrate_params() {
+        let stats = ClientStats {
+            prompts: 100,
+            cache_hits: 100,
+            batches: 10,
+            serial_ms: 10 * BATCH_OVERHEAD_MS + 100 * 40,
+            ..Default::default()
+        };
+        let p = PlannerParams::from_session(20, Parallelism::new(4), &stats);
+        assert!((p.prompt_latency_ms - 40.0).abs() < 1e-9);
+        assert!((p.cache_hit_rate - 0.5).abs() < 1e-9);
+        assert_eq!(p.lanes, 4);
+        // Cold start keeps the defaults.
+        let cold = PlannerParams::from_session(20, Parallelism::new(1), &ClientStats::default());
+        assert_eq!(cold.prompt_latency_ms, DEFAULT_PROMPT_LATENCY_MS);
+        assert_eq!(cold.cache_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn lanes_shrink_estimated_virtual_time() {
+        let q = "SELECT p.name, r.electionYear FROM city p, cityMayor r WHERE p.mayor = r.name";
+        let seq = planned(q, Planner::CostBased, &PlannerParams::default());
+        let par = planned(
+            q,
+            Planner::CostBased,
+            &PlannerParams {
+                lanes: 8,
+                ..Default::default()
+            },
+        );
+        assert!(par.report.est_virtual_ms < seq.report.est_virtual_ms);
+    }
+
+    #[test]
+    fn render_reports_steps_costs_and_residual_plan() {
+        let s = Scenario::generate(42);
+        let params = PlannerParams::default();
+        let plan = s
+            .database
+            .plan("SELECT p.name, r.electionYear FROM city p, cityMayor r WHERE p.mayor = r.name")
+            .unwrap();
+        let chosen = plan_query(
+            &plan,
+            s.database.catalog(),
+            &CompileOptions::default(),
+            Planner::CostBased,
+            &params,
+        )
+        .unwrap();
+        let text = chosen.render(s.database.catalog(), &params);
+        assert!(text.contains("planner: cost-based"));
+        assert!(text.contains("[LLM step 1] scan"));
+        assert!(text.contains("cost: keys≈"));
+        assert!(text.contains("[relational plan]"));
+        assert!(text.contains("rows≈"));
+        assert!(text.contains("total: prompts≈"));
+    }
+}

@@ -23,9 +23,10 @@
 //! parallelises *within* each condition instead.
 
 use crate::clean::{clean_to_type, normalise_text, CleaningPolicy};
-use crate::compile::{compile, CompileOptions, CompiledQuery, LlmScanStep};
+use crate::compile::{CompileOptions, CompiledQuery, LlmScanStep};
 use crate::error::{GaloisError, Result};
 use crate::parse::{parse_boolean_answer, parse_list_answer, parse_value_answer, ListAnswer};
+use crate::plan_choice::{plan_query, PlannedQuery, Planner, PlannerParams};
 use crate::prompts::PromptBuilder;
 use crate::schedule::Scheduler;
 use galois_llm::intent::TaskIntent;
@@ -51,6 +52,12 @@ pub struct GaloisOptions {
     /// *and* real worker threads for the scheduler. `Parallelism(1)` (the
     /// default) is the paper-faithful sequential configuration.
     pub parallelism: Parallelism,
+    /// Plan-choice strategy. [`Planner::Heuristic`] (the default)
+    /// reproduces the pre-planner pipeline bit for bit — same plans, same
+    /// prompts, same tables; [`Planner::CostBased`] picks prompt pushdowns
+    /// and step order by estimated prompt/latency cost (see
+    /// [`crate::plan_choice`]).
+    pub planner: Planner,
 }
 
 impl Default for GaloisOptions {
@@ -61,6 +68,7 @@ impl Default for GaloisOptions {
             max_list_iterations: 32,
             batch_size: 20,
             parallelism: Parallelism::default(),
+            planner: Planner::default(),
         }
     }
 }
@@ -173,6 +181,11 @@ pub struct Galois {
     db: Database,
     prompt_builder: PromptBuilder,
     options: GaloisOptions,
+    /// Cost-model calibration, frozen at the session's first planner use
+    /// so plan choice stays a deterministic function of the query — never
+    /// of which concurrent query's prompts happened to land first in the
+    /// shared client stats. [`Galois::recalibrate_planner`] re-freezes it.
+    calibration: parking_lot::Mutex<Option<PlannerParams>>,
 }
 
 impl Galois {
@@ -193,6 +206,7 @@ impl Galois {
             db,
             prompt_builder,
             options,
+            calibration: parking_lot::Mutex::new(None),
         }
     }
 
@@ -211,17 +225,111 @@ impl Galois {
         &self.options
     }
 
-    /// Plans and compiles a query without executing it (Figure 3 EXPLAIN).
+    /// The cost-model calibration computed from the client's stats *right
+    /// now*: batch size and lanes from the options, expected per-prompt
+    /// latency and cache-hit rate from the observed stats. This is the
+    /// live reading; plan choice uses the frozen snapshot of
+    /// [`Galois::recalibrate_planner`].
+    pub fn planner_params(&self) -> PlannerParams {
+        PlannerParams::from_session(
+            self.options.batch_size,
+            self.options.parallelism,
+            &self.client.stats(),
+        )
+    }
+
+    /// The calibration snapshot plan choice uses, frozen at the session's
+    /// first planner invocation. Freezing keeps the chosen plan a
+    /// deterministic function of the query even when many threads share
+    /// the session (live stats would race); a fresh session freezes the
+    /// documented cold-start defaults.
+    fn calibration(&self) -> PlannerParams {
+        self.calibration
+            .lock()
+            .get_or_insert_with(|| self.planner_params())
+            .clone()
+    }
+
+    /// Re-freezes the planner calibration from the client's current stats
+    /// — opt-in adaptivity for long-lived sessions (call between
+    /// workloads, not concurrently with queries whose plans should match).
+    pub fn recalibrate_planner(&self) {
+        *self.calibration.lock() = Some(self.planner_params());
+    }
+
+    /// Parses one statement, mapping the SQL error into the session's.
+    fn parse_statement(&self, sql: &str) -> Result<galois_sql::Statement> {
+        galois_sql::parse(sql)
+            .map_err(|e| GaloisError::from(galois_relational::EngineError::from(e)))
+    }
+
+    /// Plans an already-parsed SELECT through the session's [`Planner`]
+    /// with one fixed calibration snapshot.
+    fn plan_statement(
+        &self,
+        select: &galois_sql::SelectStatement,
+        params: &PlannerParams,
+    ) -> Result<PlannedQuery> {
+        let plan = self.db.plan_statement(select).map_err(GaloisError::from)?;
+        plan_query(
+            &plan,
+            self.db.catalog(),
+            &self.options.compile,
+            self.options.planner,
+            params,
+        )
+    }
+
+    /// Plans a query through the session's [`Planner`] without executing
+    /// it, returning the compiled retrieval program plus its cost report.
+    pub fn plan(&self, sql: &str) -> Result<PlannedQuery> {
+        let stmt = self.parse_statement(sql)?;
+        self.plan_statement(stmt.select(), &self.calibration())
+    }
+
+    /// Renders the chosen plan with per-operator prompt/latency cost
+    /// estimates (the text behind `EXPLAIN <query>`; Figure 3 shape).
+    ///
+    /// Accepts either a plain query or an `EXPLAIN`-prefixed one.
     pub fn explain(&self, sql: &str) -> Result<String> {
-        let plan = self.db.plan(sql)?;
-        let compiled = compile(&plan, self.db.catalog(), &self.options.compile)?;
-        Ok(crate::compile::explain_compiled(&compiled))
+        let stmt = self.parse_statement(sql)?;
+        let params = self.calibration();
+        let planned = self.plan_statement(stmt.select(), &params)?;
+        Ok(planned.render(self.db.catalog(), &params))
     }
 
     /// Executes a SQL query against the LLM (and DB for hybrid sources).
+    ///
+    /// An `EXPLAIN <query>` statement is not executed: it returns the
+    /// chosen plan and its cost report as a one-column `QUERY PLAN`
+    /// relation with zero prompt accounting.
     pub fn execute(&self, sql: &str) -> Result<GaloisResult> {
-        let plan = self.db.plan(sql)?;
-        let compiled = compile(&plan, self.db.catalog(), &self.options.compile)?;
+        let stmt = self.parse_statement(sql)?;
+        if stmt.is_explain() {
+            let params = self.calibration();
+            let planned = self.plan_statement(stmt.select(), &params)?;
+            let text = planned.render(self.db.catalog(), &params);
+            return Ok(GaloisResult {
+                relation: galois_relational::cost::explain_relation(&text),
+                stats: QueryStats::default(),
+            });
+        }
+        let compiled = match self.options.planner {
+            // Fast path, and the bit-exactness invariant made literal: the
+            // default mode runs exactly the pre-planner pipeline, no cost
+            // estimation on the hot path.
+            Planner::Heuristic => {
+                let plan = self
+                    .db
+                    .plan_statement(stmt.select())
+                    .map_err(GaloisError::from)?;
+                crate::compile::compile(&plan, self.db.catalog(), &self.options.compile)?
+            }
+            Planner::CostBased => {
+                self.plan_statement(stmt.select(), &self.calibration())?
+                    .compiled
+            }
+        };
         self.execute_compiled(&compiled)
     }
 
@@ -695,6 +803,85 @@ mod tests {
             .explain("SELECT name FROM city WHERE population > 1000000")
             .unwrap();
         assert!(text.contains("[LLM step 1] scan city"));
+        assert!(text.contains("planner: heuristic"));
+        assert!(text.contains("cost: keys≈"));
+        assert!(text.contains("[relational plan]"));
+    }
+
+    #[test]
+    fn explain_statement_returns_query_plan_relation() {
+        let (_, g) = oracle_session();
+        let got = g
+            .execute("EXPLAIN SELECT name FROM city WHERE population > 1000000")
+            .unwrap();
+        assert_eq!(got.stats.total_prompts(), 0, "EXPLAIN must not prompt");
+        assert_eq!(got.relation.schema.columns[0].name, "QUERY PLAN");
+        let text: Vec<String> = got.relation.rows.iter().map(|r| r[0].render()).collect();
+        assert!(text.iter().any(|l| l.contains("[LLM step 1] scan city")));
+        assert!(text.iter().any(|l| l.contains("virtual≈")));
+    }
+
+    #[test]
+    fn planner_calibration_is_frozen_until_recalibrated() {
+        let s = Scenario::generate(42);
+        let model = Arc::new(SimLlm::new(s.knowledge.clone(), ModelProfile::oracle()));
+        let g = Galois::with_options(
+            model,
+            s.database.clone(),
+            GaloisOptions {
+                planner: Planner::CostBased,
+                ..Default::default()
+            },
+        );
+        let sql = "SELECT name FROM city WHERE population > 1000000";
+        let before = g.explain(sql).unwrap();
+        // Executing queries mutates the client stats, but the frozen
+        // snapshot keeps the planner's choice (and report) stable.
+        g.execute(sql).unwrap();
+        assert_eq!(g.explain(sql).unwrap(), before);
+        // The live reading has moved; re-freezing adopts it.
+        assert_ne!(g.planner_params().prompt_latency_ms, {
+            let d = crate::plan_choice::PlannerParams::default();
+            d.prompt_latency_ms
+        });
+        g.recalibrate_planner();
+        assert_ne!(g.explain(sql).unwrap(), before);
+    }
+
+    #[test]
+    fn cost_based_planner_preserves_results_with_fewer_prompts() {
+        let s = Scenario::generate(42);
+        let model = Arc::new(SimLlm::new(s.knowledge.clone(), ModelProfile::oracle()));
+        let heuristic = Galois::new(model.clone(), s.database.clone());
+        let cost_based = Galois::with_options(
+            model,
+            s.database.clone(),
+            GaloisOptions {
+                planner: Planner::CostBased,
+                ..Default::default()
+            },
+        );
+        let sql = "SELECT name, population FROM city WHERE elevation < 100";
+        let a = heuristic.execute(sql).unwrap();
+        cost_based.client().clear_cache();
+        let b = cost_based.execute(sql).unwrap();
+        let sort = |rel: &Relation| {
+            let mut rows: Vec<Vec<String>> = rel
+                .rows
+                .iter()
+                .map(|r| r.iter().map(Value::render).collect())
+                .collect();
+            rows.sort();
+            rows
+        };
+        assert_eq!(sort(&a.relation), sort(&b.relation));
+        assert!(
+            b.stats.total_prompts() < a.stats.total_prompts(),
+            "cost-based {} vs heuristic {}",
+            b.stats.total_prompts(),
+            a.stats.total_prompts()
+        );
+        assert!(b.stats.virtual_ms < a.stats.virtual_ms);
     }
 
     #[test]

@@ -511,6 +511,39 @@ mod tests {
     }
 
     #[test]
+    fn cost_based_planner_is_cheaper_suite_wide() {
+        let s = small_scenario();
+        let heuristic = run_galois_suite(&s, ModelProfile::oracle(), GaloisOptions::default());
+        let cost_based = run_galois_suite(
+            &s,
+            ModelProfile::oracle(),
+            GaloisOptions {
+                planner: galois_core::Planner::CostBased,
+                ..Default::default()
+            },
+        );
+        // Identical relations (the planner only reshapes the prompt
+        // schedule), strictly cheaper accounting.
+        assert_eq!(
+            heuristic.content_score(None),
+            cost_based.content_score(None)
+        );
+        assert_eq!(
+            heuristic.average_cardinality_diff(),
+            cost_based.average_cardinality_diff()
+        );
+        let h = suite_totals(&heuristic, 1);
+        let c = suite_totals(&cost_based, 1);
+        assert!(c.prompts < h.prompts, "{} vs {}", c.prompts, h.prompts);
+        assert!(
+            c.virtual_ms < h.virtual_ms,
+            "{} vs {}",
+            c.virtual_ms,
+            h.virtual_ms
+        );
+    }
+
+    #[test]
     fn scheduled_suite_is_virtually_faster() {
         let s = small_scenario();
         let lanes = 8;

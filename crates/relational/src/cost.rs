@@ -1,0 +1,392 @@
+//! Cardinality and selectivity estimation over logical plans (paper §6
+//! "Query optimization").
+//!
+//! For Galois the logical plan *is* the chain-of-thought, so plan choice
+//! directly determines how many prompts a query costs. This module supplies
+//! the relational half of that decision: textbook selectivity factors per
+//! predicate shape and a recursive row estimator that reads base-table
+//! cardinalities from the catalog (the planner's statistics, exactly like a
+//! classical optimizer's table stats). The prompt-aware half — turning row
+//! estimates into prompt counts, cache-hit expectations and virtual
+//! latency — lives in `galois-core`'s `plan_choice` module, which consumes
+//! these numbers.
+//!
+//! Estimates are deliberately simple and fully deterministic: the planner
+//! needs a *ranking* of candidate plans, not ground truth.
+//!
+//! ```
+//! use galois_relational::{cost, Column, Database, DataType, Table, TableSchema, Value};
+//!
+//! let mut db = Database::new();
+//! let mut t = Table::new(
+//!     "city",
+//!     TableSchema::new(
+//!         vec![
+//!             Column::new("name", DataType::Text),
+//!             Column::new("population", DataType::Int),
+//!         ],
+//!         "name",
+//!     )
+//!     .unwrap(),
+//! );
+//! for (name, pop) in [("Rome", 2_800_000), ("Lyon", 500_000)] {
+//!     t.insert(vec![name.into(), Value::Int(pop)]).unwrap();
+//! }
+//! db.add_table(t).unwrap();
+//!
+//! let plan = db.plan("SELECT name FROM city WHERE population > 1000000").unwrap();
+//! let rows = cost::estimate_rows(&plan, db.catalog());
+//! assert!(rows > 0.0 && rows <= 2.0);
+//! assert!(cost::explain_with_rows(&plan, db.catalog()).contains("rows≈"));
+//! ```
+
+use crate::exec::Relation;
+use crate::expr::ScalarExpr;
+use crate::plan::LogicalPlan;
+use crate::schema::{PlanColumn, PlanSchema};
+use crate::table::Catalog;
+use crate::value::{DataType, Value};
+use galois_sql::ast::BinaryOp;
+
+/// Selectivity assumed for an equality comparison against a literal.
+pub const SEL_EQ: f64 = 0.15;
+/// Selectivity assumed for a range comparison (`<`, `<=`, `>`, `>=`).
+pub const SEL_RANGE: f64 = 0.35;
+/// Selectivity assumed for `BETWEEN`.
+pub const SEL_BETWEEN: f64 = 0.30;
+/// Selectivity assumed for `LIKE`.
+pub const SEL_LIKE: f64 = 0.25;
+/// Selectivity assumed for `IS NULL`.
+pub const SEL_IS_NULL: f64 = 0.10;
+/// Selectivity assumed per `IN`-list member.
+pub const SEL_IN_PER_ITEM: f64 = 0.15;
+/// Fallback selectivity for predicates with no recognisable shape.
+pub const SEL_DEFAULT: f64 = 0.50;
+/// Fallback cardinality for scans of tables the catalog does not know
+/// (e.g. not-yet-materialised temporaries in a compiled residual plan).
+pub const DEFAULT_SCAN_ROWS: f64 = 100.0;
+/// Fraction of input rows assumed to survive as distinct groups in a
+/// grouped aggregation.
+pub const GROUP_FRACTION: f64 = 0.25;
+
+/// Estimated fraction of input rows satisfying a predicate, derived purely
+/// from the predicate's shape (System-R style constants — the classical
+/// default in the absence of histograms).
+pub fn predicate_selectivity(expr: &ScalarExpr) -> f64 {
+    let sel = match expr {
+        ScalarExpr::Literal(Value::Bool(b)) => {
+            if *b {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        ScalarExpr::Binary { left, op, right } => match op {
+            BinaryOp::And => predicate_selectivity(left) * predicate_selectivity(right),
+            BinaryOp::Or => {
+                let (a, b) = (predicate_selectivity(left), predicate_selectivity(right));
+                a + b - a * b
+            }
+            BinaryOp::Eq => SEL_EQ,
+            BinaryOp::NotEq => 1.0 - SEL_EQ,
+            BinaryOp::Lt | BinaryOp::LtEq | BinaryOp::Gt | BinaryOp::GtEq => SEL_RANGE,
+            _ => SEL_DEFAULT,
+        },
+        ScalarExpr::Unary { op, expr } => match op {
+            galois_sql::ast::UnaryOp::Not => 1.0 - predicate_selectivity(expr),
+            galois_sql::ast::UnaryOp::Neg => SEL_DEFAULT,
+        },
+        ScalarExpr::Between { negated, .. } => {
+            if *negated {
+                1.0 - SEL_BETWEEN
+            } else {
+                SEL_BETWEEN
+            }
+        }
+        ScalarExpr::InList { list, negated, .. } => {
+            let s = (SEL_IN_PER_ITEM * list.len() as f64).min(1.0);
+            if *negated {
+                1.0 - s
+            } else {
+                s
+            }
+        }
+        ScalarExpr::Like { negated, .. } => {
+            if *negated {
+                1.0 - SEL_LIKE
+            } else {
+                SEL_LIKE
+            }
+        }
+        ScalarExpr::IsNull { negated, .. } => {
+            if *negated {
+                1.0 - SEL_IS_NULL
+            } else {
+                SEL_IS_NULL
+            }
+        }
+        _ => SEL_DEFAULT,
+    };
+    sel.clamp(0.0, 1.0)
+}
+
+/// Estimated output cardinality of a plan, reading base-table row counts
+/// from the catalog as the planner's statistics.
+pub fn estimate_rows(plan: &LogicalPlan, catalog: &Catalog) -> f64 {
+    estimate_rows_with(plan, catalog, &std::collections::HashMap::new())
+}
+
+/// [`estimate_rows`] with per-table cardinality overrides (case-insensitive
+/// table names). The Galois planner uses this to annotate a compiled
+/// residual plan whose scans reference not-yet-materialised `__llm_*`
+/// temporaries: it knows how many keys it expects each retrieval to
+/// produce, and the catalog does not.
+pub fn estimate_rows_with(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    overrides: &std::collections::HashMap<String, f64>,
+) -> f64 {
+    match plan {
+        LogicalPlan::Scan { table, .. } => overrides
+            .get(&table.to_ascii_lowercase())
+            .copied()
+            .or_else(|| catalog.get(table).ok().map(|t| t.len() as f64))
+            .unwrap_or(DEFAULT_SCAN_ROWS),
+        LogicalPlan::Filter { input, predicate } => {
+            estimate_rows_with(input, catalog, overrides) * predicate_selectivity(predicate)
+        }
+        LogicalPlan::Project { input, .. } => estimate_rows_with(input, catalog, overrides),
+        LogicalPlan::Join {
+            left,
+            right,
+            condition,
+            ..
+        } => {
+            let l = estimate_rows_with(left, catalog, overrides);
+            let r = estimate_rows_with(right, catalog, overrides);
+            // Classic equi-join estimate: |L|·|R| / max(|L|, |R|) assumes
+            // the join key is (close to) a key of the larger side — the
+            // shape of every suite join. A residual shrinks it further.
+            let mut rows = if condition.equi.is_empty() {
+                l * r
+            } else {
+                l * r / l.max(r).max(1.0)
+            };
+            if let Some(resid) = &condition.residual {
+                rows *= predicate_selectivity(resid);
+            }
+            rows
+        }
+        LogicalPlan::CrossJoin { left, right, .. } => {
+            estimate_rows_with(left, catalog, overrides)
+                * estimate_rows_with(right, catalog, overrides)
+        }
+        LogicalPlan::Aggregate {
+            input, group_by, ..
+        } => {
+            if group_by.is_empty() {
+                1.0
+            } else {
+                (estimate_rows_with(input, catalog, overrides) * GROUP_FRACTION).max(1.0)
+            }
+        }
+        LogicalPlan::Sort { input, .. } | LogicalPlan::Distinct { input } => {
+            estimate_rows_with(input, catalog, overrides)
+        }
+        LogicalPlan::Limit { input, n } => {
+            estimate_rows_with(input, catalog, overrides).min(*n as f64)
+        }
+    }
+}
+
+/// Renders the plan tree with a `(rows≈N)` estimate appended to every
+/// operator line — the relational half of the `EXPLAIN` output.
+pub fn explain_with_rows(plan: &LogicalPlan, catalog: &Catalog) -> String {
+    explain_with_rows_overridden(plan, catalog, &std::collections::HashMap::new())
+}
+
+/// [`explain_with_rows`] with the cardinality overrides of
+/// [`estimate_rows_with`].
+pub fn explain_with_rows_overridden(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    overrides: &std::collections::HashMap<String, f64>,
+) -> String {
+    plan.explain_annotated(&|node| {
+        format!(
+            "  (rows≈{})",
+            estimate_rows_with(node, catalog, overrides).round()
+        )
+    })
+}
+
+/// Packages explain text as a one-column relation (`QUERY PLAN`, one row
+/// per line), the way interactive databases surface `EXPLAIN` output
+/// through the ordinary result channel.
+pub fn explain_relation(text: &str) -> Relation {
+    let schema = PlanSchema::new(vec![PlanColumn::computed("QUERY PLAN", DataType::Text)]);
+    Relation {
+        schema,
+        rows: text
+            .lines()
+            .map(|line| vec![Value::Text(line.to_string())])
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Database;
+    use crate::schema::{Column, TableSchema};
+    use crate::table::Table;
+
+    fn db_with_city(rows: usize) -> Database {
+        let mut db = Database::new();
+        let mut t = Table::new(
+            "city",
+            TableSchema::new(
+                vec![
+                    Column::new("name", DataType::Text),
+                    Column::new("country", DataType::Text),
+                    Column::new("population", DataType::Int),
+                ],
+                "name",
+            )
+            .unwrap(),
+        );
+        for i in 0..rows {
+            t.insert(vec![
+                Value::Text(format!("c{i}")),
+                Value::Text(format!("k{}", i % 3)),
+                Value::Int(i as i64 * 1000),
+            ])
+            .unwrap();
+        }
+        db.add_table(t).unwrap();
+        db
+    }
+
+    #[test]
+    fn scan_estimate_reads_catalog_stats() {
+        let db = db_with_city(40);
+        let plan = db.plan("SELECT name FROM city").unwrap();
+        assert_eq!(estimate_rows(&plan, db.catalog()), 40.0);
+    }
+
+    #[test]
+    fn filters_shrink_estimates_monotonically() {
+        let db = db_with_city(40);
+        let all = db.plan("SELECT name FROM city").unwrap();
+        let one = db
+            .plan("SELECT name FROM city WHERE population > 5")
+            .unwrap();
+        let two = db
+            .plan("SELECT name FROM city WHERE population > 5 AND country = 'k0'")
+            .unwrap();
+        let r0 = estimate_rows(&all, db.catalog());
+        let r1 = estimate_rows(&one, db.catalog());
+        let r2 = estimate_rows(&two, db.catalog());
+        assert!(r0 > r1 && r1 > r2, "{r0} {r1} {r2}");
+        assert!(r2 > 0.0);
+    }
+
+    #[test]
+    fn selectivity_shapes_are_ordered_sanely() {
+        // OR combines as s1 + s2 − s1·s2 (less selective than either AND'd).
+        let db = db_with_city(10);
+        let plan = db
+            .plan("SELECT name FROM city WHERE population > 5 OR country = 'k0'")
+            .unwrap();
+        let LogicalPlan::Project { input, .. } = &plan else {
+            panic!("{}", plan.explain())
+        };
+        let LogicalPlan::Filter { predicate, .. } = input.as_ref() else {
+            panic!("{}", plan.explain())
+        };
+        let s_or = predicate_selectivity(predicate);
+        assert!((s_or - (SEL_RANGE + SEL_EQ - SEL_RANGE * SEL_EQ)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_scan_falls_back() {
+        let db = db_with_city(5);
+        let plan = db.plan("SELECT name FROM city").unwrap();
+        // Re-point the scan at a name the catalog does not know.
+        let LogicalPlan::Project { input, .. } = plan else {
+            panic!()
+        };
+        let LogicalPlan::Scan {
+            binding,
+            schema,
+            key_index,
+            source,
+            ..
+        } = *input
+        else {
+            panic!()
+        };
+        let orphan = LogicalPlan::Scan {
+            table: "__llm_missing".into(),
+            binding,
+            schema,
+            key_index,
+            source,
+        };
+        assert_eq!(estimate_rows(&orphan, db.catalog()), DEFAULT_SCAN_ROWS);
+    }
+
+    #[test]
+    fn aggregate_and_limit_estimates() {
+        let db = db_with_city(40);
+        let global = db.plan("SELECT COUNT(*) FROM city").unwrap();
+        assert_eq!(estimate_rows(&global, db.catalog()), 1.0);
+        let grouped = db
+            .plan("SELECT country, COUNT(*) FROM city GROUP BY country")
+            .unwrap();
+        let g = estimate_rows(&grouped, db.catalog());
+        assert!((1.0..=40.0).contains(&g));
+        let limited = db.plan("SELECT name FROM city LIMIT 3").unwrap();
+        assert_eq!(estimate_rows(&limited, db.catalog()), 3.0);
+    }
+
+    #[test]
+    fn join_estimate_is_bounded_by_cross_product() {
+        let mut db = db_with_city(12);
+        let mut country = Table::new(
+            "country",
+            TableSchema::new(vec![Column::new("name", DataType::Text)], "name").unwrap(),
+        );
+        for i in 0..3 {
+            country.insert(vec![Value::Text(format!("k{i}"))]).unwrap();
+        }
+        db.add_table(country).unwrap();
+        let plan = db
+            .plan("SELECT c.name FROM city c, country k WHERE c.country = k.name")
+            .unwrap();
+        let rows = estimate_rows(&plan, db.catalog());
+        assert!((1.0..=36.0).contains(&rows), "{rows}");
+    }
+
+    #[test]
+    fn explain_with_rows_annotates_every_operator() {
+        let db = db_with_city(40);
+        let plan = db
+            .plan("SELECT name FROM city WHERE population > 5")
+            .unwrap();
+        let text = explain_with_rows(&plan, db.catalog());
+        for line in text.lines() {
+            assert!(line.contains("(rows≈"), "unannotated line: {line}");
+        }
+        // Plain explain stays annotation-free.
+        assert!(!plan.explain().contains("rows≈"));
+    }
+
+    #[test]
+    fn explain_relation_is_one_text_column() {
+        let rel = explain_relation("a\nb\nc");
+        assert_eq!(rel.schema.arity(), 1);
+        assert_eq!(rel.len(), 3);
+        assert_eq!(rel.rows[1][0].render(), "b");
+    }
+}

@@ -6,7 +6,7 @@ use crate::exec::{execute, Relation};
 use crate::optimizer::optimize;
 use crate::plan::LogicalPlan;
 use crate::table::{Catalog, Table};
-use galois_sql::{parse, Statement};
+use galois_sql::parse;
 
 /// An in-memory database: a catalog plus parse→plan→optimize→execute glue.
 ///
@@ -39,22 +39,36 @@ impl Database {
         &mut self.catalog
     }
 
-    /// Parses and plans a query without executing it.
+    /// Plans an already-parsed SELECT: name resolution plus the optimizer
+    /// pass. The single entry every SQL-text path (here and in the Galois
+    /// session) funnels through.
+    pub fn plan_statement(&self, select: &galois_sql::SelectStatement) -> Result<LogicalPlan> {
+        Ok(optimize(plan_select(select, &self.catalog)?))
+    }
+
+    /// Parses and plans a query without executing it. For an `EXPLAIN`
+    /// statement this plans the explained query.
     pub fn plan(&self, sql: &str) -> Result<LogicalPlan> {
-        let Statement::Select(stmt) = parse(sql)?;
-        let plan = plan_select(&stmt, &self.catalog)?;
-        Ok(optimize(plan))
+        self.plan_statement(parse(sql)?.select())
     }
 
     /// Plans without the optimizer pass (used by tests and by ablations).
     pub fn plan_unoptimized(&self, sql: &str) -> Result<LogicalPlan> {
-        let Statement::Select(stmt) = parse(sql)?;
-        plan_select(&stmt, &self.catalog)
+        let stmt = parse(sql)?;
+        plan_select(stmt.select(), &self.catalog)
     }
 
-    /// Runs a query end to end.
+    /// Runs a query end to end. An `EXPLAIN <query>` statement is not
+    /// executed; it returns the cost-annotated plan as a one-column
+    /// `QUERY PLAN` relation, the way interactive databases do.
     pub fn execute(&self, sql: &str) -> Result<Relation> {
-        let plan = self.plan(sql)?;
+        let stmt = parse(sql)?;
+        let plan = self.plan_statement(stmt.select())?;
+        if stmt.is_explain() {
+            return Ok(crate::cost::explain_relation(
+                &crate::cost::explain_with_rows(&plan, &self.catalog),
+            ));
+        }
         execute(&plan, &self.catalog)
     }
 
@@ -63,9 +77,11 @@ impl Database {
         execute(plan, &self.catalog)
     }
 
-    /// Returns the optimized plan rendered as an indented tree.
+    /// Returns the optimized plan rendered as an indented tree, with a
+    /// `(rows≈N)` cardinality estimate per operator (see [`crate::cost`]).
     pub fn explain(&self, sql: &str) -> Result<String> {
-        Ok(self.plan(sql)?.explain())
+        let plan = self.plan(sql)?;
+        Ok(crate::cost::explain_with_rows(&plan, &self.catalog))
     }
 }
 
@@ -341,6 +357,27 @@ mod tests {
         assert!(text.contains("Scan city"));
         assert!(text.contains("Filter"));
         assert!(text.contains("Project"));
+        assert!(text.contains("rows≈"));
+    }
+
+    #[test]
+    fn explain_statement_returns_plan_relation() {
+        let db = sample_db();
+        let r = db
+            .execute("EXPLAIN SELECT name FROM city WHERE population > 5")
+            .unwrap();
+        assert_eq!(r.schema.arity(), 1);
+        assert_eq!(r.schema.columns[0].name, "QUERY PLAN");
+        let text: Vec<String> = r.rows.iter().map(|row| row[0].render()).collect();
+        assert!(text.iter().any(|l| l.contains("Scan city")));
+        assert!(text.iter().any(|l| l.contains("rows≈")));
+        // Same query without EXPLAIN executes normally.
+        assert_eq!(
+            db.execute("SELECT name FROM city WHERE population > 5")
+                .unwrap()
+                .len(),
+            4
+        );
     }
 
     #[test]

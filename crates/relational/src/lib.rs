@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod cost;
 pub mod engine;
 pub mod error;
 pub mod exec;
@@ -44,6 +45,7 @@ pub mod schema;
 pub mod table;
 pub mod value;
 
+pub use cost::{estimate_rows, explain_with_rows, predicate_selectivity};
 pub use engine::Database;
 pub use error::{EngineError, Result};
 pub use exec::{execute, Relation};

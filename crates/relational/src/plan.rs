@@ -256,13 +256,31 @@ impl LogicalPlan {
     /// Renders the plan as an indented tree — the paper's Figure 3 style
     /// explanation (`EXPLAIN` output).
     pub fn explain(&self) -> String {
+        self.explain_annotated(&|_| String::new())
+    }
+
+    /// [`LogicalPlan::explain`] with a per-operator suffix supplied by the
+    /// caller — e.g. the cost estimator appending `(rows≈N)` to every line
+    /// (see [`crate::cost::explain_with_rows`]).
+    pub fn explain_annotated(&self, annotate: &dyn Fn(&LogicalPlan) -> String) -> String {
         let mut s = String::new();
-        self.explain_into(&mut s, 0);
+        self.explain_into(&mut s, 0, annotate);
         s
     }
 
-    fn explain_into(&self, out: &mut String, depth: usize) {
+    fn explain_into(
+        &self,
+        out: &mut String,
+        depth: usize,
+        annotate: &dyn Fn(&LogicalPlan) -> String,
+    ) {
         let pad = "  ".repeat(depth);
+        let line = |out: &mut String, body: String| {
+            out.push_str(&pad);
+            out.push_str(&body);
+            out.push_str(&annotate(self));
+            out.push('\n');
+        };
         match self {
             LogicalPlan::Scan {
                 table,
@@ -275,16 +293,16 @@ impl LogicalPlan {
                     Some(SourceQualifier::Db) => "DB.",
                     None => "",
                 };
-                out.push_str(&format!("{pad}Scan {src}{table} AS {binding}\n"));
+                line(out, format!("Scan {src}{table} AS {binding}"));
             }
             LogicalPlan::Filter { input, predicate } => {
-                out.push_str(&format!("{pad}Filter {predicate}\n"));
-                input.explain_into(out, depth + 1);
+                line(out, format!("Filter {predicate}"));
+                input.explain_into(out, depth + 1, annotate);
             }
             LogicalPlan::Project { input, exprs, .. } => {
                 let cols: Vec<String> = exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
-                out.push_str(&format!("{pad}Project {}\n", cols.join(", ")));
-                input.explain_into(out, depth + 1);
+                line(out, format!("Project {}", cols.join(", ")));
+                input.explain_into(out, depth + 1, annotate);
             }
             LogicalPlan::Join {
                 left,
@@ -303,21 +321,24 @@ impl LogicalPlan {
                     .as_ref()
                     .map(|r| format!(" AND {r}"))
                     .unwrap_or_default();
-                out.push_str(&format!(
-                    "{pad}{join_type} ON {}{res}\n",
-                    if eq.is_empty() {
-                        "TRUE".to_string()
-                    } else {
-                        eq.join(" AND ")
-                    }
-                ));
-                left.explain_into(out, depth + 1);
-                right.explain_into(out, depth + 1);
+                line(
+                    out,
+                    format!(
+                        "{join_type} ON {}{res}",
+                        if eq.is_empty() {
+                            "TRUE".to_string()
+                        } else {
+                            eq.join(" AND ")
+                        }
+                    ),
+                );
+                left.explain_into(out, depth + 1, annotate);
+                right.explain_into(out, depth + 1, annotate);
             }
             LogicalPlan::CrossJoin { left, right, .. } => {
-                out.push_str(&format!("{pad}CrossJoin\n"));
-                left.explain_into(out, depth + 1);
-                right.explain_into(out, depth + 1);
+                line(out, "CrossJoin".to_string());
+                left.explain_into(out, depth + 1, annotate);
+                right.explain_into(out, depth + 1, annotate);
             }
             LogicalPlan::Aggregate {
                 input,
@@ -327,12 +348,15 @@ impl LogicalPlan {
             } => {
                 let keys: Vec<String> = group_by.iter().map(|(e, _)| e.to_string()).collect();
                 let aggs: Vec<String> = aggregates.iter().map(|a| a.to_string()).collect();
-                out.push_str(&format!(
-                    "{pad}Aggregate group=[{}] aggs=[{}]\n",
-                    keys.join(", "),
-                    aggs.join(", ")
-                ));
-                input.explain_into(out, depth + 1);
+                line(
+                    out,
+                    format!(
+                        "Aggregate group=[{}] aggs=[{}]",
+                        keys.join(", "),
+                        aggs.join(", ")
+                    ),
+                );
+                input.explain_into(out, depth + 1, annotate);
             }
             LogicalPlan::Sort { input, keys } => {
                 let ks: Vec<String> = keys
@@ -349,16 +373,16 @@ impl LogicalPlan {
                         )
                     })
                     .collect();
-                out.push_str(&format!("{pad}Sort {}\n", ks.join(", ")));
-                input.explain_into(out, depth + 1);
+                line(out, format!("Sort {}", ks.join(", ")));
+                input.explain_into(out, depth + 1, annotate);
             }
             LogicalPlan::Distinct { input } => {
-                out.push_str(&format!("{pad}Distinct\n"));
-                input.explain_into(out, depth + 1);
+                line(out, "Distinct".to_string());
+                input.explain_into(out, depth + 1, annotate);
             }
             LogicalPlan::Limit { input, n } => {
-                out.push_str(&format!("{pad}Limit {n}\n"));
-                input.explain_into(out, depth + 1);
+                line(out, format!("Limit {n}"));
+                input.explain_into(out, depth + 1, annotate);
             }
         }
     }

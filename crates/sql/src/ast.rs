@@ -704,18 +704,38 @@ impl fmt::Display for SelectStatement {
     }
 }
 
-/// Top-level statement. The dialect is read-only, so SELECT is the only
-/// variant; the enum exists to keep the public API future-proof.
+/// Top-level statement. The dialect is read-only: a query, or a request to
+/// explain how a query would be planned (paper §6 — the plan *is* the
+/// chain-of-thought, so inspecting it is a first-class operation).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
     /// A query.
     Select(SelectStatement),
+    /// `EXPLAIN <query>` — plan the query and report the chosen plan with
+    /// its cost estimates instead of executing it.
+    Explain(SelectStatement),
+}
+
+impl Statement {
+    /// The SELECT body of the statement (the query itself for `Select`,
+    /// the explained query for `Explain`).
+    pub fn select(&self) -> &SelectStatement {
+        match self {
+            Statement::Select(s) | Statement::Explain(s) => s,
+        }
+    }
+
+    /// True for `EXPLAIN <query>`.
+    pub fn is_explain(&self) -> bool {
+        matches!(self, Statement::Explain(_))
+    }
 }
 
 impl fmt::Display for Statement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Statement::Select(s) => write!(f, "{s}"),
+            Statement::Explain(s) => write!(f, "EXPLAIN {s}"),
         }
     }
 }

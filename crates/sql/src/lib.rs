@@ -7,17 +7,19 @@
 //!
 //! The dialect supports `SELECT [DISTINCT] … FROM … [JOIN … ON …] WHERE …
 //! GROUP BY … HAVING … ORDER BY … LIMIT …` with arithmetic, comparisons,
-//! `LIKE`/`IN`/`BETWEEN`/`IS NULL`, the five standard aggregates, and the
+//! `LIKE`/`IN`/`BETWEEN`/`IS NULL`, the five standard aggregates, the
 //! hybrid-source qualifiers `LLM.table` / `DB.table` from the paper's
-//! introduction.
+//! introduction, and `EXPLAIN <query>` for inspecting the chosen plan
+//! without executing it.
 //!
 //! ```
-//! use galois_sql::{parse, Statement};
+//! use galois_sql::{parse, parse_select};
 //!
-//! let Statement::Select(q) = parse(
-//!     "SELECT c.name FROM city c WHERE c.population > 1000000",
-//! ).unwrap();
+//! let q = parse_select("SELECT c.name FROM city c WHERE c.population > 1000000").unwrap();
 //! assert_eq!(q.from[0].binding(), "c");
+//!
+//! let stmt = parse("EXPLAIN SELECT name FROM city").unwrap();
+//! assert!(stmt.is_explain());
 //! ```
 
 #![warn(missing_docs)]

@@ -37,11 +37,22 @@ pub fn parse(sql: &str) -> Result<Statement> {
     Ok(stmt)
 }
 
-/// Parses a statement and asserts it is a SELECT (the only kind the dialect
-/// has today); convenience for callers that want the select directly.
+/// Parses a statement and asserts it is a plain SELECT; convenience for
+/// callers that want the select directly (an `EXPLAIN` is rejected, since
+/// the caller asked for something to execute).
 pub fn parse_select(sql: &str) -> Result<SelectStatement> {
-    let Statement::Select(s) = parse(sql)?;
-    Ok(s)
+    match parse(sql)? {
+        Statement::Select(s) => Ok(s),
+        Statement::Explain(_) => {
+            // The statement parsed as EXPLAIN, so the keyword is the first
+            // token: point the span at it, past any leading whitespace.
+            let start = sql.len() - sql.trim_start().len();
+            Err(SqlError::new(
+                "expected a SELECT statement, found EXPLAIN",
+                crate::error::Span::new(start, start + "EXPLAIN".len()),
+            ))
+        }
+    }
 }
 
 struct Parser {
@@ -132,10 +143,16 @@ impl Parser {
     }
 
     fn parse_statement(&mut self) -> Result<Statement> {
+        if self.eat_keyword(Keyword::Explain) {
+            if !self.peek().is_keyword(Keyword::Select) {
+                return Err(self.error_here("expected SELECT after EXPLAIN"));
+            }
+            return Ok(Statement::Explain(self.parse_select()?));
+        }
         if self.peek().is_keyword(Keyword::Select) {
             Ok(Statement::Select(self.parse_select()?))
         } else {
-            Err(self.error_here("expected SELECT"))
+            Err(self.error_here("expected SELECT or EXPLAIN"))
         }
     }
 
@@ -564,7 +581,9 @@ mod tests {
                    FROM LLM.country c, DB.Employees e \
                    WHERE c.code = e.countryCode \
                    GROUP BY e.countryCode";
-        let Statement::Select(s) = parse(sql).unwrap();
+        let Statement::Select(s) = parse(sql).unwrap() else {
+            panic!("expected SELECT")
+        };
         assert_eq!(s.from.len(), 2);
         assert_eq!(s.from[0].source, Some(SourceQualifier::Llm));
         assert_eq!(s.from[1].source, Some(SourceQualifier::Db));
@@ -577,7 +596,9 @@ mod tests {
         let sql = "SELECT c.cityName, cm.birthDate \
                    FROM city c, cityMayor cm \
                    WHERE c.mayor = cm.name AND cm.electionYear = 2019";
-        let Statement::Select(s) = parse(sql).unwrap();
+        let Statement::Select(s) = parse(sql).unwrap() else {
+            panic!("expected SELECT")
+        };
         assert_eq!(s.items.len(), 2);
         assert!(s.where_clause.is_some());
         assert!(!s.is_aggregate_query());
@@ -586,7 +607,9 @@ mod tests {
     #[test]
     fn parse_explicit_join() {
         let sql = "SELECT a.x FROM t1 a JOIN t2 b ON a.id = b.id LEFT JOIN t3 c ON b.id = c.id";
-        let Statement::Select(s) = parse(sql).unwrap();
+        let Statement::Select(s) = parse(sql).unwrap() else {
+            panic!("expected SELECT")
+        };
         assert_eq!(s.joins.len(), 2);
         assert_eq!(s.joins[0].join_type, JoinType::Inner);
         assert_eq!(s.joins[1].join_type, JoinType::LeftOuter);
@@ -596,7 +619,9 @@ mod tests {
     fn parse_aggregates_and_having() {
         let sql = "SELECT country, COUNT(*), AVG(population) FROM city \
                    GROUP BY country HAVING COUNT(*) > 3 ORDER BY AVG(population) DESC LIMIT 5";
-        let Statement::Select(s) = parse(sql).unwrap();
+        let Statement::Select(s) = parse(sql).unwrap() else {
+            panic!("expected SELECT")
+        };
         assert!(s.is_aggregate_query());
         assert_eq!(s.limit, Some(5));
         assert_eq!(s.order_by[0].direction, SortDirection::Desc);
@@ -604,7 +629,7 @@ mod tests {
 
     #[test]
     fn parse_predicates() {
-        let Statement::Select(s) = parse(
+        let s = parse_select(
             "SELECT name FROM city WHERE population BETWEEN 1 AND 5 \
              AND country IN ('Italy', 'France') AND name LIKE 'R%' AND mayor IS NOT NULL",
         )
@@ -627,7 +652,9 @@ mod tests {
 
     #[test]
     fn parse_select_without_from() {
-        let Statement::Select(s) = parse("SELECT 1 + 2 AS three").unwrap();
+        let Statement::Select(s) = parse("SELECT 1 + 2 AS three").unwrap() else {
+            panic!("expected SELECT")
+        };
         assert!(s.from.is_empty());
         match &s.items[0] {
             SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("three")),
@@ -637,14 +664,19 @@ mod tests {
 
     #[test]
     fn parse_wildcards() {
-        let Statement::Select(s) = parse("SELECT *, c.* FROM city c").unwrap();
+        let Statement::Select(s) = parse("SELECT *, c.* FROM city c").unwrap() else {
+            panic!("expected SELECT")
+        };
         assert_eq!(s.items[0], SelectItem::Wildcard);
         assert_eq!(s.items[1], SelectItem::QualifiedWildcard("c".into()));
     }
 
     #[test]
     fn parse_count_distinct() {
-        let Statement::Select(s) = parse("SELECT COUNT(DISTINCT country) FROM city").unwrap();
+        let Statement::Select(s) = parse("SELECT COUNT(DISTINCT country) FROM city").unwrap()
+        else {
+            panic!("expected SELECT")
+        };
         match &s.items[0] {
             SelectItem::Expr {
                 expr: Expr::Function { name, distinct, .. },
@@ -659,7 +691,9 @@ mod tests {
 
     #[test]
     fn negative_literal_is_folded() {
-        let Statement::Select(s) = parse("SELECT -5, -2.5").unwrap();
+        let Statement::Select(s) = parse("SELECT -5, -2.5").unwrap() else {
+            panic!("expected SELECT")
+        };
         assert_eq!(
             s.items[0],
             SelectItem::Expr {
@@ -702,6 +736,36 @@ mod tests {
     fn unknown_source_qualifier_is_rejected() {
         let err = parse("SELECT x FROM WEB.page").unwrap_err();
         assert!(err.message.contains("source qualifier"));
+    }
+
+    #[test]
+    fn explain_select_parses() {
+        let stmt = parse("EXPLAIN SELECT name FROM city WHERE population > 1000000").unwrap();
+        assert!(stmt.is_explain());
+        assert_eq!(stmt.select().from[0].name, "city");
+        // The canonical printer round-trips through the parser.
+        let printed = stmt.to_string();
+        assert!(printed.starts_with("EXPLAIN SELECT"));
+        assert_eq!(parse(&printed).unwrap(), stmt);
+    }
+
+    #[test]
+    fn explain_is_case_insensitive_and_accepts_semicolon() {
+        assert!(parse("explain select 1;").unwrap().is_explain());
+    }
+
+    #[test]
+    fn explain_without_select_is_rejected() {
+        let err = parse("EXPLAIN 1 + 2").unwrap_err();
+        assert!(err.message.contains("after EXPLAIN"), "{err}");
+        assert!(parse("EXPLAIN").is_err());
+        assert!(parse("EXPLAIN EXPLAIN SELECT 1").is_err());
+    }
+
+    #[test]
+    fn parse_select_rejects_explain() {
+        let err = parse_select("EXPLAIN SELECT 1").unwrap_err();
+        assert!(err.message.contains("EXPLAIN"), "{err}");
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub enum Keyword {
     Outer,
     On,
     As,
+    Explain,
 }
 
 impl Keyword {
@@ -75,6 +76,7 @@ impl Keyword {
             "OUTER" => Keyword::Outer,
             "ON" => Keyword::On,
             "AS" => Keyword::As,
+            "EXPLAIN" => Keyword::Explain,
             _ => return None,
         })
     }
@@ -109,6 +111,7 @@ impl Keyword {
             Keyword::Outer => "OUTER",
             Keyword::On => "ON",
             Keyword::As => "AS",
+            Keyword::Explain => "EXPLAIN",
         }
     }
 }

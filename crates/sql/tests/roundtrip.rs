@@ -202,7 +202,9 @@ proptest! {
     #[test]
     fn printed_expr_reparses_identically(expr in expr_strategy()) {
         let sql = format!("SELECT {expr}");
-        let Statement::Select(stmt) = parse(&sql).unwrap_or_else(|e| panic!("{sql}\n{e}"));
+        let Statement::Select(stmt) = parse(&sql).unwrap_or_else(|e| panic!("{sql}\n{e}")) else {
+            panic!("expected SELECT")
+        };
         let reparsed = match &stmt.items[0] {
             SelectItem::Expr { expr, .. } => expr.clone(),
             other => panic!("unexpected item {other:?}"),
@@ -213,14 +215,18 @@ proptest! {
     #[test]
     fn printed_statement_reparses_identically(stmt in select_strategy()) {
         let sql = Statement::Select(stmt.clone()).to_string();
-        let Statement::Select(reparsed) = parse(&sql).unwrap_or_else(|e| panic!("{sql}\n{e}"));
+        let Statement::Select(reparsed) = parse(&sql).unwrap_or_else(|e| panic!("{sql}\n{e}")) else {
+            panic!("expected SELECT")
+        };
         prop_assert_eq!(reparsed, stmt);
     }
 
     #[test]
     fn printing_is_a_fixed_point(stmt in select_strategy()) {
         let once = Statement::Select(stmt).to_string();
-        let Statement::Select(re) = parse(&once).unwrap();
+        let Statement::Select(re) = parse(&once).unwrap() else {
+            panic!("expected SELECT")
+        };
         let twice = Statement::Select(re).to_string();
         prop_assert_eq!(once, twice);
     }

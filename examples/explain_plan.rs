@@ -1,0 +1,54 @@
+//! `EXPLAIN` and the cost-based planner: inspect how Galois would execute
+//! a query — which conditions become pushed-down scan prompts, which stay
+//! per-key boolean prompts, what every step is expected to cost — without
+//! issuing a single prompt, then execute under both planner modes and
+//! compare the real accounting.
+//!
+//! Run with: `cargo run --release --example explain_plan`
+
+use galois::core::{Galois, GaloisOptions, Planner};
+use galois::dataset::Scenario;
+use galois::llm::{ModelProfile, SimLlm};
+use std::sync::Arc;
+
+fn main() {
+    let scenario = Scenario::generate(42);
+    let sql = "SELECT name, population FROM city WHERE elevation < 100";
+
+    for planner in [Planner::Heuristic, Planner::CostBased] {
+        let model = Arc::new(SimLlm::new(
+            scenario.knowledge.clone(),
+            ModelProfile::oracle(),
+        ));
+        let galois = Galois::with_options(
+            model,
+            scenario.database.clone(),
+            GaloisOptions {
+                planner,
+                ..Default::default()
+            },
+        );
+
+        // `EXPLAIN <query>` goes through the ordinary execute() channel and
+        // returns the plan as a one-column QUERY PLAN relation, costing
+        // zero prompts.
+        let explained = galois.execute(&format!("EXPLAIN {sql}")).unwrap();
+        println!("=== {planner} ===");
+        for row in &explained.relation.rows {
+            println!("{}", row[0].render());
+        }
+        assert_eq!(explained.stats.total_prompts(), 0);
+
+        // Now actually run it and compare the estimate with reality.
+        let result = galois.execute(sql).unwrap();
+        println!(
+            "actual: {} rows, {} prompts ({} list + {} filter + {} fetch), {} virtual ms\n",
+            result.relation.len(),
+            result.stats.total_prompts(),
+            result.stats.list_prompts,
+            result.stats.filter_prompts,
+            result.stats.fetch_prompts,
+            result.stats.virtual_ms,
+        );
+    }
+}

@@ -26,8 +26,15 @@ fn main() {
     let sql = "SELECT name, population FROM city WHERE population > 1000000";
     println!("SQL> {sql}\n");
 
-    // How will Galois execute this? (Figure 3 view.)
-    println!("{}", galois.explain(sql).expect("query plans"));
+    // How will Galois execute this? `EXPLAIN <query>` returns the chosen
+    // plan with cost estimates as a QUERY PLAN relation, costing zero
+    // prompts (Figure 3 view; `galois.explain(sql)` gives the same text).
+    let plan = galois
+        .execute(&format!("EXPLAIN {sql}"))
+        .expect("query plans");
+    for row in &plan.relation.rows {
+        println!("{}", row[0].render());
+    }
 
     let result = galois.execute(sql).expect("query executes");
     println!("{}", result.relation);

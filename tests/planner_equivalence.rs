@@ -1,0 +1,217 @@
+//! Planner invariants (PR 3):
+//!
+//! 1. **Heuristic bit-exactness** — `Planner::Heuristic` (the default)
+//!    must reproduce the pre-planner pipeline *bit for bit*: the compiled
+//!    retrieval program equals a direct `compile()` of the optimized plan,
+//!    and executing through the session yields byte-identical `R_M` rows,
+//!    prompt counts and report tables. This is the same invariant
+//!    discipline as `Parallelism(1)` for the scheduler.
+//! 2. **Cost-based result invariance** — `Planner::CostBased` may reshape
+//!    the prompt schedule (pushdowns, step order) but must never change
+//!    the result relation on a noise-free model: only the prompt
+//!    accounting may differ, and over the suite it must not cost more.
+
+use galois::core::plan_choice::{plan_query, Planner, PlannerParams};
+use galois::core::{compile, Galois, GaloisOptions};
+use galois::dataset::{Scenario, WorldConfig};
+use galois::eval::{run_galois_suite, suite_totals, table1, table2};
+use galois::llm::{ModelProfile, SimLlm};
+use galois::relational::{Relation, Value};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn small_config() -> WorldConfig {
+    WorldConfig {
+        countries: 6,
+        cities: 14,
+        airports: 6,
+        singers: 6,
+        concerts: 8,
+        employees: 10,
+    }
+}
+
+fn sorted_rows(rel: &Relation) -> Vec<Vec<String>> {
+    let mut rows: Vec<Vec<String>> = rel
+        .rows
+        .iter()
+        .map(|r| r.iter().map(Value::render).collect())
+        .collect();
+    rows.sort();
+    rows
+}
+
+fn oracle_session(s: &Scenario, planner: Planner) -> Galois {
+    Galois::with_options(
+        Arc::new(SimLlm::new(s.knowledge.clone(), ModelProfile::oracle())),
+        s.database.clone(),
+        GaloisOptions {
+            planner,
+            ..Default::default()
+        },
+    )
+}
+
+/// The pre-PR pipeline, reconstructed literally: optimize, `compile()`
+/// with the session's options, `execute_compiled`. The session's default
+/// path must be indistinguishable from it.
+#[test]
+fn heuristic_is_bit_identical_to_direct_compilation() {
+    for seed in [42u64, 7, 99] {
+        let s = Scenario::generate_with(seed, small_config());
+        let session = oracle_session(&s, Planner::Heuristic);
+        for spec in &s.suite {
+            let sql = spec.to_sql();
+            let plan = s.database.plan(&sql).unwrap();
+            let direct =
+                compile::compile(&plan, s.database.catalog(), &session.options().compile).unwrap();
+            let chosen = plan_query(
+                &plan,
+                s.database.catalog(),
+                &session.options().compile,
+                Planner::Heuristic,
+                &PlannerParams::default(),
+            )
+            .unwrap();
+            assert_eq!(
+                chosen.compiled, direct,
+                "q{} compiled drift: {sql}",
+                spec.id
+            );
+
+            // Executing the directly-compiled program and executing via the
+            // session must agree on rows *and* on every prompt counter.
+            session.client().clear_cache();
+            let a = session.execute_compiled(&direct).unwrap();
+            session.client().clear_cache();
+            let b = session.execute(&sql).unwrap();
+            assert_eq!(a.relation.rows, b.relation.rows, "q{}", spec.id);
+            assert_eq!(a.stats.list_prompts, b.stats.list_prompts, "q{}", spec.id);
+            assert_eq!(
+                a.stats.filter_prompts, b.stats.filter_prompts,
+                "q{}",
+                spec.id
+            );
+            assert_eq!(a.stats.fetch_prompts, b.stats.fetch_prompts, "q{}", spec.id);
+            assert_eq!(a.stats.cache_hits, b.stats.cache_hits, "q{}", spec.id);
+            assert_eq!(a.stats.virtual_ms, b.stats.virtual_ms, "q{}", spec.id);
+        }
+    }
+}
+
+/// Table 1 / Table 2 are produced through `GaloisOptions::default()`,
+/// which routes through `Planner::Heuristic`; an explicitly-heuristic run
+/// must render byte-identical report artifacts.
+#[test]
+fn report_tables_are_byte_identical_under_explicit_heuristic() {
+    let s = Scenario::generate_with(42, small_config());
+    let default_run = run_galois_suite(&s, ModelProfile::chatgpt(), GaloisOptions::default());
+    let heuristic_run = run_galois_suite(
+        &s,
+        ModelProfile::chatgpt(),
+        GaloisOptions {
+            planner: Planner::Heuristic,
+            ..Default::default()
+        },
+    );
+    for (a, b) in default_run.outcomes.iter().zip(&heuristic_run.outcomes) {
+        assert_eq!(a.result_rows, b.result_rows, "q{}", a.id);
+        assert_eq!(
+            a.stats.total_prompts(),
+            b.stats.total_prompts(),
+            "q{}",
+            a.id
+        );
+        assert_eq!(a.matching.score(), b.matching.score(), "q{}", a.id);
+    }
+    let (t1, _) = table1(&s, &[ModelProfile::oracle(), ModelProfile::chatgpt()]);
+    let (t1_again, _) = table1(&s, &[ModelProfile::oracle(), ModelProfile::chatgpt()]);
+    assert_eq!(t1.render(), t1_again.render());
+    let t2 = table2(&s, ModelProfile::chatgpt()).render();
+    let t2_again = table2(&s, ModelProfile::chatgpt()).render();
+    assert_eq!(t2, t2_again);
+}
+
+/// Over the whole oracle suite, cost-based planning returns the same
+/// relations while spending strictly fewer prompts and less virtual time.
+#[test]
+fn cost_based_suite_is_cheaper_with_identical_relations() {
+    let s = Scenario::generate_with(42, small_config());
+    let heuristic = oracle_session(&s, Planner::Heuristic);
+    let cost_based = oracle_session(&s, Planner::CostBased);
+    for spec in &s.suite {
+        let sql = spec.to_sql();
+        let a = heuristic.execute(&sql).unwrap();
+        let b = cost_based.execute(&sql).unwrap();
+        assert_eq!(
+            sorted_rows(&a.relation),
+            sorted_rows(&b.relation),
+            "q{} relations diverge: {sql}",
+            spec.id
+        );
+    }
+    let h_run = run_galois_suite(&s, ModelProfile::oracle(), GaloisOptions::default());
+    let c_run = run_galois_suite(
+        &s,
+        ModelProfile::oracle(),
+        GaloisOptions {
+            planner: Planner::CostBased,
+            ..Default::default()
+        },
+    );
+    let h = suite_totals(&h_run, 1);
+    let c = suite_totals(&c_run, 1);
+    assert!(
+        c.prompts < h.prompts,
+        "cost-based {} vs heuristic {} prompts",
+        c.prompts,
+        h.prompts
+    );
+    assert!(
+        c.virtual_ms < h.virtual_ms,
+        "cost-based {} vs heuristic {} virtual ms",
+        c.virtual_ms,
+        h.virtual_ms
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property form over arbitrary worlds and suite queries: the
+    /// heuristic compilation never drifts from `compile()`, and a
+    /// cost-based plan never changes `R_M` on the oracle — it may only
+    /// re-account the prompts.
+    #[test]
+    fn planner_invariants_hold_for_any_seed(seed in 0u64..10_000, qi in 0usize..46) {
+        let s = Scenario::generate_with(seed, small_config());
+        let spec = &s.suite[qi];
+        let sql = spec.to_sql();
+        let plan = s.database.plan(&sql)
+            .map_err(|e| TestCaseError::fail(format!("q{}: {e}", spec.id)))?;
+        let options = GaloisOptions::default();
+        let direct = compile::compile(&plan, s.database.catalog(), &options.compile)
+            .map_err(|e| TestCaseError::fail(format!("q{}: {e}", spec.id)))?;
+        let heuristic = plan_query(
+            &plan, s.database.catalog(), &options.compile,
+            Planner::Heuristic, &PlannerParams::default(),
+        ).map_err(|e| TestCaseError::fail(format!("q{}: {e}", spec.id)))?;
+        prop_assert_eq!(&heuristic.compiled, &direct, "q{} heuristic drift", spec.id);
+
+        let a = oracle_session(&s, Planner::Heuristic).execute(&sql)
+            .map_err(|e| TestCaseError::fail(format!("q{}: {e}", spec.id)))?;
+        let b = oracle_session(&s, Planner::CostBased).execute(&sql)
+            .map_err(|e| TestCaseError::fail(format!("q{}: {e}", spec.id)))?;
+        prop_assert_eq!(
+            sorted_rows(&a.relation), sorted_rows(&b.relation),
+            "q{} R_M diverges", spec.id
+        );
+        // Prompt accounting may differ, but never for free: a cost-based
+        // plan is never *more* expensive than the heuristic one.
+        prop_assert!(
+            b.stats.total_prompts() <= a.stats.total_prompts(),
+            "q{}: cost-based {} > heuristic {} prompts",
+            spec.id, b.stats.total_prompts(), a.stats.total_prompts()
+        );
+    }
+}
