@@ -1,0 +1,59 @@
+//! Microbenchmarks for prompt construction: the hot-path `PromptBuilder`
+//! (whose static `"{preamble}\nQ: "` prefix is precomputed per builder —
+//! `prompt_task_prebuilt` vs `prompt_task_naive_format` measures that win)
+//! and the multi-key batched rendering.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use galois_core::prompts::{PromptBuilder, FIGURE4_PREAMBLE};
+use galois_llm::intent::{render_task, TaskIntent};
+
+fn fetch_intent() -> TaskIntent {
+    TaskIntent::FetchAttr {
+        relation: "city".into(),
+        key_attr: "name".into(),
+        key: "Rome".into(),
+        attribute: "population".into(),
+    }
+}
+
+fn bench_prompt_builder(c: &mut Criterion) {
+    let builder = PromptBuilder::for_model("chatgpt");
+    let intent = fetch_intent();
+
+    c.bench_function("prompt_task_prebuilt", |b| {
+        b.iter(|| builder.task(black_box(&intent)))
+    });
+
+    // The pre-satellite formulation, reconstructed literally: re-format
+    // the full static preamble on every call.
+    c.bench_function("prompt_task_naive_format", |b| {
+        b.iter(|| {
+            format!(
+                "{}\nQ: {}\nA:",
+                FIGURE4_PREAMBLE,
+                render_task(black_box(&intent))
+            )
+        })
+    });
+
+    c.bench_function("prompt_question_prebuilt", |b| {
+        b.iter(|| builder.question(black_box("What is the capital of France?")))
+    });
+}
+
+fn bench_batched_rendering(c: &mut Criterion) {
+    let builder = PromptBuilder::for_model("chatgpt");
+    let keys: Vec<String> = (0..25).map(|i| format!("City{i}")).collect();
+    let batched = TaskIntent::FetchAttrBatch {
+        relation: "city".into(),
+        key_attr: "name".into(),
+        keys,
+        attribute: "population".into(),
+    };
+    c.bench_function("prompt_task_batched_25", |b| {
+        b.iter(|| builder.task(black_box(&batched)))
+    });
+}
+
+criterion_group!(benches, bench_prompt_builder, bench_batched_rendering);
+criterion_main!(benches);

@@ -12,13 +12,18 @@
 //! * `galois_cost_planner` — same concurrency, but plans chosen by the
 //!   cost-based prompt-aware planner (`Planner::CostBased`): identical
 //!   relations, fewer prompts, lower virtual time;
+//! * `galois_batched` — the cost-planner configuration plus multi-key
+//!   prompt batching (`PromptBatch::Keys(B)`, default `B = 10`): each
+//!   filter/fetch cell issues `ceil(keys / B)` fused prompts instead of
+//!   `keys`, with identical relations on the oracle;
 //! * `qa_baseline` / `qa_cot_baseline` — the paper's `T_M` and `T_C_M`
 //!   one-prompt-per-question methods, across `K` streams.
 //!
-//! Usage: `perf_report [--seed 42] [--parallelism 8] [--out BENCH_e2e.json]`.
+//! Usage: `perf_report [--seed 42] [--parallelism 8] [--batch 10]
+//! [--out BENCH_e2e.json]`.
 
 use galois_bench::{parsed_flag, seed_from_args, string_flag};
-use galois_core::{BaselineKind, GaloisOptions, Parallelism, Planner};
+use galois_core::{BaselineKind, GaloisOptions, Parallelism, Planner, PromptBatch};
 use galois_dataset::Scenario;
 use galois_eval::{
     run_baseline_suite_parallel, run_galois_suite_parallel, suite_totals, BaselineRun, SuiteTotals,
@@ -91,6 +96,18 @@ fn main() {
         },
         lanes,
     );
+    let batch = parsed_flag::<usize>("--batch").unwrap_or(10).max(1);
+    let batched = run_galois_suite_parallel(
+        &scenario,
+        ModelProfile::oracle(),
+        GaloisOptions {
+            parallelism: Parallelism::new(lanes),
+            planner: Planner::CostBased,
+            prompt_batch: PromptBatch::Keys(batch),
+            ..Default::default()
+        },
+        lanes,
+    );
     let qa = run_baseline_suite_parallel(
         &scenario,
         ModelProfile::oracle(),
@@ -124,6 +141,12 @@ fn main() {
             totals: suite_totals(&cost_planned, lanes),
         },
         MethodReport {
+            name: "galois_batched",
+            parallelism: lanes,
+            threads: lanes,
+            totals: suite_totals(&batched, lanes),
+        },
+        MethodReport {
             name: "qa_baseline",
             parallelism: lanes,
             threads: lanes,
@@ -142,6 +165,8 @@ fn main() {
     let speedup = before as f64 / after as f64;
     let planned = methods[2].totals.virtual_ms.max(1);
     let planner_speedup = after as f64 / planned as f64;
+    let batched_ms = methods[3].totals.virtual_ms.max(1);
+    let batch_speedup = planned as f64 / batched_ms as f64;
 
     let rows: Vec<String> = methods.iter().map(MethodReport::to_json).collect();
     let json = format!(
@@ -159,6 +184,10 @@ fn main() {
     println!(
         "cost-based planner: {} ms scheduled-heuristic -> {} ms ({planner_speedup:.2}x)",
         after, planned
+    );
+    println!(
+        "multi-key batching (B={batch}): {} ms cost-planner -> {} ms ({batch_speedup:.2}x)",
+        planned, batched_ms
     );
     for m in &methods {
         println!(

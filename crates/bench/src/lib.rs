@@ -15,7 +15,8 @@
 //! | `ablation_cleaning` | §4 — cleaning on/off |
 //! | `ablation_iteration` | §4 — "more results" iteration cap sweep |
 //! | `ablation_planner` | §6 — cost-based planner vs. fixed heuristic |
-//! | `perf_report` | end-to-end accounting (`BENCH_e2e.json`), incl. the planner row |
+//! | `ablation_batch` | multi-key prompt batching factor sweep (B ∈ {1, 2, 5, 10, 25}) |
+//! | `perf_report` | end-to-end accounting (`BENCH_e2e.json`), incl. the planner and batched rows |
 //!
 //! Every binary accepts `--seed <u64>` (default 42).
 

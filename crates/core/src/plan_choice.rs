@@ -72,6 +72,14 @@ pub const DEFAULT_PROMPT_LATENCY_MS: f64 = 150.0;
 /// Expected keys returned per key-listing iteration before observation.
 pub const DEFAULT_LIST_PAGE: f64 = 15.0;
 
+/// Fraction of a single prompt's latency attributed to decoding its answer
+/// tokens — the *marginal* cost of each extra key folded into a multi-key
+/// batched prompt. The remainder (prompt processing, decode start-up) is
+/// paid once per prompt regardless of how many keys it carries, which is
+/// the economics batching exploits: a `B`-key prompt is modelled as
+/// `latency · (1 − share + share · B)`, not `latency · B`.
+pub const BATCH_ANSWER_LATENCY_SHARE: f64 = 0.5;
+
 /// Which plan-choice strategy a session uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Planner {
@@ -112,6 +120,11 @@ pub struct PlannerParams {
     pub cache_hit_rate: f64,
     /// Expected keys per key-listing iteration.
     pub list_page_size: f64,
+    /// Multi-key prompt batching factor
+    /// ([`crate::GaloisOptions::prompt_batch`]): keys fused per filter or
+    /// fetch prompt. 1.0 (the default) reproduces the unbatched estimates
+    /// bit for bit.
+    pub batch_keys: f64,
 }
 
 impl Default for PlannerParams {
@@ -123,6 +136,7 @@ impl Default for PlannerParams {
             prompt_latency_ms: DEFAULT_PROMPT_LATENCY_MS,
             cache_hit_rate: 0.0,
             list_page_size: DEFAULT_LIST_PAGE,
+            batch_keys: 1.0,
         }
     }
 }
@@ -148,6 +162,22 @@ impl PlannerParams {
             p.cache_hit_rate = stats.cache_hits as f64 / answered as f64;
         }
         p
+    }
+
+    /// Sets the multi-key batching factor (clamped to ≥ 1), threading
+    /// [`crate::GaloisOptions::prompt_batch`] into the estimates.
+    pub fn with_batch_keys(mut self, batch_keys: usize) -> Self {
+        self.batch_keys = batch_keys.max(1) as f64;
+        self
+    }
+
+    /// Expected latency of one prompt carrying `keys` fused tasks: the
+    /// fixed share once, the answer share per key (see
+    /// [`BATCH_ANSWER_LATENCY_SHARE`]). Degenerates to `prompt_latency_ms`
+    /// at one key.
+    fn fused_prompt_latency_ms(&self, keys: f64) -> f64 {
+        self.prompt_latency_ms
+            * (1.0 - BATCH_ANSWER_LATENCY_SHARE + BATCH_ANSWER_LATENCY_SHARE * keys.max(1.0))
     }
 }
 
@@ -222,15 +252,17 @@ pub fn condition_selectivity(cond: &Condition) -> f64 {
 /// Expected virtual time of one wave of `batches` batch requests carrying
 /// `prompts` prompts in total: each batch costs `overhead` plus its
 /// cache-missing members decoded across the lanes, and the batches
-/// themselves occupy the lanes wave-style.
-fn wave_ms(prompts: f64, batches: f64, params: &PlannerParams) -> f64 {
+/// themselves occupy the lanes wave-style. `per_prompt_ms` is the expected
+/// latency of one member prompt — `prompt_latency_ms` for single-key
+/// prompts, [`PlannerParams::fused_prompt_latency_ms`] for multi-key ones,
+/// so batched prompts are charged by answer volume rather than per key.
+fn wave_ms(prompts: f64, batches: f64, per_prompt_ms: f64, params: &PlannerParams) -> f64 {
     if batches < 1.0 {
         return 0.0;
     }
     let lanes = params.lanes as f64;
     let misses_per_batch = (prompts / batches) * (1.0 - params.cache_hit_rate);
-    let per_batch =
-        params.batch_overhead_ms + (misses_per_batch / lanes) * params.prompt_latency_ms;
+    let per_batch = params.batch_overhead_ms + (misses_per_batch / lanes) * per_prompt_ms;
     (batches / lanes).ceil() * per_batch
 }
 
@@ -254,19 +286,29 @@ pub fn estimate_step(step: &LlmScanStep, catalog: &Catalog, params: &PlannerPara
         list_prompts * (params.batch_overhead_ms + miss * params.prompt_latency_ms);
 
     // Filter conditions chain (condition n+1 only prompts survivors of n);
-    // the chunks within one condition run as one wave.
+    // the chunks within one condition run as one wave. With multi-key
+    // batching the phase issues ⌈keys / B⌉ fused prompts per condition,
+    // each charged by answer volume.
+    let fused = params.fused_prompt_latency_ms(params.batch_keys);
     let mut filter_prompts = 0.0;
     let mut n = est_keys_listed;
     for cond in &step.filter_conditions {
-        filter_prompts += n;
-        virtual_ms += wave_ms(n, (n / params.batch_size).ceil(), params);
+        let prompts = rcost::batched_prompt_count(n, params.batch_keys);
+        filter_prompts += prompts;
+        virtual_ms += wave_ms(prompts, (prompts / params.batch_size).ceil(), fused, params);
         n *= condition_selectivity(cond);
     }
 
     // Every (column × chunk) fetch cell is independent — one wave.
     let cols = step.fetch.len() as f64;
-    let fetch_prompts = n * cols;
-    virtual_ms += wave_ms(fetch_prompts, (n / params.batch_size).ceil() * cols, params);
+    let col_prompts = rcost::batched_prompt_count(n, params.batch_keys);
+    let fetch_prompts = col_prompts * cols;
+    virtual_ms += wave_ms(
+        fetch_prompts,
+        (col_prompts / params.batch_size).ceil() * cols,
+        fused,
+        params,
+    );
 
     let total = list_prompts + filter_prompts + fetch_prompts;
     StepCost {
@@ -410,8 +452,16 @@ impl PlannedQuery {
     /// protocol and cost estimates, then the residual relational plan with
     /// cardinality annotations, then query totals.
     pub fn render(&self, catalog: &Catalog, params: &PlannerParams) -> String {
+        // The batch factor only appears when batching is on, so the
+        // `PromptBatch::Off` report stays byte-identical to the pre-batch
+        // pipeline's.
+        let batch = if params.batch_keys > 1.0 {
+            format!(", batch: {:.0} keys/prompt", params.batch_keys)
+        } else {
+            String::new()
+        };
         let mut out = format!(
-            "galois plan  (planner: {}, lanes: {}, candidates considered: {})\n",
+            "galois plan  (planner: {}, lanes: {}{batch}, candidates considered: {})\n",
             self.report.planner, params.lanes, self.report.candidates_considered
         );
         let mut temp_rows: HashMap<String, f64> = HashMap::new();
@@ -555,6 +605,67 @@ mod tests {
         let cold = PlannerParams::from_session(20, Parallelism::new(1), &ClientStats::default());
         assert_eq!(cold.prompt_latency_ms, DEFAULT_PROMPT_LATENCY_MS);
         assert_eq!(cold.cache_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn batch_keys_of_one_matches_unbatched_estimates_exactly() {
+        let q = "SELECT name, population FROM city WHERE elevation < 100";
+        let base = planned(q, Planner::CostBased, &PlannerParams::default());
+        let one = planned(
+            q,
+            Planner::CostBased,
+            &PlannerParams::default().with_batch_keys(1),
+        );
+        assert_eq!(base.report, one.report);
+        assert_eq!(base.compiled, one.compiled);
+    }
+
+    #[test]
+    fn batching_shrinks_estimated_prompts_and_virtual_time() {
+        let q = "SELECT name, population FROM city WHERE elevation < 100";
+        let base = planned(q, Planner::CostBased, &PlannerParams::default());
+        let batched = planned(
+            q,
+            Planner::CostBased,
+            &PlannerParams::default().with_batch_keys(10),
+        );
+        assert!(
+            batched.report.est_total_prompts < base.report.est_total_prompts,
+            "{} vs {}",
+            batched.report.est_total_prompts,
+            base.report.est_total_prompts
+        );
+        assert!(batched.report.est_virtual_ms < base.report.est_virtual_ms);
+        // A fused prompt is charged by answer volume, not per key: ten
+        // keys cost less than ten prompts but more than one.
+        let p = PlannerParams::default();
+        assert!(p.fused_prompt_latency_ms(10.0) > p.prompt_latency_ms);
+        assert!(p.fused_prompt_latency_ms(10.0) < 10.0 * p.prompt_latency_ms);
+        assert_eq!(p.fused_prompt_latency_ms(1.0), p.prompt_latency_ms);
+    }
+
+    #[test]
+    fn render_shows_batch_factor_only_when_batching() {
+        let s = Scenario::generate(42);
+        let plan = s
+            .database
+            .plan("SELECT name FROM city WHERE population > 1000000")
+            .unwrap();
+        let off = PlannerParams::default();
+        let on = PlannerParams::default().with_batch_keys(10);
+        let render = |params: &PlannerParams| {
+            plan_query(
+                &plan,
+                s.database.catalog(),
+                &CompileOptions::default(),
+                Planner::CostBased,
+                params,
+            )
+            .unwrap()
+            .render(s.database.catalog(), params)
+        };
+        assert!(!render(&off).contains("batch:"));
+        assert!(render(&on).contains("batch: 10 keys/prompt"));
     }
 
     #[test]

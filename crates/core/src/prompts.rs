@@ -53,6 +53,11 @@ The answer is: Paris, Berlin.
 #[derive(Debug, Clone)]
 pub struct PromptBuilder {
     preamble: &'static str,
+    /// The static `"{preamble}\nQ: "` prefix, formatted once at
+    /// construction: `task`/`question` run once per retrieval unit on the
+    /// hot path, and re-rendering the few-shot preamble there is pure
+    /// waste (measured by the `prompts` microbench in `crates/bench`).
+    question_prefix: String,
 }
 
 impl PromptBuilder {
@@ -62,17 +67,31 @@ impl PromptBuilder {
             "flan" | "tk" => INSTRUCT_PREAMBLE,
             _ => FIGURE4_PREAMBLE,
         };
-        PromptBuilder { preamble }
+        PromptBuilder {
+            preamble,
+            question_prefix: format!("{preamble}\nQ: "),
+        }
     }
 
     /// Full prompt for one operator task.
     pub fn task(&self, intent: &TaskIntent) -> String {
-        format!("{}\nQ: {}\nA:", self.preamble, render_task(intent))
+        self.wrap(&render_task(intent))
     }
 
     /// Full prompt for a plain NL question (QA baseline, `T_M`).
     pub fn question(&self, question: &str) -> String {
-        format!("{}\nQ: {question}\nA:", self.preamble)
+        self.wrap(question)
+    }
+
+    /// Appends a question to the precomputed prefix with one exact-size
+    /// allocation.
+    fn wrap(&self, question: &str) -> String {
+        let mut prompt =
+            String::with_capacity(self.question_prefix.len() + question.len() + "\nA:".len());
+        prompt.push_str(&self.question_prefix);
+        prompt.push_str(question);
+        prompt.push_str("\nA:");
+        prompt
     }
 
     /// Full prompt for the chain-of-thought baseline (`T_C_M`).
@@ -118,6 +137,24 @@ mod tests {
         let t = list_task();
         let p = PromptBuilder::for_model("chatgpt").task(&t);
         assert_eq!(parse_task(&p), Some(t));
+    }
+
+    #[test]
+    fn precomputed_prefix_matches_naive_formatting() {
+        for model in ["gpt3", "chatgpt", "flan", "tk"] {
+            let b = PromptBuilder::for_model(model);
+            let t = list_task();
+            assert_eq!(
+                b.task(&t),
+                format!("{}\nQ: {}\nA:", b.preamble, render_task(&t)),
+                "{model}"
+            );
+            assert_eq!(
+                b.question("How many cities exist?"),
+                format!("{}\nQ: How many cities exist?\nA:", b.preamble),
+                "{model}"
+            );
+        }
     }
 
     #[test]

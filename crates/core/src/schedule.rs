@@ -23,6 +23,7 @@ use galois_llm::Parallelism;
 use parking_lot::Mutex;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 thread_local! {
     /// Set on scheduler worker threads so *nested* waves (a step wave
@@ -62,9 +63,13 @@ impl Scheduler {
     /// wave's worker count. A panicking unit propagates when the scope
     /// joins. The virtual clock never depends on this choice: callers
     /// account unit costs structurally via `lane_schedule`.
+    ///
+    /// Results land in lock-free write-once slots ([`OnceLock`]), which is
+    /// where the `T: Sync` bound comes from: every slot is visible to all
+    /// workers, though only the claimer of its index ever writes it.
     pub fn run_wave<T, F>(&self, units: Vec<F>) -> Vec<T>
     where
-        T: Send,
+        T: Send + Sync,
         F: FnOnce() -> T + Send,
     {
         if self.workers <= 1 || units.len() <= 1 || IN_WAVE_WORKER.with(Cell::get) {
@@ -72,7 +77,11 @@ impl Scheduler {
         }
         let n = units.len();
         let jobs: Vec<Mutex<Option<F>>> = units.into_iter().map(|u| Mutex::new(Some(u))).collect();
-        let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        // Result slots are written exactly once, by whichever worker
+        // claimed index `i` from the atomic counter — a lock-free
+        // write-once cell, not a mutex, so storing a result never contends
+        // with another worker storing its own.
+        let results: Vec<OnceLock<T>> = (0..n).map(|_| OnceLock::new()).collect();
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..self.workers.min(n) {
@@ -84,7 +93,9 @@ impl Scheduler {
                             break;
                         }
                         let unit = jobs[i].lock().take().expect("each unit claimed once");
-                        *results[i].lock() = Some(unit());
+                        if results[i].set(unit()).is_err() {
+                            unreachable!("slot {i} written twice");
+                        }
                     }
                 });
             }
@@ -156,6 +167,29 @@ mod tests {
             sched.run_wave(units).into_iter().all(|inline| inline),
             "nested waves must not spawn further threads"
         );
+    }
+
+    #[test]
+    fn lockfree_result_slots_preserve_order_under_contention() {
+        // Many more units than workers, adversarially staggered so claim
+        // order and completion order disagree wildly: the write-once slots
+        // must still return results in exact submission order, run after
+        // run.
+        let sched = Scheduler::new(Parallelism::new(8));
+        for round in 0..5u64 {
+            let units: Vec<_> = (0..64u64)
+                .map(|i| {
+                    move || {
+                        let jitter = ((i * 7 + round * 13) % 11) * 40;
+                        std::thread::sleep(std::time::Duration::from_micros(jitter));
+                        (i, i * i)
+                    }
+                })
+                .collect();
+            let got = sched.run_wave(units);
+            let expected: Vec<(u64, u64)> = (0..64).map(|i| (i, i * i)).collect();
+            assert_eq!(got, expected, "round {round}");
+        }
     }
 
     #[test]

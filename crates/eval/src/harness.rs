@@ -544,6 +544,36 @@ mod tests {
     }
 
     #[test]
+    fn batched_suite_is_cheaper_with_identical_scores() {
+        let s = small_scenario();
+        let off = run_galois_suite(&s, ModelProfile::oracle(), GaloisOptions::default());
+        let batched = run_galois_suite(
+            &s,
+            ModelProfile::oracle(),
+            GaloisOptions {
+                prompt_batch: galois_core::PromptBatch::Keys(10),
+                ..Default::default()
+            },
+        );
+        // Identical result relations (batching only reshapes the prompt
+        // schedule on a noise-free model), strictly cheaper accounting.
+        assert_eq!(off.content_score(None), batched.content_score(None));
+        assert_eq!(
+            off.average_cardinality_diff(),
+            batched.average_cardinality_diff()
+        );
+        let a = suite_totals(&off, 1);
+        let b = suite_totals(&batched, 1);
+        assert!(b.prompts < a.prompts, "{} vs {}", b.prompts, a.prompts);
+        assert!(
+            b.virtual_ms < a.virtual_ms,
+            "{} vs {}",
+            b.virtual_ms,
+            a.virtual_ms
+        );
+    }
+
+    #[test]
     fn scheduled_suite_is_virtually_faster() {
         let s = small_scenario();
         let lanes = 8;

@@ -169,23 +169,26 @@ impl Drop for FulfillGuard<'_> {
     }
 }
 
-/// The mutex-striped prompt cache.
-struct ShardedCache {
-    shards: Vec<Mutex<HashMap<String, Slot>>>,
+/// A string-keyed map striped over [`CACHE_SHARDS`] mutexes, so concurrent
+/// lookups of different keys do not serialise on one lock. Backs both the
+/// prompt cache (`Striped<Slot>`) and the per-key sub-entry store
+/// (`Striped<String>`).
+struct Striped<V> {
+    shards: Vec<Mutex<HashMap<String, V>>>,
 }
 
-impl ShardedCache {
+impl<V> Striped<V> {
     fn new() -> Self {
-        ShardedCache {
+        Striped {
             shards: (0..CACHE_SHARDS)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
         }
     }
 
-    fn shard(&self, prompt: &str) -> &Mutex<HashMap<String, Slot>> {
+    fn shard(&self, key: &str) -> &Mutex<HashMap<String, V>> {
         let mut hasher = DefaultHasher::new();
-        prompt.hash(&mut hasher);
+        key.hash(&mut hasher);
         &self.shards[(hasher.finish() as usize) % CACHE_SHARDS]
     }
 
@@ -199,7 +202,22 @@ impl ShardedCache {
 /// A caching, stats-keeping, thread-safe client over any [`LanguageModel`].
 pub struct LlmClient {
     model: Arc<dyn LanguageModel>,
-    cache: ShardedCache,
+    /// The prompt cache: full prompt text → completion (or in-flight
+    /// marker).
+    cache: Striped<Slot>,
+    /// **Per-key sub-entries**: individual `key → answer` fragments
+    /// extracted from batched multi-key answers (and from single-key
+    /// answers while batching is on), keyed by a caller-chosen task
+    /// signature.
+    ///
+    /// The prompt cache alone cannot serve these crossovers — a single-key
+    /// prompt and a batched prompt containing the same key are different
+    /// strings, and two batched prompts over overlapping key sets chunk
+    /// differently across queries. The sub-entry store caches at the
+    /// *task* granularity instead, so a key answered inside any earlier
+    /// batch is a cache hit for every later prompt that would re-ask it,
+    /// batched or not.
+    sub_entries: Striped<String>,
     stats: Mutex<ClientStats>,
     cache_enabled: bool,
     parallelism: Parallelism,
@@ -215,7 +233,8 @@ impl LlmClient {
     pub fn with_parallelism(model: Arc<dyn LanguageModel>, parallelism: Parallelism) -> Self {
         LlmClient {
             model,
-            cache: ShardedCache::new(),
+            cache: Striped::new(),
+            sub_entries: Striped::new(),
             stats: Mutex::new(ClientStats::default()),
             cache_enabled: true,
             parallelism,
@@ -386,6 +405,36 @@ impl LlmClient {
         }
     }
 
+    /// Looks a per-key sub-entry up by task signature, counting a cache
+    /// hit when found (the key's answer is served without any prompt, so
+    /// no batch is charged — unlike a prompt-cache hit, which still rides
+    /// inside a batch request). Always misses when the cache is disabled.
+    pub fn extract_sub_entry(&self, sig: &str) -> Option<String> {
+        if !self.cache_enabled {
+            return None;
+        }
+        let found = self.sub_entries.shard(sig).lock().get(sig).cloned();
+        if found.is_some() {
+            self.stats.lock().cache_hits += 1;
+        }
+        found
+    }
+
+    /// Stores one key's answer fragment under its task signature, making
+    /// it extractable by later single-key or batched requests. First write
+    /// wins: per-key answers are deterministic per session, so re-storing
+    /// after a raw-prompt-cache hit must not flap the entry.
+    pub fn store_sub_entry(&self, sig: &str, answer: &str) {
+        if !self.cache_enabled {
+            return;
+        }
+        self.sub_entries
+            .shard(sig)
+            .lock()
+            .entry(sig.to_string())
+            .or_insert_with(|| answer.to_string());
+    }
+
     /// Snapshot of the accumulated stats.
     pub fn stats(&self) -> ClientStats {
         *self.stats.lock()
@@ -396,9 +445,10 @@ impl LlmClient {
         *self.stats.lock() = ClientStats::default();
     }
 
-    /// Clears the prompt cache.
+    /// Clears the prompt cache and the per-key sub-entry store.
     pub fn clear_cache(&self) {
         self.cache.clear();
+        self.sub_entries.clear();
     }
 }
 
@@ -493,6 +543,43 @@ mod tests {
         c.clear_cache();
         c.complete("a");
         assert_eq!(c.stats().prompts, 1);
+    }
+
+    #[test]
+    fn sub_entries_hit_count_and_clear() {
+        let c = client();
+        assert_eq!(c.extract_sub_entry("fetch|city|name|population|Rome"), None);
+        c.store_sub_entry("fetch|city|name|population|Rome", "2800000");
+        assert_eq!(
+            c.extract_sub_entry("fetch|city|name|population|Rome"),
+            Some("2800000".to_string())
+        );
+        // One hit counted for the successful extraction, none for misses,
+        // and no batch/prompt charged.
+        let s = c.stats();
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.prompts, 0);
+        assert_eq!(s.batches, 0);
+        assert_eq!(s.virtual_ms, 0);
+        // First write wins.
+        c.store_sub_entry("fetch|city|name|population|Rome", "other");
+        assert_eq!(
+            c.extract_sub_entry("fetch|city|name|population|Rome"),
+            Some("2800000".to_string())
+        );
+        c.clear_cache();
+        assert_eq!(c.extract_sub_entry("fetch|city|name|population|Rome"), None);
+    }
+
+    #[test]
+    fn sub_entries_disabled_without_cache() {
+        let c = LlmClient::without_cache(Arc::new(FixedResponder {
+            model_name: "fixed".into(),
+            response: "ok".into(),
+        }));
+        c.store_sub_entry("sig", "value");
+        assert_eq!(c.extract_sub_entry("sig"), None);
+        assert_eq!(c.stats().cache_hits, 0);
     }
 
     #[test]

@@ -239,6 +239,35 @@ pub enum TaskIntent {
         /// Condition to check.
         condition: Condition,
     },
+    /// Multi-key attribute fetch: one prompt asks the same attribute for a
+    /// whole batch of keys and the model answers one `key: value` line per
+    /// key. Amortises the fixed preamble/instruction tokens the paper's
+    /// per-cell prompts re-pay for every key (§5 reports *batched*
+    /// prompts).
+    FetchAttrBatch {
+        /// Relation name.
+        relation: String,
+        /// Key attribute label.
+        key_attr: String,
+        /// Key values, one per requested line (rendered one per `- ` line;
+        /// keys may contain `:` and commas, but never newlines).
+        keys: Vec<String>,
+        /// Attribute to retrieve.
+        attribute: String,
+    },
+    /// Multi-key boolean filter check: one prompt carries the condition
+    /// once and a batch of keys; the model answers one `key: Yes`/`key:
+    /// No` line per key.
+    FilterKeysBatch {
+        /// Relation name.
+        relation: String,
+        /// Key attribute label.
+        key_attr: String,
+        /// Key values, one per requested line.
+        keys: Vec<String>,
+        /// Condition to check for every key.
+        condition: Condition,
+    },
 }
 
 // ---------------------------------------------------------------------
@@ -293,18 +322,147 @@ pub fn render_task(intent: &TaskIntent) -> String {
             condition.attribute,
             condition.render_phrase(),
         ),
+        TaskIntent::FetchAttrBatch {
+            relation,
+            key_attr,
+            keys,
+            attribute,
+        } => format!(
+            "For each {relation} identified by {key_attr} listed below, what is its \
+             {attribute}? {FETCH_BATCH_MARKER}\n{}",
+            render_key_lines(keys),
+        ),
+        TaskIntent::FilterKeysBatch {
+            relation,
+            key_attr,
+            keys,
+            condition,
+        } => format!(
+            "For each {relation} identified by {key_attr} listed below, is its {} {}? \
+             {FILTER_BATCH_MARKER}\n{}",
+            condition.attribute,
+            condition.render_phrase(),
+            render_key_lines(keys),
+        ),
     }
+}
+
+/// Instruction sentence of a batched fetch prompt. Doubling as the parse
+/// marker keeps rendering and parsing in lock-step (the protocol cannot
+/// silently fork).
+const FETCH_BATCH_MARKER: &str = "Answer with exactly one line per key, \
+     formatted as \"key: value\", or \"key: Unknown\". The keys:";
+
+/// Instruction sentence of a batched filter prompt.
+const FILTER_BATCH_MARKER: &str = "Answer with exactly one line per key, \
+     formatted as \"key: Yes\" or \"key: No\". The keys:";
+
+/// Renders batch keys one per line behind a `- ` marker. Parsing strips
+/// exactly one marker, so keys that themselves start with `- ` round-trip
+/// (`- X` renders as `- - X`); keys may contain `:` and commas freely —
+/// the line structure, not a delimiter, carries the boundary.
+fn render_key_lines(keys: &[String]) -> String {
+    let mut out = String::with_capacity(keys.iter().map(|k| k.len() + 3).sum());
+    for (i, key) in keys.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str("- ");
+        out.push_str(key);
+    }
+    out
+}
+
+/// Parses the `- key` lines of a batched prompt body.
+fn parse_key_lines(body: &str) -> Option<Vec<String>> {
+    let mut keys = Vec::new();
+    for line in body.lines() {
+        // Exactly one marker strip: see `render_key_lines`.
+        keys.push(line.strip_prefix("- ")?.to_string());
+    }
+    Some(keys)
+}
+
+/// Splits a batched answer into per-key payloads in key order.
+///
+/// The model is asked for one `key: payload` line per key; lines are
+/// consumed greedily in order (first unconsumed line whose prefix is
+/// `"{key}: "` wins), so duplicate keys map to successive lines and a key
+/// whose line the model dropped or garbled yields `None` — the caller's
+/// per-key fallback re-asks exactly those.
+///
+/// Keys may shadow each other when one contains `:` (`"Rome"` prefixes
+/// `"Rome: Italy"`'s line): a line is assigned to a key only if no
+/// *longer* key of the batch also owns it, so a dropped line can never
+/// silently reroute another key's answer — the shadowed key just falls
+/// back (batching may cost prompts, never accuracy).
+pub fn split_batched_answer(answer: &str, keys: &[String]) -> Vec<Option<String>> {
+    let lines: Vec<&str> = answer.lines().map(str::trim).collect();
+    let mut used = vec![false; lines.len()];
+    fn owns<'a>(key: &str, line: &'a str) -> Option<&'a str> {
+        line.strip_prefix(key)
+            .and_then(|rest| rest.strip_prefix(": "))
+    }
+    keys.iter()
+        .map(|key| {
+            for (i, line) in lines.iter().enumerate() {
+                if used[i] {
+                    continue;
+                }
+                if let Some(payload) = owns(key, line) {
+                    let shadowed = keys
+                        .iter()
+                        .any(|other| other.len() > key.len() && owns(other, line).is_some());
+                    if shadowed {
+                        continue;
+                    }
+                    used[i] = true;
+                    return Some(payload.to_string());
+                }
+            }
+            None
+        })
+        .collect()
+}
+
+/// Renders per-key payloads as the `key: payload` answer lines of a
+/// batched prompt — the inverse of [`split_batched_answer`].
+pub fn render_batched_answer<'a, I>(pairs: I) -> String
+where
+    I: IntoIterator<Item = (&'a str, &'a str)>,
+{
+    let mut out = String::new();
+    for (i, (key, payload)) in pairs.into_iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(key);
+        out.push_str(": ");
+        out.push_str(payload);
+    }
+    out
 }
 
 // ---------------------------------------------------------------------
 // Parsing (used by the simulated LLM)
 // ---------------------------------------------------------------------
 
-/// Extracts the final question line from a full prompt (drops the few-shot
-/// preamble: the question is the last `Q:`-prefixed line, or the whole text
-/// when no marker is present).
+/// Byte offset where the final question's `Q: ` lead-in starts, if the
+/// prompt carries one. Anchored to line starts — a `Q: ` in the middle of
+/// a line (a question mentioning a key like `FAQ: basics`, or a batched
+/// key list containing one) is content, not a marker.
+pub fn question_start(prompt: &str) -> Option<usize> {
+    match prompt.rfind("\nQ: ") {
+        Some(i) => Some(i + 1),
+        None => prompt.starts_with("Q: ").then_some(0),
+    }
+}
+
+/// Extracts the final question from a full prompt (drops the few-shot
+/// preamble: the question follows the last line-initial `Q: ` marker, or
+/// is the whole text when no marker is present).
 pub fn question_line(prompt: &str) -> &str {
-    match prompt.rfind("Q: ") {
+    match question_start(prompt) {
         Some(i) => {
             let rest = &prompt[i + 3..];
             match rest.find("\nA:") {
@@ -322,6 +480,8 @@ pub fn parse_task(prompt: &str) -> Option<TaskIntent> {
     parse_list_keys(q)
         .or_else(|| parse_fetch_attr(q))
         .or_else(|| parse_check_filter(q))
+        .or_else(|| parse_fetch_attr_batch(q))
+        .or_else(|| parse_filter_keys_batch(q))
 }
 
 fn parse_list_keys(q: &str) -> Option<TaskIntent> {
@@ -373,6 +533,43 @@ fn parse_fetch_attr(q: &str) -> Option<TaskIntent> {
         key: key.to_string(),
         attribute,
     })
+}
+
+fn parse_fetch_attr_batch(q: &str) -> Option<TaskIntent> {
+    let rest = q.strip_prefix("For each ")?;
+    let (relation, rest) = rest.split_once(" identified by ")?;
+    let (key_attr, rest) = rest.split_once(" listed below, what is its ")?;
+    let (attribute, body) = rest.split_once(&format!("? {FETCH_BATCH_MARKER}\n"))?;
+    Some(TaskIntent::FetchAttrBatch {
+        relation: relation.trim().to_string(),
+        key_attr: key_attr.trim().to_string(),
+        keys: parse_key_lines(body)?,
+        attribute: attribute.trim().to_string(),
+    })
+}
+
+fn parse_filter_keys_batch(q: &str) -> Option<TaskIntent> {
+    let rest = q.strip_prefix("For each ")?;
+    let (relation, rest) = rest.split_once(" identified by ")?;
+    let (key_attr, rest) = rest.split_once(" listed below, is its ")?;
+    let (question, body) = rest.split_once(&format!("? {FILTER_BATCH_MARKER}\n"))?;
+    // `question` = `<attribute> <phrase>`; longest attribute first, as in
+    // the single-key filter parser.
+    let words: Vec<&str> = question.split(' ').collect();
+    for split in (1..words.len()).rev() {
+        let attribute = words[..split].join(" ");
+        let phrase = words[split..].join(" ");
+        if let Some(mut c) = Condition::parse_phrase(&phrase) {
+            c.attribute = attribute;
+            return Some(TaskIntent::FilterKeysBatch {
+                relation: relation.trim().to_string(),
+                key_attr: key_attr.trim().to_string(),
+                keys: parse_key_lines(body)?,
+                condition: c,
+            });
+        }
+    }
+    None
 }
 
 fn parse_check_filter(q: &str) -> Option<TaskIntent> {
@@ -514,6 +711,125 @@ mod tests {
             ),
         };
         assert_eq!(parse_task(&render_task(&t)), Some(t));
+    }
+
+    #[test]
+    fn task_fetch_attr_batch_roundtrip() {
+        let t = TaskIntent::FetchAttrBatch {
+            relation: "city".into(),
+            key_attr: "name".into(),
+            keys: vec!["Rome".into(), "New York City".into(), "- dashed".into()],
+            attribute: "population".into(),
+        };
+        assert_eq!(parse_task(&render_task(&t)), Some(t));
+    }
+
+    #[test]
+    fn task_filter_keys_batch_roundtrip() {
+        let t = TaskIntent::FilterKeysBatch {
+            relation: "city".into(),
+            key_attr: "name".into(),
+            keys: vec!["Rome".into(), "Paris".into()],
+            condition: cond("population", CmpOp::Gt, vec![PromptValue::Number(1e6)]),
+        };
+        assert_eq!(parse_task(&render_task(&t)), Some(t));
+    }
+
+    #[test]
+    fn batched_keys_with_colons_and_commas_roundtrip() {
+        let t = TaskIntent::FetchAttrBatch {
+            relation: "song".into(),
+            key_attr: "title".into(),
+            keys: vec![
+                "Home: Live, Vol. 2".into(),
+                "a, b: c".into(),
+                "plain".into(),
+            ],
+            attribute: "releaseYear".into(),
+        };
+        assert_eq!(parse_task(&render_task(&t)), Some(t));
+    }
+
+    #[test]
+    fn split_batched_answer_matches_keys_in_order() {
+        let keys: Vec<String> = vec!["Rome".into(), "Pa: ris".into(), "Lyon".into()];
+        let answer = "Rome: 2800000\nPa: ris: Unknown\nLyon: 500000";
+        assert_eq!(
+            split_batched_answer(answer, &keys),
+            vec![
+                Some("2800000".to_string()),
+                Some("Unknown".to_string()),
+                Some("500000".to_string()),
+            ]
+        );
+        // A dropped line yields None for that key only.
+        let partial = "Rome: 2800000\nLyon: 500000";
+        assert_eq!(
+            split_batched_answer(partial, &keys),
+            vec![
+                Some("2800000".to_string()),
+                None,
+                Some("500000".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn shadowed_keys_fall_back_instead_of_stealing_answers() {
+        // "Rome"'s line was dropped; the surviving line belongs to
+        // "Rome: Italy". "Rome" must yield None (→ fallback re-ask), not
+        // silently take "Italy: Yes" as its payload.
+        let keys: Vec<String> = vec!["Rome".into(), "Rome: Italy".into()];
+        assert_eq!(
+            split_batched_answer("Rome: Italy: Yes", &keys),
+            vec![None, Some("Yes".to_string())]
+        );
+        // With both lines present, both keys resolve.
+        assert_eq!(
+            split_batched_answer("Rome: No\nRome: Italy: Yes", &keys),
+            vec![Some("No".to_string()), Some("Yes".to_string())]
+        );
+    }
+
+    #[test]
+    fn question_markers_inside_keys_do_not_hijack_the_question() {
+        // A key containing "Q: " mid-line must not truncate the parsed
+        // question: the marker is only recognised at line starts.
+        let t = TaskIntent::FetchAttrBatch {
+            relation: "song".into(),
+            key_attr: "title".into(),
+            keys: vec!["FAQ: The Basics".into(), "Plain".into()],
+            attribute: "releaseYear".into(),
+        };
+        assert_eq!(parse_task(&render_task(&t)), Some(t.clone()));
+        // And through a few-shot preamble + "\nA:" suffix, like the real
+        // prompt builder produces.
+        let wrapped = format!(
+            "I am a bot.\nQ: What is 1+1?\nA: 2.\nQ: {}\nA:",
+            render_task(&t)
+        );
+        assert_eq!(parse_task(&wrapped), Some(t));
+    }
+
+    #[test]
+    fn split_batched_answer_handles_duplicates_and_garbage() {
+        let keys: Vec<String> = vec!["A".into(), "A".into()];
+        let answer = "A: 1\nA: 2";
+        assert_eq!(
+            split_batched_answer(answer, &keys),
+            vec![Some("1".to_string()), Some("2".to_string())]
+        );
+        assert_eq!(split_batched_answer("nonsense", &keys), vec![None, None]);
+    }
+
+    #[test]
+    fn render_batched_answer_is_split_inverse() {
+        let keys: Vec<String> = vec!["Rome".into(), "Lyon".into()];
+        let rendered = render_batched_answer(vec![("Rome", "Yes"), ("Lyon", "No")]);
+        assert_eq!(
+            split_batched_answer(&rendered, &keys),
+            vec![Some("Yes".to_string()), Some("No".to_string())]
+        );
     }
 
     #[test]

@@ -323,7 +323,83 @@ impl SimLlm {
                 key,
                 condition,
             } => self.answer_check_filter(relation, key, condition, prompt),
+            TaskIntent::FetchAttrBatch {
+                relation,
+                key_attr,
+                keys,
+                attribute,
+            } => self.answer_batched(
+                prompt,
+                keys,
+                |key| TaskIntent::FetchAttr {
+                    relation: relation.clone(),
+                    key_attr: key_attr.clone(),
+                    key: key.to_string(),
+                    attribute: attribute.clone(),
+                },
+                |single_prompt, key| {
+                    self.answer_fetch_attr(relation, key, attribute, single_prompt)
+                },
+            ),
+            TaskIntent::FilterKeysBatch {
+                relation,
+                key_attr,
+                keys,
+                condition,
+            } => self.answer_batched(
+                prompt,
+                keys,
+                |key| TaskIntent::CheckFilter {
+                    relation: relation.clone(),
+                    key_attr: key_attr.clone(),
+                    key: key.to_string(),
+                    condition: condition.clone(),
+                },
+                |single_prompt, key| {
+                    self.answer_check_filter(relation, key, condition, single_prompt)
+                },
+            ),
         }
+    }
+
+    /// Answers a multi-key batched task as one `key: answer` line per key.
+    ///
+    /// Each key is answered through the *single-key* machinery, seeded with
+    /// the reconstructed single-key prompt (the batched prompt's preamble
+    /// plus the single task's question) — so per-key beliefs, surface forms
+    /// and format noise are bit-identical to what one-prompt-per-key
+    /// retrieval would have produced under the same prompt builder. A real
+    /// LLM offers no such guarantee; keeping it exact here is what lets the
+    /// engine prove `R_M`-invariance of batching on a noise-free model.
+    fn answer_batched<M, A>(
+        &self,
+        prompt: &str,
+        keys: &[String],
+        make_single: M,
+        answer_one: A,
+    ) -> String
+    where
+        M: Fn(&str) -> TaskIntent,
+        A: Fn(&str, &str) -> String,
+    {
+        if keys.is_empty() {
+            return "Unknown".to_string();
+        }
+        // Everything before the final question's `Q: ` lead-in — prepended
+        // to each reconstructed prompt so the per-key noise seeds match the
+        // single-key path exactly.
+        let preamble = intent::question_start(prompt).map_or("", |i| &prompt[..i]);
+        let pairs: Vec<(String, String)> = keys
+            .iter()
+            .map(|key| {
+                let single_prompt = format!(
+                    "{preamble}Q: {}\nA:",
+                    intent::render_task(&make_single(key))
+                );
+                (key.clone(), answer_one(&single_prompt, key))
+            })
+            .collect();
+        intent::render_batched_answer(pairs.iter().map(|(k, a)| (k.as_str(), a.as_str())))
     }
 
     /// The entity type a prompt-level relation name denotes.
@@ -682,6 +758,110 @@ mod tests {
             surface == "IT" || surface == "ITA",
             "code label must render as a code, got {surface}"
         );
+    }
+
+    /// Wraps a task question the way `PromptBuilder::task` does, so the
+    /// batched/single bit-identity below is checked under a realistic
+    /// preamble (the reconstruction in `answer_batched` depends on it).
+    fn with_preamble(question: &str) -> String {
+        format!("I am a highly intelligent question answering bot.\nQ: {question}\nA:")
+    }
+
+    #[test]
+    fn batched_fetch_answers_are_bit_identical_to_single_key_path() {
+        // chatgpt, not oracle: format noise and verbosity are prompt-seeded,
+        // so this proves the reconstruction, not just stable beliefs.
+        let m = SimLlm::new(test_kb(), ModelProfile::chatgpt());
+        let keys: Vec<String> = vec!["Rome".into(), "Milan".into(), "Lyon".into()];
+        let batched = m
+            .complete(&with_preamble(&render_task(&TaskIntent::FetchAttrBatch {
+                relation: "city".into(),
+                key_attr: "name".into(),
+                keys: keys.clone(),
+                attribute: "population".into(),
+            })))
+            .text;
+        let split = crate::intent::split_batched_answer(&batched, &keys);
+        for (key, sub) in keys.iter().zip(split) {
+            let single = m
+                .complete(&with_preamble(&render_task(&TaskIntent::FetchAttr {
+                    relation: "city".into(),
+                    key_attr: "name".into(),
+                    key: key.clone(),
+                    attribute: "population".into(),
+                })))
+                .text;
+            assert_eq!(sub.as_deref(), Some(single.as_str()), "key {key}");
+        }
+    }
+
+    #[test]
+    fn batched_filter_answers_are_bit_identical_to_single_key_path() {
+        let m = SimLlm::new(test_kb(), ModelProfile::chatgpt());
+        let cond = Condition {
+            attribute: "population".into(),
+            op: CmpOp::Gt,
+            values: vec![PromptValue::Number(1_000_000.0)],
+        };
+        let keys: Vec<String> = vec!["Rome".into(), "Lyon".into(), "Paris".into()];
+        let batched = m
+            .complete(&with_preamble(&render_task(&TaskIntent::FilterKeysBatch {
+                relation: "city".into(),
+                key_attr: "name".into(),
+                keys: keys.clone(),
+                condition: cond.clone(),
+            })))
+            .text;
+        let split = crate::intent::split_batched_answer(&batched, &keys);
+        for (key, sub) in keys.iter().zip(split) {
+            let single = m
+                .complete(&with_preamble(&render_task(&TaskIntent::CheckFilter {
+                    relation: "city".into(),
+                    key_attr: "name".into(),
+                    key: key.clone(),
+                    condition: cond.clone(),
+                })))
+                .text;
+            assert_eq!(sub.as_deref(), Some(single.as_str()), "key {key}");
+        }
+    }
+
+    #[test]
+    fn batched_answer_latency_scales_with_answer_volume() {
+        let m = SimLlm::new(test_kb(), ModelProfile::gpt3());
+        let batch = |keys: Vec<String>| {
+            m.complete(&render_task(&TaskIntent::FetchAttrBatch {
+                relation: "city".into(),
+                key_attr: "name".into(),
+                keys,
+                attribute: "population".into(),
+            }))
+        };
+        let one = batch(vec!["Rome".into()]);
+        let four = batch(vec![
+            "Rome".into(),
+            "Milan".into(),
+            "Paris".into(),
+            "Lyon".into(),
+        ]);
+        // One fixed decode latency per prompt; the marginal cost of extra
+        // keys is answer tokens only — the economics batching exploits.
+        assert!(four.latency_ms > one.latency_ms);
+        assert!(four.latency_ms < 4 * one.latency_ms);
+    }
+
+    #[test]
+    fn empty_batch_answers_unknown() {
+        let m = oracle();
+        let t = TaskIntent::FetchAttrBatch {
+            relation: "city".into(),
+            key_attr: "name".into(),
+            keys: vec![],
+            attribute: "population".into(),
+        };
+        // An empty key list cannot round-trip through the prompt (there is
+        // no keys block), so the model sees it as a malformed question.
+        assert_eq!(m.complete(&render_task(&t)).text, "Unknown");
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! exact inverses for arbitrary well-formed intents, and the parsers must
 //! be total on arbitrary text.
 
-use galois_llm::intent::{parse_task, render_task, CmpOp, Condition, PromptValue, TaskIntent};
+use galois_llm::intent::{
+    parse_task, render_task, split_batched_answer, CmpOp, Condition, PromptValue, TaskIntent,
+};
 use galois_llm::nlq::{
     parse_question, render_question, AggIntent, AggKind, JoinIntent, QueryIntent,
 };
@@ -15,6 +17,18 @@ fn word() -> impl Strategy<Value = String> {
         let lower = s.to_ascii_lowercase();
         !["is", "of", "every", "whose", "and", "its", "the", "exist"].contains(&lower.as_str())
     })
+}
+
+/// Batch keys: arbitrary-ish surface strings *including* `:`/`,`/`-` and
+/// even a mid-line `Q: ` (the question marker is line-anchored, so key
+/// content cannot hijack it), excluding only surrounding whitespace —
+/// keys are normalised before batching.
+fn batch_key() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-zA-Z0-9][a-zA-Z0-9 :,.-]{0,13}",
+        "[a-zA-Z0-9]{0,4}Q: [a-zA-Z0-9]{1,6}",
+    ]
+    .prop_filter("trimmed", |s| s.trim() == s)
 }
 
 fn prompt_value() -> impl Strategy<Value = PromptValue> {
@@ -148,6 +162,66 @@ proptest! {
         };
         let rendered = render_question(&q);
         prop_assert_eq!(parse_question(&rendered), Some(q), "{}", rendered);
+    }
+
+    /// Every batched intent round-trips: arbitrary key sets, including
+    /// keys containing `:` and commas, survive render → parse exactly.
+    #[test]
+    fn batched_task_intents_roundtrip(
+        relation in word(),
+        key_attr in word(),
+        attribute in word(),
+        cond in condition(),
+        keys in prop::collection::vec(batch_key(), 1..12),
+        which in 0u8..2,
+    ) {
+        let task = match which {
+            0 => TaskIntent::FetchAttrBatch {
+                relation,
+                key_attr,
+                keys,
+                attribute,
+            },
+            _ => TaskIntent::FilterKeysBatch {
+                relation,
+                key_attr,
+                keys,
+                condition: cond,
+            },
+        };
+        let rendered = render_task(&task);
+        prop_assert_eq!(parse_task(&rendered), Some(task), "{}", rendered);
+    }
+
+    /// A full `key: payload` answer block in key order splits back into
+    /// exactly the payloads — even for keys containing `:`, where a naive
+    /// first-colon split would misparse. (In key order, key *i* always
+    /// consumes line *i*: lines 0..i are already consumed by induction and
+    /// line *i* carries key *i*'s prefix by construction. Payloads here
+    /// are colon-free so no `"{key}: {payload}"` line can collide with a
+    /// longer key of the batch — with such collisions the splitter
+    /// deliberately prefers `None`/longest-key over guessing.)
+    #[test]
+    fn batched_answers_split_exactly(
+        keys in prop::collection::vec(batch_key(), 1..10),
+        payloads in prop::collection::vec(
+            "[a-zA-Z0-9][a-zA-Z0-9 .]{0,10}".prop_filter("trimmed", |p| p.trim() == p),
+            1..10,
+        ),
+    ) {
+        let n = keys.len().min(payloads.len());
+        let (keys, payloads) = (&keys[..n], &payloads[..n]);
+        let answer: String = keys
+            .iter()
+            .zip(payloads)
+            .map(|(k, p)| format!("{k}: {p}"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let split = split_batched_answer(&answer, keys);
+        for (i, payload) in payloads.iter().enumerate() {
+            prop_assert_eq!(split[i].as_deref(), Some(payload.as_str()),
+                "key {:?} in\n{}", &keys[i], answer);
+        }
     }
 
     #[test]

@@ -69,6 +69,19 @@ pub const DEFAULT_SCAN_ROWS: f64 = 100.0;
 /// grouped aggregation.
 pub const GROUP_FRACTION: f64 = 0.25;
 
+/// Expected number of prompts needed to cover `items` retrieval tasks when
+/// up to `batch_keys` of them fuse into one multi-key prompt. With a batch
+/// factor of 1 (batching off) this is the identity — the estimate stays
+/// bit-compatible with the unbatched cost model — and otherwise it is the
+/// `⌈items / B⌉` the batched retrieval phases actually issue.
+pub fn batched_prompt_count(items: f64, batch_keys: f64) -> f64 {
+    if batch_keys > 1.0 {
+        (items.max(0.0) / batch_keys).ceil()
+    } else {
+        items.max(0.0)
+    }
+}
+
 /// Estimated fraction of input rows satisfying a predicate, derived purely
 /// from the predicate's shape (System-R style constants — the classical
 /// default in the absence of histograms).
@@ -265,6 +278,16 @@ mod tests {
         }
         db.add_table(t).unwrap();
         db
+    }
+
+    #[test]
+    fn batched_prompt_count_is_identity_at_one_and_ceil_above() {
+        assert_eq!(batched_prompt_count(17.3, 1.0), 17.3);
+        assert_eq!(batched_prompt_count(17.3, 10.0), 2.0);
+        assert_eq!(batched_prompt_count(20.0, 10.0), 2.0);
+        assert_eq!(batched_prompt_count(21.0, 10.0), 3.0);
+        assert_eq!(batched_prompt_count(0.0, 10.0), 0.0);
+        assert_eq!(batched_prompt_count(-1.0, 10.0), 0.0);
     }
 
     #[test]

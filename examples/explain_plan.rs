@@ -1,12 +1,12 @@
 //! `EXPLAIN` and the cost-based planner: inspect how Galois would execute
 //! a query — which conditions become pushed-down scan prompts, which stay
 //! per-key boolean prompts, what every step is expected to cost — without
-//! issuing a single prompt, then execute under both planner modes and
-//! compare the real accounting.
+//! issuing a single prompt, then execute under both planner modes (and
+//! with multi-key prompt batching) and compare the real accounting.
 //!
 //! Run with: `cargo run --release --example explain_plan`
 
-use galois::core::{Galois, GaloisOptions, Planner};
+use galois::core::{Galois, GaloisOptions, Planner, PromptBatch};
 use galois::dataset::Scenario;
 use galois::llm::{ModelProfile, SimLlm};
 use std::sync::Arc;
@@ -15,7 +15,15 @@ fn main() {
     let scenario = Scenario::generate(42);
     let sql = "SELECT name, population FROM city WHERE elevation < 100";
 
-    for planner in [Planner::Heuristic, Planner::CostBased] {
+    for (label, planner, prompt_batch) in [
+        ("heuristic", Planner::Heuristic, PromptBatch::Off),
+        ("cost-based", Planner::CostBased, PromptBatch::Off),
+        (
+            "cost-based + batch 10",
+            Planner::CostBased,
+            PromptBatch::Keys(10),
+        ),
+    ] {
         let model = Arc::new(SimLlm::new(
             scenario.knowledge.clone(),
             ModelProfile::oracle(),
@@ -25,6 +33,7 @@ fn main() {
             scenario.database.clone(),
             GaloisOptions {
                 planner,
+                prompt_batch,
                 ..Default::default()
             },
         );
@@ -33,7 +42,7 @@ fn main() {
         // returns the plan as a one-column QUERY PLAN relation, costing
         // zero prompts.
         let explained = galois.execute(&format!("EXPLAIN {sql}")).unwrap();
-        println!("=== {planner} ===");
+        println!("=== {label} ===");
         for row in &explained.relation.rows {
             println!("{}", row[0].render());
         }

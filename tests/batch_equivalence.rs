@@ -1,0 +1,216 @@
+//! Multi-key prompt batching invariants (PR 4):
+//!
+//! 1. **Off bit-exactness** — `PromptBatch::Off` (the default) must be
+//!    bit-identical to the pre-batching pipeline: prompts per kind, cache
+//!    hits, both virtual clocks and result relations all match a session
+//!    that never heard of batching. This is the same invariant discipline
+//!    as `Parallelism(1)` and `Planner::Heuristic`.
+//! 2. **Batched result invariance** — `PromptBatch::Keys(B)` may reshape
+//!    the prompt schedule arbitrarily, but on a noise-free model it must
+//!    never change `R_M`, for any batch factor and any worker count.
+//! 3. **Fallback safety** — even when batched answers are corrupted so
+//!    per-key lines fail to parse, the per-key fallback re-asks restore
+//!    the exact `PromptBatch::Off` relations; accuracy can never regress,
+//!    only the prompt bill can.
+
+use galois::core::{Galois, GaloisOptions, Parallelism, PromptBatch};
+use galois::dataset::{Scenario, WorldConfig};
+use galois::llm::intent::{parse_task, TaskIntent};
+use galois::llm::{Completion, LanguageModel, ModelProfile, SimLlm};
+use galois::relational::{Relation, Value};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn small_config() -> WorldConfig {
+    WorldConfig {
+        countries: 6,
+        cities: 14,
+        airports: 6,
+        singers: 6,
+        concerts: 8,
+        employees: 10,
+    }
+}
+
+fn sorted_rows(rel: &Relation) -> Vec<Vec<String>> {
+    let mut rows: Vec<Vec<String>> = rel
+        .rows
+        .iter()
+        .map(|r| r.iter().map(Value::render).collect())
+        .collect();
+    rows.sort();
+    rows
+}
+
+fn session(s: &Scenario, batch: PromptBatch, lanes: usize) -> Galois {
+    Galois::with_options(
+        Arc::new(SimLlm::new(s.knowledge.clone(), ModelProfile::oracle())),
+        s.database.clone(),
+        GaloisOptions {
+            prompt_batch: batch,
+            parallelism: Parallelism::new(lanes),
+            ..Default::default()
+        },
+    )
+}
+
+/// `PromptBatch::Off` is the default: the default-options session and an
+/// explicitly-Off session must agree on *every* observable counter across
+/// the whole suite — prompts per kind, cache hits, both clocks, rows.
+#[test]
+fn off_is_bit_identical_to_default_pipeline() {
+    let s = Scenario::generate_with(42, small_config());
+    let default_session = Galois::with_options(
+        Arc::new(SimLlm::new(s.knowledge.clone(), ModelProfile::oracle())),
+        s.database.clone(),
+        GaloisOptions::default(),
+    );
+    let off_session = session(&s, PromptBatch::Off, 1);
+    assert_eq!(
+        GaloisOptions::default().prompt_batch,
+        PromptBatch::Off,
+        "Off must stay the default"
+    );
+    for spec in &s.suite {
+        let sql = spec.to_sql();
+        let a = default_session.execute(&sql).unwrap();
+        let b = off_session.execute(&sql).unwrap();
+        assert_eq!(a.relation.rows, b.relation.rows, "q{}", spec.id);
+        assert_eq!(a.stats.list_prompts, b.stats.list_prompts, "q{}", spec.id);
+        assert_eq!(
+            a.stats.filter_prompts, b.stats.filter_prompts,
+            "q{}",
+            spec.id
+        );
+        assert_eq!(a.stats.fetch_prompts, b.stats.fetch_prompts, "q{}", spec.id);
+        assert_eq!(a.stats.cache_hits, b.stats.cache_hits, "q{}", spec.id);
+        assert_eq!(a.stats.virtual_ms, b.stats.virtual_ms, "q{}", spec.id);
+        assert_eq!(
+            a.stats.serial_virtual_ms, b.stats.serial_virtual_ms,
+            "q{}",
+            spec.id
+        );
+    }
+}
+
+/// Batched execution returns identical relations for K ∈ {1, 8} worker
+/// threads / request lanes, at several batch factors, over the suite.
+#[test]
+fn batched_relations_match_off_for_one_and_eight_workers() {
+    let s = Scenario::generate_with(42, small_config());
+    let off = session(&s, PromptBatch::Off, 1);
+    for spec in &s.suite {
+        let sql = spec.to_sql();
+        let base = off.execute(&sql).unwrap();
+        for lanes in [1usize, 8] {
+            for b in [2usize, 10] {
+                let got = session(&s, PromptBatch::Keys(b), lanes)
+                    .execute(&sql)
+                    .unwrap();
+                assert_eq!(
+                    sorted_rows(&got.relation),
+                    sorted_rows(&base.relation),
+                    "q{} diverged at B={b}, K={lanes}: {sql}",
+                    spec.id
+                );
+            }
+        }
+    }
+}
+
+/// Wraps a model and corrupts every batched answer by dropping every
+/// second line — forcing the per-key fallback path for half the keys of
+/// every batched prompt.
+struct LineDropper {
+    inner: SimLlm,
+}
+
+impl LanguageModel for LineDropper {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn context_window(&self) -> usize {
+        self.inner.context_window()
+    }
+    fn complete(&self, prompt: &str) -> Completion {
+        let mut completion = self.inner.complete(prompt);
+        if matches!(
+            parse_task(prompt),
+            Some(TaskIntent::FetchAttrBatch { .. } | TaskIntent::FilterKeysBatch { .. })
+        ) {
+            completion.text = completion
+                .text
+                .lines()
+                .enumerate()
+                .filter_map(|(i, line)| (i % 2 == 0).then_some(line))
+                .collect::<Vec<_>>()
+                .join("\n");
+        }
+        completion
+    }
+}
+
+/// With half of every batched answer destroyed, the fallback re-asks must
+/// restore the exact `PromptBatch::Off` relations — at K ∈ {1, 8} — while
+/// necessarily spending extra prompts.
+#[test]
+fn corrupted_batches_fall_back_to_off_relations() {
+    let s = Scenario::generate_with(42, small_config());
+    let off = session(&s, PromptBatch::Off, 1);
+    for lanes in [1usize, 8] {
+        let flaky = Galois::with_options(
+            Arc::new(LineDropper {
+                inner: SimLlm::new(s.knowledge.clone(), ModelProfile::oracle()),
+            }),
+            s.database.clone(),
+            GaloisOptions {
+                prompt_batch: PromptBatch::Keys(8),
+                parallelism: Parallelism::new(lanes),
+                ..Default::default()
+            },
+        );
+        for spec in s.suite.iter().take(12) {
+            let sql = spec.to_sql();
+            let a = off.execute(&sql).unwrap();
+            let b = flaky.execute(&sql).unwrap();
+            assert_eq!(
+                sorted_rows(&a.relation),
+                sorted_rows(&b.relation),
+                "q{} diverged under corrupted batches at K={lanes}: {sql}",
+                spec.id
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property form over arbitrary worlds, suite queries and batch
+    /// factors: batching never changes `R_M` on a noise-free model, and
+    /// with no fallbacks (the oracle parses cleanly) it never costs more
+    /// prompts than the single-key protocol.
+    #[test]
+    fn batching_is_result_invariant_for_any_seed(
+        seed in 0u64..10_000,
+        qi in 0usize..46,
+        b in 2usize..26,
+    ) {
+        let s = Scenario::generate_with(seed, small_config());
+        let spec = &s.suite[qi];
+        let sql = spec.to_sql();
+        let a = session(&s, PromptBatch::Off, 1).execute(&sql)
+            .map_err(|e| TestCaseError::fail(format!("q{}: {e}", spec.id)))?;
+        let bat = session(&s, PromptBatch::Keys(b), 1).execute(&sql)
+            .map_err(|e| TestCaseError::fail(format!("q{}: {e}", spec.id)))?;
+        prop_assert_eq!(
+            sorted_rows(&a.relation), sorted_rows(&bat.relation),
+            "q{} R_M diverges at B={}", spec.id, b
+        );
+        prop_assert!(
+            bat.stats.total_prompts() <= a.stats.total_prompts(),
+            "q{}: batched {} > off {} prompts at B={}",
+            spec.id, bat.stats.total_prompts(), a.stats.total_prompts(), b
+        );
+    }
+}
