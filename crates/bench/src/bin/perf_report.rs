@@ -16,14 +16,29 @@
 //!   prompt batching (`PromptBatch::Keys(B)`, default `B = 10`): each
 //!   filter/fetch cell issues `ceil(keys / B)` fused prompts instead of
 //!   `keys`, with identical relations on the oracle;
+//! * `galois_pipelined` — the batched configuration plus
+//!   `Pipeline::Streaming`: the same prompts, but keys flow through
+//!   filter/fetch micro-batches under the event-driven clock instead of
+//!   waiting at the phase barriers;
 //! * `qa_baseline` / `qa_cot_baseline` — the paper's `T_M` and `T_C_M`
 //!   one-prompt-per-question methods, across `K` streams.
+//!
+//! Every Galois row also carries a per-phase virtual-time breakdown
+//! (`list_virtual_ms` / `filter_virtual_ms` / `fetch_virtual_ms`) so the
+//! remaining time can be located per protocol phase.
+//!
+//! The `pipeline_parity` object holds the batched-vs-pipelined
+//! prompt/cache-hit comparison re-run on **one** harness thread: with `K`
+//! real query threads, concurrently-running queries race on the shared
+//! per-key sub-entry store, so the main rows' prompt totals can wobble by
+//! a few prompts between runs — the single-threaded pair is exactly
+//! reproducible, which is what CI asserts equality on.
 //!
 //! Usage: `perf_report [--seed 42] [--parallelism 8] [--batch 10]
 //! [--out BENCH_e2e.json]`.
 
 use galois_bench::{parsed_flag, seed_from_args, string_flag};
-use galois_core::{BaselineKind, GaloisOptions, Parallelism, Planner, PromptBatch};
+use galois_core::{BaselineKind, GaloisOptions, Parallelism, Pipeline, Planner, PromptBatch};
 use galois_dataset::Scenario;
 use galois_eval::{
     run_baseline_suite_parallel, run_galois_suite_parallel, suite_totals, BaselineRun, SuiteTotals,
@@ -40,9 +55,12 @@ struct MethodReport {
 
 impl MethodReport {
     fn to_json(&self) -> String {
+        // Phase keys stay flat (no nested object) so line-oriented drift
+        // checks keep matching one brace pair per method row.
         format!(
             "    \"{}\": {{ \"parallelism\": {}, \"threads\": {}, \"virtual_ms\": {}, \
-             \"serial_virtual_ms\": {}, \"wall_ms\": {}, \"prompts\": {}, \"cache_hits\": {} }}",
+             \"serial_virtual_ms\": {}, \"wall_ms\": {}, \"prompts\": {}, \"cache_hits\": {}, \
+             \"list_virtual_ms\": {}, \"filter_virtual_ms\": {}, \"fetch_virtual_ms\": {} }}",
             self.name,
             self.parallelism,
             self.threads,
@@ -51,6 +69,9 @@ impl MethodReport {
             self.totals.wall_ms,
             self.totals.prompts,
             self.totals.cache_hits,
+            self.totals.list_virtual_ms,
+            self.totals.filter_virtual_ms,
+            self.totals.fetch_virtual_ms,
         )
     }
 }
@@ -61,6 +82,11 @@ fn baseline_totals(run: &BaselineRun, lanes: usize) -> SuiteTotals {
         cache_hits: 0,
         serial_virtual_ms: run.outcomes.iter().map(|o| o.virtual_ms).sum(),
         virtual_ms: lane_schedule(run.outcomes.iter().map(|o| o.virtual_ms), lanes),
+        // QA baselines answer each question with one prompt: there are no
+        // retrieval phases to attribute.
+        list_virtual_ms: 0,
+        filter_virtual_ms: 0,
+        fetch_virtual_ms: 0,
         wall_ms: run.wall_ms,
     }
 }
@@ -97,15 +123,37 @@ fn main() {
         lanes,
     );
     let batch = parsed_flag::<usize>("--batch").unwrap_or(10).max(1);
+    let batched_options = GaloisOptions {
+        parallelism: Parallelism::new(lanes),
+        planner: Planner::CostBased,
+        prompt_batch: PromptBatch::Keys(batch),
+        ..Default::default()
+    };
+    let pipelined_options = GaloisOptions {
+        pipeline: Pipeline::Streaming,
+        ..batched_options.clone()
+    };
     let batched = run_galois_suite_parallel(
         &scenario,
         ModelProfile::oracle(),
-        GaloisOptions {
-            parallelism: Parallelism::new(lanes),
-            planner: Planner::CostBased,
-            prompt_batch: PromptBatch::Keys(batch),
-            ..Default::default()
-        },
+        batched_options.clone(),
+        lanes,
+    );
+    let pipelined = run_galois_suite_parallel(
+        &scenario,
+        ModelProfile::oracle(),
+        pipelined_options.clone(),
+        lanes,
+    );
+    // The parity pair re-runs both configurations on one harness thread:
+    // exactly reproducible totals for CI's equality assertions (the
+    // K-thread rows race on the shared sub-entry store across queries).
+    let parity_batched = suite_totals(
+        &run_galois_suite_parallel(&scenario, ModelProfile::oracle(), batched_options, 1),
+        lanes,
+    );
+    let parity_pipelined = suite_totals(
+        &run_galois_suite_parallel(&scenario, ModelProfile::oracle(), pipelined_options, 1),
         lanes,
     );
     let qa = run_baseline_suite_parallel(
@@ -147,6 +195,12 @@ fn main() {
             totals: suite_totals(&batched, lanes),
         },
         MethodReport {
+            name: "galois_pipelined",
+            parallelism: lanes,
+            threads: lanes,
+            totals: suite_totals(&pipelined, lanes),
+        },
+        MethodReport {
             name: "qa_baseline",
             parallelism: lanes,
             threads: lanes,
@@ -167,12 +221,24 @@ fn main() {
     let planner_speedup = after as f64 / planned as f64;
     let batched_ms = methods[3].totals.virtual_ms.max(1);
     let batch_speedup = planned as f64 / batched_ms as f64;
+    let pipelined_ms = methods[4].totals.virtual_ms.max(1);
+    let pipeline_speedup = batched_ms as f64 / pipelined_ms as f64;
 
+    let parity_row = |name: &str, t: &SuiteTotals| {
+        format!(
+            "    \"{name}\": {{ \"threads\": 1, \"prompts\": {}, \"cache_hits\": {}, \
+             \"virtual_ms\": {} }}",
+            t.prompts, t.cache_hits, t.virtual_ms,
+        )
+    };
     let rows: Vec<String> = methods.iter().map(MethodReport::to_json).collect();
     let json = format!(
         "{{\n  \"seed\": {seed},\n  \"suite\": \"oracle-46\",\n  \"parallelism\": {lanes},\n  \
-         \"methods\": {{\n{}\n  }},\n  \"virtual_speedup\": {speedup:.2}\n}}\n",
+         \"methods\": {{\n{}\n  }},\n  \"pipeline_parity\": {{\n{},\n{}\n  }},\n  \
+         \"virtual_speedup\": {speedup:.2}\n}}\n",
         rows.join(",\n"),
+        parity_row("galois_batched", &parity_batched),
+        parity_row("galois_pipelined", &parity_pipelined),
     );
     std::fs::write(&out, &json).expect("write report");
 
@@ -189,10 +255,22 @@ fn main() {
         "multi-key batching (B={batch}): {} ms cost-planner -> {} ms ({batch_speedup:.2}x)",
         planned, batched_ms
     );
+    println!(
+        "streaming pipeline: {} ms batched-waves -> {} ms ({pipeline_speedup:.2}x)",
+        batched_ms, pipelined_ms
+    );
     for m in &methods {
         println!(
-            "  {:<18} prompts {:>5}  cache_hits {:>5}  virtual {:>7} ms  wall {:>5} ms",
-            m.name, m.totals.prompts, m.totals.cache_hits, m.totals.virtual_ms, m.totals.wall_ms
+            "  {:<18} prompts {:>5}  cache_hits {:>5}  virtual {:>7} ms  wall {:>5} ms  \
+             (list {} / filter {} / fetch {})",
+            m.name,
+            m.totals.prompts,
+            m.totals.cache_hits,
+            m.totals.virtual_ms,
+            m.totals.wall_ms,
+            m.totals.list_virtual_ms,
+            m.totals.filter_virtual_ms,
+            m.totals.fetch_virtual_ms,
         );
     }
 }

@@ -57,4 +57,4 @@ pub use error::{GaloisError, Result};
 pub use galois_llm::Parallelism;
 pub use plan_choice::{PlanReport, PlannedQuery, Planner, PlannerParams, StepCost};
 pub use schedule::Scheduler;
-pub use session::{Galois, GaloisOptions, GaloisResult, PromptBatch, QueryStats};
+pub use session::{Galois, GaloisOptions, GaloisResult, Pipeline, PromptBatch, QueryStats};

@@ -125,6 +125,13 @@ pub struct PlannerParams {
     /// fetch prompt. 1.0 (the default) reproduces the unbatched estimates
     /// bit for bit.
     pub batch_keys: f64,
+    /// Streaming pipeline on ([`crate::GaloisOptions::pipeline`]): latency
+    /// is estimated as the dataflow's critical path
+    /// ([`rcost::critical_path_ms`]) instead of the phase-barrier sum, and
+    /// steps share the lanes instead of packing as blocks. `false` (the
+    /// default) reproduces the wave estimates bit for bit. Prompt-count
+    /// estimates are unaffected — streaming issues the same prompts.
+    pub pipeline_streaming: bool,
 }
 
 impl Default for PlannerParams {
@@ -137,6 +144,7 @@ impl Default for PlannerParams {
             cache_hit_rate: 0.0,
             list_page_size: DEFAULT_LIST_PAGE,
             batch_keys: 1.0,
+            pipeline_streaming: false,
         }
     }
 }
@@ -171,6 +179,13 @@ impl PlannerParams {
         self
     }
 
+    /// Selects the streaming-pipeline latency model, threading
+    /// [`crate::GaloisOptions::pipeline`] into the estimates.
+    pub fn with_pipeline(mut self, streaming: bool) -> Self {
+        self.pipeline_streaming = streaming;
+        self
+    }
+
     /// Expected latency of one prompt carrying `keys` fused tasks: the
     /// fixed share once, the answer share per key (see
     /// [`BATCH_ANSWER_LATENCY_SHARE`]). Degenerates to `prompt_latency_ms`
@@ -196,8 +211,16 @@ pub struct StepCost {
     pub fetch_prompts: f64,
     /// Expected prompts served by the cache.
     pub expected_cache_hits: f64,
-    /// Expected virtual milliseconds under the lane model.
+    /// Expected virtual milliseconds under the lane model: the
+    /// phase-barrier wave sum, or the dataflow critical path when the
+    /// streaming pipeline is selected.
     pub virtual_ms: f64,
+    /// Expected total lane-busy milliseconds of the step. Under the
+    /// streaming pipeline this is the step's contribution to the shared
+    /// lanes' busy bound (each micro-batch pays its own request
+    /// overhead); in wave mode it equals `virtual_ms`, the step's packed
+    /// block length.
+    pub busy_ms: f64,
 }
 
 impl StepCost {
@@ -282,8 +305,9 @@ pub fn estimate_step(step: &LlmScanStep, catalog: &Catalog, params: &PlannerPara
     // iterations chain — a strictly sequential phase of one-prompt batches.
     let list_prompts = (est_keys_listed / params.list_page_size).ceil().max(0.0) + 1.0;
     let miss = 1.0 - params.cache_hit_rate;
-    let mut virtual_ms =
-        list_prompts * (params.batch_overhead_ms + miss * params.prompt_latency_ms);
+    let per_iter = params.batch_overhead_ms + miss * params.prompt_latency_ms;
+    let list_chain = list_prompts * per_iter;
+    let mut wave_total = list_chain;
 
     // Filter conditions chain (condition n+1 only prompts survivors of n);
     // the chunks within one condition run as one wave. With multi-key
@@ -295,7 +319,7 @@ pub fn estimate_step(step: &LlmScanStep, catalog: &Catalog, params: &PlannerPara
     for cond in &step.filter_conditions {
         let prompts = rcost::batched_prompt_count(n, params.batch_keys);
         filter_prompts += prompts;
-        virtual_ms += wave_ms(prompts, (prompts / params.batch_size).ceil(), fused, params);
+        wave_total += wave_ms(prompts, (prompts / params.batch_size).ceil(), fused, params);
         n *= condition_selectivity(cond);
     }
 
@@ -303,12 +327,35 @@ pub fn estimate_step(step: &LlmScanStep, catalog: &Catalog, params: &PlannerPara
     let cols = step.fetch.len() as f64;
     let col_prompts = rcost::batched_prompt_count(n, params.batch_keys);
     let fetch_prompts = col_prompts * cols;
-    virtual_ms += wave_ms(
+    wave_total += wave_ms(
         fetch_prompts,
         (col_prompts / params.batch_size).ceil() * cols,
         fused,
         params,
     );
+
+    // The streaming pipeline replaces the phase-barrier sum with the
+    // dataflow critical path: the last productive page's keys still have
+    // to traverse every remaining stage (each micro-batch paying its own
+    // request overhead), but every earlier page's work — and the final
+    // exhausted-page check — hides behind the chain. The busy bound
+    // covers the single-lane degeneration, where the per-micro-batch
+    // overheads are paid back to back.
+    let per_stage = params.batch_overhead_ms + miss * fused;
+    let busy_ms = if params.pipeline_streaming {
+        list_chain + (filter_prompts + fetch_prompts) * per_stage
+    } else {
+        wave_total
+    };
+    let virtual_ms = if params.pipeline_streaming {
+        let stages =
+            step.filter_conditions.len() as f64 + if step.fetch.is_empty() { 0.0 } else { 1.0 };
+        let chain_head = (list_prompts - 1.0).max(0.0) * per_iter;
+        rcost::critical_path_ms(chain_head, stages * per_stage, busy_ms, params.lanes as f64)
+            .max(list_chain)
+    } else {
+        wave_total
+    };
 
     let total = list_prompts + filter_prompts + fetch_prompts;
     StepCost {
@@ -319,6 +366,7 @@ pub fn estimate_step(step: &LlmScanStep, catalog: &Catalog, params: &PlannerPara
         fetch_prompts,
         expected_cache_hits: params.cache_hit_rate * total,
         virtual_ms,
+        busy_ms,
     }
 }
 
@@ -336,7 +384,16 @@ fn make_report(
     steps: Vec<StepCost>,
     params: &PlannerParams,
 ) -> PlanReport {
-    let est_virtual_ms = pack_steps(&steps, params.lanes);
+    // Wave mode packs the steps onto the lanes as blocks; the streaming
+    // pipeline shares the lanes across steps, so the query estimate is
+    // the slowest step's critical path against the pooled busy bound.
+    let est_virtual_ms = if params.pipeline_streaming {
+        let chain = steps.iter().map(|c| c.virtual_ms).fold(0.0, f64::max);
+        let busy: f64 = steps.iter().map(|c| c.busy_ms).sum();
+        rcost::critical_path_ms(chain, 0.0, busy, params.lanes as f64)
+    } else {
+        pack_steps(&steps, params.lanes)
+    };
     let est_total_prompts = steps.iter().map(StepCost::total_prompts).sum();
     let est_cache_hits = steps.iter().map(|c| c.expected_cache_hits).sum();
     PlanReport {
@@ -460,8 +517,15 @@ impl PlannedQuery {
         } else {
             String::new()
         };
+        // Likewise the pipeline tag: absent in the default wave mode, so
+        // the pre-pipelining report stays byte-identical.
+        let pipeline = if params.pipeline_streaming {
+            ", pipeline: streaming"
+        } else {
+            ""
+        };
         let mut out = format!(
-            "galois plan  (planner: {}, lanes: {}{batch}, candidates considered: {})\n",
+            "galois plan  (planner: {}, lanes: {}{batch}{pipeline}, candidates considered: {})\n",
             self.report.planner, params.lanes, self.report.candidates_considered
         );
         let mut temp_rows: HashMap<String, f64> = HashMap::new();
@@ -666,6 +730,84 @@ mod tests {
         };
         assert!(!render(&off).contains("batch:"));
         assert!(render(&on).contains("batch: 10 keys/prompt"));
+    }
+
+    #[test]
+    fn pipeline_estimate_beats_the_wave_sum_with_lanes_and_loses_without() {
+        let q = "SELECT name, population FROM city WHERE elevation < 100";
+        // Calibrated-style latency (the cold-start 150 ms default makes
+        // fused-answer decode so expensive that the estimator correctly
+        // prefers the wave's within-batch lane packing on this query).
+        let wave = PlannerParams {
+            lanes: 8,
+            prompt_latency_ms: 40.0,
+            ..Default::default()
+        }
+        .with_batch_keys(10);
+        let streaming = wave.clone().with_pipeline(true);
+        let a = planned(q, Planner::CostBased, &wave);
+        let b = planned(q, Planner::CostBased, &streaming);
+        // Same prompts — streaming only removes the barriers.
+        assert_eq!(a.report.est_total_prompts, b.report.est_total_prompts);
+        assert!(
+            b.report.est_virtual_ms < a.report.est_virtual_ms,
+            "streaming {} vs wave {}",
+            b.report.est_virtual_ms,
+            a.report.est_virtual_ms
+        );
+        // With one lane the per-micro-batch overheads serialise: the
+        // estimate must reflect that streaming is the wrong choice there.
+        let one_wave = PlannerParams {
+            prompt_latency_ms: 40.0,
+            ..Default::default()
+        }
+        .with_batch_keys(10);
+        let one_stream = one_wave.clone().with_pipeline(true);
+        let c = planned(q, Planner::CostBased, &one_wave);
+        let d = planned(q, Planner::CostBased, &one_stream);
+        assert!(
+            d.report.est_virtual_ms >= c.report.est_virtual_ms,
+            "single-lane streaming {} must not beat the wave {}",
+            d.report.est_virtual_ms,
+            c.report.est_virtual_ms
+        );
+    }
+
+    #[test]
+    fn pipeline_off_reproduces_wave_estimates_bit_for_bit() {
+        let q = "SELECT p.name, r.electionYear FROM city p, cityMayor r WHERE p.mayor = r.name";
+        let base = PlannerParams {
+            lanes: 8,
+            ..Default::default()
+        };
+        let a = planned(q, Planner::CostBased, &base);
+        let b = planned(q, Planner::CostBased, &base.clone().with_pipeline(false));
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.compiled, b.compiled);
+    }
+
+    #[test]
+    fn render_shows_pipeline_only_when_streaming() {
+        let s = Scenario::generate(42);
+        let plan = s
+            .database
+            .plan("SELECT name FROM city WHERE population > 1000000")
+            .unwrap();
+        let off = PlannerParams::default();
+        let on = PlannerParams::default().with_pipeline(true);
+        let render = |params: &PlannerParams| {
+            plan_query(
+                &plan,
+                s.database.catalog(),
+                &CompileOptions::default(),
+                Planner::CostBased,
+                params,
+            )
+            .unwrap()
+            .render(s.database.catalog(), params)
+        };
+        assert!(!render(&off).contains("pipeline:"));
+        assert!(render(&on).contains("pipeline: streaming"));
     }
 
     #[test]

@@ -8,7 +8,11 @@
 //! dependencies, so [`Scheduler::run_wave`] may execute them on up to
 //! `K` OS threads (`K` = the session's [`Parallelism`] knob); results are
 //! always returned in submission order, so downstream code is oblivious
-//! to the interleaving.
+//! to the interleaving. [`Scheduler::run_wave_streaming`] is the
+//! completion-ordered form used by the pipelined session driver: each
+//! `(index, result)` pair is handed to a sink on the calling thread as
+//! soon as the unit finishes, so downstream work can start before the
+//! wave's stragglers complete.
 //!
 //! With `Parallelism(1)` the scheduler runs every unit inline on the
 //! calling thread, in submission order — the exact pre-scheduler
@@ -23,7 +27,7 @@ use galois_llm::Parallelism;
 use parking_lot::Mutex;
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Condvar, Mutex as StdMutex, OnceLock};
 
 thread_local! {
     /// Set on scheduler worker threads so *nested* waves (a step wave
@@ -104,6 +108,114 @@ impl Scheduler {
             .into_iter()
             .map(|slot| slot.into_inner().expect("every unit ran"))
             .collect()
+    }
+
+    /// Runs one wave of independent units, delivering each `(index,
+    /// result)` pair to `sink` **in completion order** — the caller sees
+    /// results the moment they land instead of waiting for the whole wave
+    /// to join.
+    ///
+    /// [`Scheduler::run_wave`] is the positional form: it blocks until
+    /// every unit has finished and hands back a submission-ordered `Vec`.
+    /// The streaming session driver instead wants to start parsing a
+    /// micro-batch's answers while its siblings are still completing, so
+    /// this form pushes results through a sink running on the *calling*
+    /// thread (the sink needs no `Send` bound and may freely mutate caller
+    /// state). Completion order is nondeterministic by construction —
+    /// callers that need determinism must key their state by the delivered
+    /// index, exactly like the virtual clock does.
+    ///
+    /// The inline cases (one worker, one unit, nested waves) deliver in
+    /// submission order. A panicking unit propagates when the scope joins,
+    /// after the surviving units have been delivered.
+    pub fn run_wave_streaming<T, F, S>(&self, units: Vec<F>, mut sink: S)
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+        S: FnMut(usize, T),
+    {
+        if self.workers <= 1 || units.len() <= 1 || IN_WAVE_WORKER.with(Cell::get) {
+            for (i, unit) in units.into_iter().enumerate() {
+                sink(i, unit());
+            }
+            return;
+        }
+        let n = units.len();
+        let jobs: Vec<Mutex<Option<F>>> = units.into_iter().map(|u| Mutex::new(Some(u))).collect();
+        let next = AtomicUsize::new(0);
+        // Landed results plus a count of units lost to panics: the drain
+        // loop must terminate even when a worker unwinds mid-unit, or the
+        // scope join (which re-raises the panic) would never be reached.
+        struct Landing<T> {
+            items: Vec<(usize, T)>,
+            lost: usize,
+        }
+        let landing: StdMutex<Landing<T>> = StdMutex::new(Landing {
+            items: Vec::new(),
+            lost: 0,
+        });
+        let ready = Condvar::new();
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers.min(n) {
+                scope.spawn(|| {
+                    IN_WAVE_WORKER.with(|flag| flag.set(true));
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let unit = jobs[i].lock().take().expect("each unit claimed once");
+                        // Unwind guard: a panicking unit still counts
+                        // towards termination of the drain loop.
+                        struct LostGuard<'a, T> {
+                            landing: &'a StdMutex<Landing<T>>,
+                            ready: &'a Condvar,
+                            armed: bool,
+                        }
+                        impl<T> Drop for LostGuard<'_, T> {
+                            fn drop(&mut self) {
+                                if self.armed {
+                                    self.landing.lock().unwrap_or_else(|e| e.into_inner()).lost +=
+                                        1;
+                                    self.ready.notify_all();
+                                }
+                            }
+                        }
+                        let mut guard = LostGuard {
+                            landing: &landing,
+                            ready: &ready,
+                            armed: true,
+                        };
+                        let result = unit();
+                        guard.armed = false;
+                        landing
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .items
+                            .push((i, result));
+                        ready.notify_all();
+                    }
+                });
+            }
+            let mut delivered = 0;
+            let mut slot = landing.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                let batch: Vec<(usize, T)> = slot.items.drain(..).collect();
+                if batch.is_empty() {
+                    if delivered + slot.lost >= n {
+                        break;
+                    }
+                    slot = ready.wait(slot).unwrap_or_else(|e| e.into_inner());
+                    continue;
+                }
+                drop(slot);
+                for (i, result) in batch {
+                    delivered += 1;
+                    sink(i, result);
+                }
+                slot = landing.lock().unwrap_or_else(|e| e.into_inner());
+            }
+        });
     }
 }
 
@@ -190,6 +302,82 @@ mod tests {
             let expected: Vec<(u64, u64)> = (0..64).map(|i| (i, i * i)).collect();
             assert_eq!(got, expected, "round {round}");
         }
+    }
+
+    #[test]
+    fn streaming_delivers_every_result_exactly_once() {
+        let sched = Scheduler::new(Parallelism::new(4));
+        let units: Vec<_> = (0..32u64)
+            .map(|i| {
+                move || {
+                    std::thread::sleep(std::time::Duration::from_micros(((i * 13) % 7) * 40));
+                    i * 10
+                }
+            })
+            .collect();
+        let mut got = vec![None; 32];
+        sched.run_wave_streaming(units, |i, r| {
+            assert!(got[i].is_none(), "index {i} delivered twice");
+            got[i] = Some(r);
+        });
+        for (i, slot) in got.iter().enumerate() {
+            assert_eq!(*slot, Some(i as u64 * 10));
+        }
+    }
+
+    #[test]
+    fn streaming_delivers_in_completion_order() {
+        // Unit 0 sleeps far longer than its siblings: with several real
+        // workers the fast units must be sunk before it, proving delivery
+        // is by completion, not submission.
+        let sched = Scheduler::new(Parallelism::new(4));
+        let units: Vec<_> = (0..4u64)
+            .map(|i| {
+                move || {
+                    if i == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(60));
+                    }
+                    i
+                }
+            })
+            .collect();
+        let mut order = Vec::new();
+        sched.run_wave_streaming(units, |i, _| order.push(i));
+        assert_eq!(order.len(), 4);
+        assert_eq!(*order.last().unwrap(), 0, "slow unit arrived {order:?}");
+    }
+
+    #[test]
+    fn streaming_single_worker_is_submission_ordered() {
+        let sched = Scheduler::new(Parallelism::new(1));
+        let units: Vec<_> = (0..5).map(|i| move || i).collect();
+        let mut order = Vec::new();
+        sched.run_wave_streaming(units, |i, r| {
+            assert_eq!(i, r);
+            order.push(i);
+        });
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn streaming_panic_propagates_without_deadlock() {
+        let sched = Scheduler::new(Parallelism::new(4));
+        let units: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..8usize)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 3 {
+                        panic!("unit exploded");
+                    }
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut delivered = 0usize;
+            sched.run_wave_streaming(units, |_, _| delivered += 1);
+            delivered
+        }));
+        assert!(outcome.is_err(), "the unit panic must propagate");
     }
 
     #[test]

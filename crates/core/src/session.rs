@@ -30,6 +30,14 @@
 //! and any key whose batched answer fails to parse is re-asked with its
 //! single-key prompt. [`PromptBatch::Off`] (the default) is bit-identical
 //! to the pre-batching pipeline.
+//!
+//! With [`GaloisOptions::pipeline`] set to [`Pipeline::Streaming`], the
+//! barrier-separated phases above become a per-key dataflow under an
+//! event-driven virtual clock: list pages feed filter micro-batch
+//! accumulators, survivors of condition *i* stream into condition *i + 1*
+//! and then into per-column fetch micro-batches, and every step of the
+//! query shares the same `K` simulated lanes. See [`Pipeline`] for the
+//! micro-batch trigger rule and the mode's invariants.
 
 use crate::clean::{clean_to_type, normalise_text, CleaningPolicy};
 use crate::compile::{CompileOptions, CompiledQuery, LlmScanStep};
@@ -84,6 +92,67 @@ impl PromptBatch {
     }
 }
 
+/// Execution dataflow of the retrieval phases.
+///
+/// The paper's three-phase protocol (list keys → check filters → fetch
+/// attributes) is naturally expressed as barrier-separated *waves*: every
+/// phase waits for the previous one to drain completely. That leaves a
+/// latency floor — each phase boundary idles every request lane until the
+/// slowest batch of the previous phase lands. [`Pipeline::Streaming`]
+/// removes the barriers: keys flow through the filter chain and into
+/// per-column fetch micro-batches the moment they are known to survive,
+/// and the virtual clock becomes an event-driven simulation
+/// ([`galois_llm::EventClock`]) in which each micro-batch is released at
+/// the instant its inputs exist.
+///
+/// A micro-batch fires when it reaches `B` keys
+/// ([`GaloisOptions::prompt_batch`]; `B = 1` when batching is off), when
+/// a **lane goes idle** after a virtual instant has fully resolved
+/// (holding a partial batch back while lanes sit empty is pure latency),
+/// or at **upstream drain** — the flush that ends each stream. The idle
+/// flush is speculative: if the inputs of a stage later grow a chunk the
+/// flush already split (a later list page, or survivors of a filter
+/// stage whose chunks completed at different instants), streaming spends
+/// *more* prompts than the wave pipeline — extra partial chunks buy
+/// latency, never accuracy. When each stage's input arrives at one
+/// instant — single-page key streams feeding pushed-down scans, the
+/// benchmark configuration — chunk membership and counts match the wave
+/// pipeline exactly.
+///
+/// Invariants:
+///
+/// * [`Pipeline::Off`] (the default) is bit-identical to the wave
+///   pipeline — prompts per kind, cache hits, both clocks, relations;
+/// * streaming never changes `R_M` on a noise-free model, for any lane
+///   count or batch factor; its cache-hit totals always match the wave
+///   run's, and its prompt bill is never lower (and is *equal* whenever
+///   the idle flush never splits a chunk that later input would have
+///   filled);
+/// * streaming pays one request overhead per micro-batch (a real
+///   streaming deployment cannot fuse requests it has not accumulated),
+///   so with a single lane it is *slower* than the wave pipeline, which
+///   amortises the overhead across up to `batch_size` prompts per
+///   request. Pipelining is a concurrency optimisation: the overheads
+///   overlap across lanes, and the phase barriers disappear.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Pipeline {
+    /// Barrier-separated retrieval waves — the paper-faithful dataflow,
+    /// bit-identical to the pre-pipelining releases. The default.
+    #[default]
+    Off,
+    /// Per-key dataflow under the event-driven virtual clock: list pages
+    /// feed filter micro-batches, survivors stream into the next
+    /// condition and then into per-column fetch micro-batches.
+    Streaming,
+}
+
+impl Pipeline {
+    /// True when streaming execution is selected.
+    pub fn is_streaming(self) -> bool {
+        matches!(self, Pipeline::Streaming)
+    }
+}
+
 /// Tuning knobs of a session.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GaloisOptions {
@@ -113,6 +182,12 @@ pub struct GaloisOptions {
     /// retrieval cell instead of `keys`, with a per-key fallback re-ask
     /// for unparseable batched answers.
     pub prompt_batch: PromptBatch,
+    /// Retrieval dataflow. [`Pipeline::Off`] (the default) runs the
+    /// barrier-separated waves bit for bit; [`Pipeline::Streaming`]
+    /// streams keys through filter and fetch micro-batches under the
+    /// event-driven virtual clock, issuing the same prompts without the
+    /// phase barriers.
+    pub pipeline: Pipeline,
 }
 
 impl Default for GaloisOptions {
@@ -125,6 +200,7 @@ impl Default for GaloisOptions {
             parallelism: Parallelism::default(),
             planner: Planner::default(),
             prompt_batch: PromptBatch::default(),
+            pipeline: Pipeline::default(),
         }
     }
 }
@@ -158,6 +234,21 @@ pub struct QueryStats {
     /// Virtual milliseconds a single-lane run would have spent on the same
     /// batches (`serial_virtual_ms == virtual_ms` at `Parallelism(1)`).
     pub serial_virtual_ms: u64,
+    /// Virtual milliseconds attributed to the key-listing phase. Phase
+    /// fields measure lane-busy time per protocol phase: in wave mode each
+    /// phase's lane-packed wave times, in streaming mode the scheduled
+    /// durations of that phase's tasks. Within one step the wave-mode
+    /// phases sum to the step's virtual time; across steps (and in
+    /// streaming mode) phases overlap on the lanes, so the three fields
+    /// may sum to more than `virtual_ms` — they locate where the model
+    /// time lives, not how it packs.
+    pub list_virtual_ms: u64,
+    /// Virtual milliseconds attributed to the filter phase (see
+    /// `list_virtual_ms` for the accounting rule).
+    pub filter_virtual_ms: u64,
+    /// Virtual milliseconds attributed to the attribute-fetch phase (see
+    /// `list_virtual_ms` for the accounting rule).
+    pub fetch_virtual_ms: u64,
     /// Real wall-clock milliseconds spent executing the query.
     pub wall_ms: u64,
     /// Rows materialised from the LLM across all scans.
@@ -195,6 +286,17 @@ impl QueryStats {
     }
 }
 
+/// Retrieval-protocol phase a batch of virtual time is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Key listing.
+    List,
+    /// Per-key filter checks.
+    Filter,
+    /// Per-key attribute fetches.
+    Fetch,
+}
+
 /// Per-step accounting accumulated during retrieval, folded into
 /// [`QueryStats`] once the step wave completes.
 #[derive(Debug, Clone, Copy, Default)]
@@ -206,6 +308,9 @@ struct StepStats {
     prompt_tokens: usize,
     completion_tokens: usize,
     virtual_ms: u64,
+    /// Phase-attributed virtual time, indexed by [`Phase`] discriminant
+    /// order (list, filter, fetch).
+    phase_ms: [u64; 3],
     serial_ms: u64,
 }
 
@@ -217,6 +322,19 @@ impl StepStats {
         self.prompt_tokens += outcome.prompt_tokens;
         self.completion_tokens += outcome.completion_tokens;
         self.serial_ms += outcome.serial_ms;
+    }
+
+    /// Charges wave time to the step clock and attributes it to a phase.
+    fn charge_wave(&mut self, phase: Phase, ms: u64) {
+        self.virtual_ms += ms;
+        self.charge_phase(phase, ms);
+    }
+
+    /// Attributes time to a phase without touching the step clock (the
+    /// streaming driver's clock is the event simulation's makespan, not a
+    /// sum).
+    fn charge_phase(&mut self, phase: Phase, ms: u64) {
+        self.phase_ms[phase as usize] += ms;
     }
 }
 
@@ -299,6 +417,7 @@ impl Galois {
             &self.client.stats(),
         )
         .with_batch_keys(self.options.prompt_batch.keys_per_prompt())
+        .with_pipeline(self.options.pipeline.is_streaming())
     }
 
     /// The calibration snapshot plan choice uses, frozen at the session's
@@ -398,10 +517,15 @@ impl Galois {
 
     /// Executes an already-compiled query.
     ///
-    /// All distinct LLM scan steps are submitted to the scheduler as one
-    /// wave; the query's virtual time is the lane-packed makespan of the
-    /// step times (their sum at `Parallelism(1)`).
+    /// In the default wave dataflow, all distinct LLM scan steps are
+    /// submitted to the scheduler as one wave; the query's virtual time is
+    /// the lane-packed makespan of the step times (their sum at
+    /// `Parallelism(1)`). With [`Pipeline::Streaming`] the steps share one
+    /// event-driven simulation instead (see [`Pipeline`]).
     pub fn execute_compiled(&self, compiled: &CompiledQuery) -> Result<GaloisResult> {
+        if self.options.pipeline.is_streaming() {
+            return self.execute_compiled_streaming(compiled);
+        }
         let started = Instant::now();
         let scheduler = Scheduler::new(self.options.parallelism);
         let lanes = self.options.parallelism.get();
@@ -418,13 +542,7 @@ impl Galois {
         let mut catalog = self.db.catalog().clone();
         for result in retrieved {
             let (table, step_stats) = result?;
-            stats.list_prompts += step_stats.list_prompts;
-            stats.filter_prompts += step_stats.filter_prompts;
-            stats.fetch_prompts += step_stats.fetch_prompts;
-            stats.cache_hits += step_stats.cache_hits;
-            stats.prompt_tokens += step_stats.prompt_tokens;
-            stats.completion_tokens += step_stats.completion_tokens;
-            stats.serial_virtual_ms += step_stats.serial_ms;
+            fold_step_stats(&mut stats, &step_stats);
             stats.rows_retrieved += table.len();
             step_virtuals.push(step_stats.virtual_ms);
             catalog
@@ -455,30 +573,7 @@ impl Galois {
         let keys = self.scan_keys(step, &mut acc);
         let keys = self.apply_filters(step, keys, &scheduler, &mut acc);
         let rows = self.fetch_attributes(step, &keys, &scheduler, &mut acc);
-
-        // Materialise: same column order as the stored schema, everything
-        // but the key nullable (unfetched attributes are NULL).
-        let columns: Vec<Column> = step
-            .columns
-            .iter()
-            .enumerate()
-            .map(|(i, c)| {
-                if i == step.key_index {
-                    Column::new(c.name.clone(), c.data_type)
-                } else {
-                    Column::nullable(c.name.clone(), c.data_type)
-                }
-            })
-            .collect();
-        let schema = TableSchema::new(columns, &step.key_attr)
-            .map_err(|e| GaloisError::Compile(format!("temp schema: {e}")))?;
-        let mut table = Table::new(step.temp_name.clone(), schema);
-        for row in rows {
-            // Duplicate keys (hallucinated repeats) are dropped silently:
-            // the key-identifies-tuple assumption is enforced here.
-            let _ = table.insert(row);
-        }
-        Ok((table, acc))
+        Ok((materialise_step(step, rows)?, acc))
     }
 
     /// Key retrieval: iterate the list prompt until the model stops
@@ -506,7 +601,7 @@ impl Galois {
             };
             let outcome = self.client.complete_outcome(&prompt);
             acc.list_prompts += 1;
-            acc.virtual_ms += outcome.virtual_ms;
+            acc.charge_wave(Phase::List, outcome.virtual_ms);
             acc.absorb(&outcome);
             match parse_list_answer(&outcome.completions[0].text) {
                 ListAnswer::Exhausted => break,
@@ -570,7 +665,10 @@ impl Galois {
                 .collect();
             let outcomes = scheduler.run_wave(units);
             acc.filter_prompts += prompts.len();
-            acc.virtual_ms += lane_schedule(outcomes.iter().map(|o| o.virtual_ms), lanes);
+            acc.charge_wave(
+                Phase::Filter,
+                lane_schedule(outcomes.iter().map(|o| o.virtual_ms), lanes),
+            );
             let mut verdicts = Vec::with_capacity(keys.len());
             for outcome in &outcomes {
                 acc.absorb(outcome);
@@ -650,7 +748,10 @@ impl Galois {
             }
         }
         let outcomes = scheduler.run_wave(units);
-        acc.virtual_ms += lane_schedule(outcomes.iter().map(|o| o.virtual_ms), lanes);
+        acc.charge_wave(
+            Phase::Fetch,
+            lane_schedule(outcomes.iter().map(|o| o.virtual_ms), lanes),
+        );
 
         let mut answers: Vec<Vec<_>> = vec![Vec::new(); col_prompts.len()];
         for (&ord, outcome) in unit_columns.iter().zip(outcomes) {
@@ -673,8 +774,6 @@ impl Galois {
             }
         }
 
-        // Rows whose key failed to clean are unusable.
-        rows.retain(|r| !r[step.key_index].is_null());
         rows
     }
 
@@ -700,6 +799,7 @@ impl Galois {
             let mut cells = self.run_batched_cells(
                 step,
                 vec![(BatchCell::Filter(condition), keys.as_slice())],
+                Phase::Filter,
                 scheduler,
                 acc,
             );
@@ -748,7 +848,7 @@ impl Galois {
             .iter()
             .map(|&col_idx| (BatchCell::Fetch(&step.columns[col_idx].name), keys))
             .collect();
-        let results = self.run_batched_cells(step, cells, scheduler, acc);
+        let results = self.run_batched_cells(step, cells, Phase::Fetch, scheduler, acc);
 
         for (&col_idx, (answers, prompts)) in step.fetch.iter().zip(results) {
             acc.fetch_prompts += prompts;
@@ -765,24 +865,30 @@ impl Galois {
             }
         }
 
-        rows.retain(|r| !r[step.key_index].is_null());
         rows
     }
 
-    /// Task signature of one `(cell, key)` sub-entry in the client's
-    /// extraction cache. `\u{1f}` (ASCII unit separator) keeps field
-    /// boundaries unambiguous for keys containing `:` or commas.
-    fn cell_sig(&self, step: &LlmScanStep, cell: &BatchCell, key: &str) -> String {
+    /// Signature prefix shared by every `(cell, key)` sub-entry of one
+    /// retrieval cell in the client's extraction cache. `\u{1f}` (ASCII
+    /// unit separator) keeps field boundaries unambiguous for keys
+    /// containing `:` or commas.
+    ///
+    /// The prefix is everything but the key, so the per-key loops build
+    /// each signature with a single append onto a reused buffer
+    /// ([`sig_for_key`]) instead of re-formatting the whole
+    /// table/attribute/condition preamble for every key — the
+    /// `batched_cells` criterion bench measures that hot path.
+    fn cell_sig_prefix(&self, step: &LlmScanStep, cell: &BatchCell) -> String {
         match cell {
             BatchCell::Filter(c) => format!(
-                "filter\u{1f}{}\u{1f}{}\u{1f}{}\u{1f}{}\u{1f}{key}",
+                "filter\u{1f}{}\u{1f}{}\u{1f}{}\u{1f}{}\u{1f}",
                 step.table,
                 step.key_attr,
                 c.attribute,
                 c.render_phrase(),
             ),
             BatchCell::Fetch(attribute) => format!(
-                "fetch\u{1f}{}\u{1f}{}\u{1f}{attribute}\u{1f}{key}",
+                "fetch\u{1f}{}\u{1f}{}\u{1f}{attribute}\u{1f}",
                 step.table, step.key_attr,
             ),
         }
@@ -848,6 +954,7 @@ impl Galois {
         &self,
         step: &LlmScanStep,
         cells: Vec<(BatchCell, &[String])>,
+        phase: Phase,
         scheduler: &Scheduler,
         acc: &mut StepStats,
     ) -> Vec<(Vec<String>, usize)> {
@@ -861,16 +968,25 @@ impl Galois {
             prompts: usize,
         }
 
+        // Each cell's signature prefix is built once; the per-key loops
+        // below append only the key onto a reused buffer.
+        let prefixes: Vec<String> = cells
+            .iter()
+            .map(|(cell, _)| self.cell_sig_prefix(step, cell))
+            .collect();
+        let mut sig = String::new();
+
         // Stage 1: per-key sub-entry extraction.
         let mut states: Vec<CellState> = cells
             .iter()
-            .map(|(cell, keys)| {
+            .zip(&prefixes)
+            .map(|((_, keys), prefix)| {
                 let mut answers = vec![None; keys.len()];
                 let mut pending = Vec::new();
                 for (i, key) in keys.iter().enumerate() {
                     match self
                         .client
-                        .extract_sub_entry(&self.cell_sig(step, cell, key))
+                        .extract_sub_entry(sig_for_key(&mut sig, prefix, key))
                     {
                         Some(answer) => {
                             acc.cache_hits += 1;
@@ -903,11 +1019,18 @@ impl Galois {
             }
             states[ci].prompts += states[ci].pending.len().div_ceil(fuse);
         }
-        let completions =
-            self.run_cell_wave(&chunk_prompts, &chunk_cells, batch, lanes, scheduler, acc);
+        let completions = self.run_cell_wave(
+            &chunk_prompts,
+            &chunk_cells,
+            batch,
+            lanes,
+            phase,
+            scheduler,
+            acc,
+        );
         for ((&ci, members), completion) in chunk_cells.iter().zip(&chunk_members).zip(completions)
         {
-            let (cell, keys) = &cells[ci];
+            let (_, keys) = &cells[ci];
             let chunk_keys: Vec<String> = members.iter().map(|&i| keys[i].clone()).collect();
             for (&i, sub) in members
                 .iter()
@@ -915,7 +1038,7 @@ impl Galois {
             {
                 if let Some(answer) = sub {
                     self.client
-                        .store_sub_entry(&self.cell_sig(step, cell, &keys[i]), &answer);
+                        .store_sub_entry(sig_for_key(&mut sig, &prefixes[ci], &keys[i]), &answer);
                     states[ci].answers[i] = Some(answer);
                 }
             }
@@ -939,11 +1062,14 @@ impl Galois {
             }
             states[ci].prompts += fb_prompts.len() - before;
         }
-        let completions = self.run_cell_wave(&fb_prompts, &fb_cells, batch, lanes, scheduler, acc);
+        let completions =
+            self.run_cell_wave(&fb_prompts, &fb_cells, batch, lanes, phase, scheduler, acc);
         for ((&ci, &i), completion) in fb_cells.iter().zip(&fb_keys).zip(completions) {
-            let (cell, keys) = &cells[ci];
-            self.client
-                .store_sub_entry(&self.cell_sig(step, cell, &keys[i]), &completion.text);
+            let (_, keys) = &cells[ci];
+            self.client.store_sub_entry(
+                sig_for_key(&mut sig, &prefixes[ci], &keys[i]),
+                &completion.text,
+            );
             states[ci].answers[i] = Some(completion.text);
         }
 
@@ -965,12 +1091,14 @@ impl Galois {
     /// batches never span cells, mirroring the single-key phases), the
     /// wave's virtual makespan is added to the step clock, and the
     /// completions come back flattened in prompt order.
+    #[allow(clippy::too_many_arguments)]
     fn run_cell_wave(
         &self,
         prompts: &[String],
         prompt_cells: &[usize],
         batch: usize,
         lanes: usize,
+        phase: Phase,
         scheduler: &Scheduler,
         acc: &mut StepStats,
     ) -> Vec<galois_llm::Completion> {
@@ -998,7 +1126,10 @@ impl Galois {
             })
             .collect();
         let outcomes = scheduler.run_wave(units);
-        acc.virtual_ms += lane_schedule(outcomes.iter().map(|o| o.virtual_ms), lanes);
+        acc.charge_wave(
+            phase,
+            lane_schedule(outcomes.iter().map(|o| o.virtual_ms), lanes),
+        );
         let mut completions = Vec::with_capacity(prompts.len());
         for outcome in outcomes {
             acc.absorb(&outcome);
@@ -1015,6 +1146,747 @@ enum BatchCell<'a> {
     Filter(&'a Condition),
     /// Fetch of one attribute over the cell's keys.
     Fetch(&'a str),
+}
+
+/// Builds one `(cell, key)` sub-entry signature into `buf` from the
+/// cell's precomputed prefix — the per-key half of the signature is a
+/// single append onto a reused allocation.
+fn sig_for_key<'b>(buf: &'b mut String, prefix: &str, key: &str) -> &'b str {
+    buf.clear();
+    buf.push_str(prefix);
+    buf.push_str(key);
+    buf
+}
+
+/// Folds one step's accounting into the query stats — everything except
+/// the packed virtual clock, which each dataflow computes its own way
+/// (wave: lane-packed step times; streaming: the event simulation's
+/// makespan).
+fn fold_step_stats(stats: &mut QueryStats, step: &StepStats) {
+    stats.list_prompts += step.list_prompts;
+    stats.filter_prompts += step.filter_prompts;
+    stats.fetch_prompts += step.fetch_prompts;
+    stats.cache_hits += step.cache_hits;
+    stats.prompt_tokens += step.prompt_tokens;
+    stats.completion_tokens += step.completion_tokens;
+    stats.serial_virtual_ms += step.serial_ms;
+    stats.list_virtual_ms += step.phase_ms[Phase::List as usize];
+    stats.filter_virtual_ms += step.phase_ms[Phase::Filter as usize];
+    stats.fetch_virtual_ms += step.phase_ms[Phase::Fetch as usize];
+}
+
+/// Materialises retrieved rows as a step's temporary table: same column
+/// order as the stored schema, everything but the key nullable (unfetched
+/// attributes are NULL). Rows whose key failed to clean are unusable and
+/// dropped; duplicate keys (hallucinated repeats) are dropped silently —
+/// the key-identifies-tuple assumption is enforced here.
+fn materialise_step(step: &LlmScanStep, rows: Vec<Vec<Value>>) -> Result<Table> {
+    let columns: Vec<Column> = step
+        .columns
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            if i == step.key_index {
+                Column::new(c.name.clone(), c.data_type)
+            } else {
+                Column::nullable(c.name.clone(), c.data_type)
+            }
+        })
+        .collect();
+    let schema = TableSchema::new(columns, &step.key_attr)
+        .map_err(|e| GaloisError::Compile(format!("temp schema: {e}")))?;
+    let mut table = Table::new(step.temp_name.clone(), schema);
+    for row in rows {
+        if row[step.key_index].is_null() {
+            continue;
+        }
+        let _ = table.insert(row);
+    }
+    Ok(table)
+}
+
+// ---------------------------------------------------------------------
+// Pipelined streaming retrieval (`Pipeline::Streaming`)
+// ---------------------------------------------------------------------
+
+impl Galois {
+    /// Executes a compiled query with the streaming dataflow: all steps
+    /// share one event-driven simulation ([`galois_llm::EventClock`])
+    /// instead of barrier-separated waves. See [`Pipeline`] for the
+    /// dataflow and its invariants.
+    fn execute_compiled_streaming(&self, compiled: &CompiledQuery) -> Result<GaloisResult> {
+        let started = Instant::now();
+        let mut sim = StreamSim::new(self, compiled);
+        sim.run();
+
+        let mut stats = QueryStats::default();
+        fold_step_stats(&mut stats, &sim.acc);
+        stats.virtual_ms = sim.clock.makespan();
+        let mut catalog = self.db.catalog().clone();
+        for run in sim.steps {
+            let rows: Vec<Vec<Value>> = run
+                .slots
+                .into_iter()
+                .filter(|slot| slot.alive)
+                .map(|slot| slot.row)
+                .collect();
+            let table = materialise_step(run.step, rows)?;
+            stats.rows_retrieved += table.len();
+            catalog
+                .add_table(table)
+                .map_err(|e| GaloisError::Compile(format!("temp table: {e}")))?;
+        }
+
+        let relation =
+            galois_relational::execute(&compiled.plan, &catalog).map_err(GaloisError::from)?;
+        stats.wall_ms = started.elapsed().as_millis() as u64;
+        Ok(GaloisResult { relation, stats })
+    }
+}
+
+/// One retrieval cell of a streaming stage, by index into the step (the
+/// borrowed [`BatchCell`] form is reconstructed on demand).
+#[derive(Debug, Clone, Copy)]
+enum StageCell {
+    /// Index into `step.filter_conditions`.
+    Filter(usize),
+    /// `col` indexes `step.columns`; the stage sits at position
+    /// `n_filters + ord` in the stage list.
+    Fetch { col: usize },
+}
+
+/// One micro-batch accumulator of the streaming dataflow: a filter
+/// condition or a fetched column of one step.
+#[derive(Debug)]
+struct StageState {
+    cell: StageCell,
+    /// Sub-entry signature prefix of the cell (empty when the multi-key
+    /// protocol is off — plain single-key prompts bypass the sub-entry
+    /// store, exactly like the wave pipeline).
+    sig_prefix: String,
+    /// Key slots accumulated towards the next micro-batch (always fewer
+    /// than the fuse factor — full batches fire immediately).
+    pending: Vec<usize>,
+    /// Micro-batches and fallback re-asks in flight.
+    inflight: usize,
+    /// True once the producing stage (list page stream, or the previous
+    /// filter) can no longer deliver keys.
+    upstream_drained: bool,
+    /// True once this stage has seen its last key and answered it.
+    drained: bool,
+}
+
+/// One discovered key of a step: its identity, whether it has survived
+/// every filter verdict so far, and its materialising row.
+#[derive(Debug)]
+struct KeySlot {
+    key: String,
+    alive: bool,
+    row: Vec<Value>,
+}
+
+/// Per-step dataflow state of the streaming simulation.
+struct StepRun<'a> {
+    step: &'a LlmScanStep,
+    /// Exclusion list rendered into each list iteration's prompt (shared
+    /// behind an `Arc`, exactly like the wave scan).
+    exclude: Arc<Vec<String>>,
+    /// Case-folded dedup of discovered keys.
+    seen: std::collections::HashSet<String>,
+    /// List iterations fired so far.
+    iterations: usize,
+    /// Key slots in discovery order — rows materialise in this order, so
+    /// streaming reproduces the wave pipeline's row order exactly.
+    slots: Vec<KeySlot>,
+    /// Filter stages (in conjunction order) followed by fetch stages.
+    stages: Vec<StageState>,
+    n_filters: usize,
+}
+
+/// What a fired task is: one list iteration, one multi-key micro-batch,
+/// or one single-key prompt (a batched-mode fallback re-ask, or the
+/// entire dataflow when batching is off).
+#[derive(Debug)]
+enum FireTarget {
+    List,
+    Chunk { stage: usize, members: Vec<usize> },
+    Single { stage: usize, member: usize },
+}
+
+/// A task fired during event processing, executed and scheduled when the
+/// event's processing completes.
+struct Fire {
+    step: usize,
+    target: FireTarget,
+}
+
+/// A task-completion event of the simulation, ordered by `(time, seq)` so
+/// simultaneous completions resolve in creation order — the simulation is
+/// a pure function of the work, never of thread timing.
+struct StreamEvent {
+    time: u64,
+    seq: u64,
+    step: usize,
+    target: FireTarget,
+    completion: galois_llm::Completion,
+}
+
+impl PartialEq for StreamEvent {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl Eq for StreamEvent {}
+impl PartialOrd for StreamEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for StreamEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The event-driven simulation driving one streaming query: a min-heap of
+/// completion events, an [`EventClock`] assigning fired tasks to virtual
+/// lanes, and per-step dataflow state.
+///
+/// Prompts are *executed* (against the real client, inline or across the
+/// scheduler's worker threads) at fire time, because a task's virtual
+/// duration — cache hit or model latency — is only known once it has run;
+/// its parsed effects are then applied at its simulated completion time,
+/// which is what releases downstream work.
+struct StreamSim<'a> {
+    session: &'a Galois,
+    scheduler: Scheduler,
+    clock: galois_llm::EventClock,
+    events: std::collections::BinaryHeap<std::cmp::Reverse<StreamEvent>>,
+    next_seq: u64,
+    steps: Vec<StepRun<'a>>,
+    acc: StepStats,
+    /// Multi-key protocol on (mirrors `prompt_batch.is_on()`).
+    batched: bool,
+    /// Keys per micro-batch (`B`; 1 when batching is off).
+    fuse: usize,
+}
+
+impl<'a> StreamSim<'a> {
+    fn new(session: &'a Galois, compiled: &'a CompiledQuery) -> Self {
+        let batched = session.options.prompt_batch.is_on();
+        let steps = compiled
+            .steps
+            .iter()
+            .map(|step| {
+                let mut stages: Vec<StageState> = Vec::new();
+                for i in 0..step.filter_conditions.len() {
+                    stages.push(StageState {
+                        cell: StageCell::Filter(i),
+                        sig_prefix: String::new(),
+                        pending: Vec::new(),
+                        inflight: 0,
+                        upstream_drained: false,
+                        drained: false,
+                    });
+                }
+                for &col in &step.fetch {
+                    stages.push(StageState {
+                        cell: StageCell::Fetch { col },
+                        sig_prefix: String::new(),
+                        pending: Vec::new(),
+                        inflight: 0,
+                        upstream_drained: false,
+                        drained: false,
+                    });
+                }
+                if batched {
+                    for stage in &mut stages {
+                        let cell = stage_cell(step, stage.cell);
+                        stage.sig_prefix = session.cell_sig_prefix(step, &cell);
+                    }
+                }
+                StepRun {
+                    step,
+                    exclude: Arc::new(Vec::new()),
+                    seen: std::collections::HashSet::new(),
+                    iterations: 0,
+                    slots: Vec::new(),
+                    stages,
+                    n_filters: step.filter_conditions.len(),
+                }
+            })
+            .collect();
+        StreamSim {
+            session,
+            scheduler: Scheduler::new(session.options.parallelism),
+            clock: galois_llm::EventClock::new(session.options.parallelism.get()),
+            events: std::collections::BinaryHeap::new(),
+            next_seq: 0,
+            steps,
+            acc: StepStats::default(),
+            batched,
+            fuse: session.options.prompt_batch.keys_per_prompt(),
+        }
+    }
+
+    /// Runs the simulation to quiescence: every step's key stream listed,
+    /// filtered, fetched and drained.
+    ///
+    /// Each iteration resolves one virtual instant completely — every
+    /// event carrying that timestamp is processed (in creation order)
+    /// before anything fires, so simultaneous chunk completions pool
+    /// their deliveries into the accumulators instead of fragmenting
+    /// them. Only then does the idle-lane flush run: partial micro-batches
+    /// held while lanes sit idle are pure latency, so idle capacity at the
+    /// resolved instant releases them early.
+    fn run(&mut self) {
+        let mut fires = Vec::new();
+        for s in 0..self.steps.len() {
+            if self.session.options.max_list_iterations == 0 {
+                self.finish_list(s, 0, &mut fires);
+            } else {
+                self.fire_list(s, &mut fires);
+            }
+        }
+        self.execute_fires(0, fires);
+        while let Some(std::cmp::Reverse(head)) = self.events.peek() {
+            let t = head.time;
+            let mut fires = Vec::new();
+            while let Some(std::cmp::Reverse(head)) = self.events.peek() {
+                if head.time != t {
+                    break;
+                }
+                let std::cmp::Reverse(event) = self.events.pop().expect("peeked event");
+                self.process(event, &mut fires);
+            }
+            self.execute_fires(t, fires);
+            self.flush_idle(t);
+        }
+    }
+
+    /// The "lane goes idle" micro-batch trigger: once an instant has fully
+    /// resolved, any lane still free means held-back partial batches are
+    /// serialising the tail for nothing — flush every accumulator (in
+    /// step/stage order, deterministically). When a stage's whole input
+    /// arrives at one instant (a single-page key stream feeding a
+    /// pushed-down scan) this changes neither the prompt count nor the
+    /// chunk membership; when input keeps arriving afterwards — later
+    /// list pages, or survivors of a filter stage whose chunks complete
+    /// at different instants — the flush may split a chunk that later
+    /// input would have filled, trading extra partial-chunk prompts for
+    /// latency. Never accuracy: every key still gets its answer.
+    fn flush_idle(&mut self, t: u64) {
+        if self.clock.idle_lanes(t) == 0 {
+            return;
+        }
+        let mut fires = Vec::new();
+        for s in 0..self.steps.len() {
+            for g in 0..self.steps[s].stages.len() {
+                if !self.steps[s].stages[g].pending.is_empty() {
+                    let members = std::mem::take(&mut self.steps[s].stages[g].pending);
+                    self.fire_chunk(s, g, members, &mut fires);
+                }
+            }
+        }
+        self.execute_fires(t, fires);
+    }
+
+    // --- firing ------------------------------------------------------
+
+    fn fire_list(&mut self, s: usize, fires: &mut Vec<Fire>) {
+        self.steps[s].iterations += 1;
+        fires.push(Fire {
+            step: s,
+            target: FireTarget::List,
+        });
+    }
+
+    fn fire_chunk(&mut self, s: usize, stage: usize, members: Vec<usize>, fires: &mut Vec<Fire>) {
+        self.steps[s].stages[stage].inflight += 1;
+        let target = if self.batched {
+            FireTarget::Chunk { stage, members }
+        } else {
+            debug_assert_eq!(members.len(), 1, "unbatched micro-batches hold one key");
+            FireTarget::Single {
+                stage,
+                member: members[0],
+            }
+        };
+        fires.push(Fire { step: s, target });
+    }
+
+    /// Fires a single-key fallback re-ask for one key of a batched cell.
+    fn fire_fallback(&mut self, s: usize, stage: usize, member: usize, fires: &mut Vec<Fire>) {
+        self.steps[s].stages[stage].inflight += 1;
+        fires.push(Fire {
+            step: s,
+            target: FireTarget::Single { stage, member },
+        });
+    }
+
+    /// Renders the prompt of one fired task (list prompts read the
+    /// exclusion list at render time, which is exactly the state the
+    /// firing event left behind).
+    fn render_fire(&self, fire: &Fire) -> String {
+        let run = &self.steps[fire.step];
+        let builder = &self.session.prompt_builder;
+        match &fire.target {
+            FireTarget::List => builder.task(&TaskIntent::ListKeys {
+                relation: run.step.table.clone(),
+                key_attr: run.step.key_attr.clone(),
+                condition: run.step.scan_condition.clone(),
+                exclude: Arc::clone(&run.exclude),
+            }),
+            FireTarget::Chunk { stage, members } => {
+                let chunk_keys: Vec<String> =
+                    members.iter().map(|&i| run.slots[i].key.clone()).collect();
+                let cell = stage_cell(run.step, run.stages[*stage].cell);
+                builder.task(
+                    &self
+                        .session
+                        .cell_batched_intent(run.step, &cell, chunk_keys),
+                )
+            }
+            FireTarget::Single { stage, member } => {
+                let cell = stage_cell(run.step, run.stages[*stage].cell);
+                builder.task(&self.session.cell_single_intent(
+                    run.step,
+                    &cell,
+                    &run.slots[*member].key,
+                ))
+            }
+        }
+    }
+
+    fn fire_phase(&self, fire: &Fire) -> Phase {
+        match &fire.target {
+            FireTarget::List => Phase::List,
+            FireTarget::Chunk { stage, .. } | FireTarget::Single { stage, .. } => {
+                match self.steps[fire.step].stages[*stage].cell {
+                    StageCell::Filter(_) => Phase::Filter,
+                    StageCell::Fetch { .. } => Phase::Fetch,
+                }
+            }
+        }
+    }
+
+    /// Executes one event's fired tasks against the client (across the
+    /// real worker pool when there are several, consuming results in
+    /// completion order), then assigns each task to a virtual lane with
+    /// release time `t` — in fire order, so lane assignment is
+    /// deterministic — and pushes its completion event.
+    fn execute_fires(&mut self, t: u64, fires: Vec<Fire>) {
+        if fires.is_empty() {
+            return;
+        }
+        let prompts: Vec<String> = fires.iter().map(|f| self.render_fire(f)).collect();
+        let client = &self.session.client;
+        let mut outcomes: Vec<Option<BatchOutcome>> = Vec::new();
+        outcomes.resize_with(prompts.len(), || None);
+        if prompts.len() == 1 {
+            outcomes[0] = Some(client.complete_outcome(&prompts[0]));
+        } else {
+            let units: Vec<_> = prompts
+                .iter()
+                .map(|prompt| move || client.complete_outcome(prompt))
+                .collect();
+            self.scheduler
+                .run_wave_streaming(units, |i, outcome| outcomes[i] = Some(outcome));
+        }
+        for (fire, outcome) in fires.into_iter().zip(outcomes) {
+            let outcome = outcome.expect("every fired task executed");
+            let phase = self.fire_phase(&fire);
+            match phase {
+                Phase::List => self.acc.list_prompts += 1,
+                Phase::Filter => self.acc.filter_prompts += 1,
+                Phase::Fetch => self.acc.fetch_prompts += 1,
+            }
+            self.acc.absorb(&outcome);
+            self.acc.charge_phase(phase, outcome.virtual_ms);
+            let done = self.clock.schedule(t, outcome.virtual_ms);
+            let completion = outcome
+                .completions
+                .into_iter()
+                .next()
+                .expect("one completion per prompt");
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.events.push(std::cmp::Reverse(StreamEvent {
+                time: done,
+                seq,
+                step: fire.step,
+                target: fire.target,
+                completion,
+            }));
+        }
+    }
+
+    // --- event processing --------------------------------------------
+
+    fn process(&mut self, event: StreamEvent, fires: &mut Vec<Fire>) {
+        let t = event.time;
+        let s = event.step;
+        match event.target {
+            FireTarget::List => self.process_list(s, &event.completion.text, t, fires),
+            FireTarget::Chunk { stage, members } => {
+                self.steps[s].stages[stage].inflight -= 1;
+                let chunk_keys: Vec<String> = members
+                    .iter()
+                    .map(|&i| self.steps[s].slots[i].key.clone())
+                    .collect();
+                let subs = split_batched_answer(&event.completion.text, &chunk_keys);
+                let mut sig = String::new();
+                for (&slot, sub) in members.iter().zip(subs) {
+                    match sub {
+                        Some(answer) => {
+                            {
+                                let run = &self.steps[s];
+                                self.session.client.store_sub_entry(
+                                    sig_for_key(
+                                        &mut sig,
+                                        &run.stages[stage].sig_prefix,
+                                        &run.slots[slot].key,
+                                    ),
+                                    &answer,
+                                );
+                            }
+                            self.consume_answer(s, stage, slot, &answer, t, fires);
+                        }
+                        // The model dropped or mangled this key's line:
+                        // re-ask with the single-key prompt, chained after
+                        // this batch (batching may cost prompts, never
+                        // accuracy).
+                        None => self.fire_fallback(s, stage, slot, fires),
+                    }
+                }
+                self.maybe_drain(s, stage, t, fires);
+            }
+            FireTarget::Single { stage, member } => {
+                self.steps[s].stages[stage].inflight -= 1;
+                if self.batched {
+                    let mut sig = String::new();
+                    let run = &self.steps[s];
+                    self.session.client.store_sub_entry(
+                        sig_for_key(
+                            &mut sig,
+                            &run.stages[stage].sig_prefix,
+                            &run.slots[member].key,
+                        ),
+                        &event.completion.text,
+                    );
+                }
+                self.consume_answer(s, stage, member, &event.completion.text, t, fires);
+                self.maybe_drain(s, stage, t, fires);
+            }
+        }
+    }
+
+    /// Applies one list iteration's answer: new keys enter the dataflow at
+    /// time `t`, and either the next iteration fires or the key stream is
+    /// finished (exhausted page, no new keys, or the iteration cap).
+    fn process_list(&mut self, s: usize, text: &str, t: u64, fires: &mut Vec<Fire>) {
+        match parse_list_answer(text) {
+            ListAnswer::Exhausted => self.finish_list(s, t, fires),
+            ListAnswer::Values(values) => {
+                let session = self.session;
+                let mut new_slots = Vec::new();
+                {
+                    let run = &mut self.steps[s];
+                    let arity = run.step.columns.len();
+                    let fresh = Arc::make_mut(&mut run.exclude);
+                    for v in values {
+                        let cleaned = normalise_text(&v);
+                        if cleaned.is_empty() {
+                            continue;
+                        }
+                        if run.seen.insert(cleaned.to_ascii_lowercase()) {
+                            fresh.push(cleaned.clone());
+                            let mut row = vec![Value::Null; arity];
+                            row[run.step.key_index] = clean_to_type(
+                                &cleaned,
+                                run.step.columns[run.step.key_index].data_type,
+                                &session.options.cleaning,
+                            )
+                            .unwrap_or(Value::Null);
+                            new_slots.push(run.slots.len());
+                            run.slots.push(KeySlot {
+                                key: cleaned,
+                                alive: true,
+                                row,
+                            });
+                        }
+                    }
+                }
+                if new_slots.is_empty() {
+                    self.finish_list(s, t, fires);
+                    return;
+                }
+                for &slot in &new_slots {
+                    self.enter_dataflow(s, slot, t, fires);
+                }
+                if self.steps[s].iterations < session.options.max_list_iterations {
+                    self.fire_list(s, fires);
+                } else {
+                    self.finish_list(s, t, fires);
+                }
+            }
+        }
+    }
+
+    /// Routes a freshly-listed key into the first stage of the step's
+    /// dataflow (first filter condition; fetch stages when there is none).
+    fn enter_dataflow(&mut self, s: usize, slot: usize, t: u64, fires: &mut Vec<Fire>) {
+        if self.steps[s].n_filters > 0 {
+            self.deliver(s, 0, slot, t, fires);
+        } else {
+            for g in 0..self.steps[s].stages.len() {
+                self.deliver(s, g, slot, t, fires);
+            }
+        }
+    }
+
+    /// Routes a key that survived filter stage `g` downstream: into the
+    /// next condition, or — past the last condition — fanning out into
+    /// every fetch stage.
+    fn route_survivor(&mut self, s: usize, g: usize, slot: usize, t: u64, fires: &mut Vec<Fire>) {
+        let n_filters = self.steps[s].n_filters;
+        if g + 1 < n_filters {
+            self.deliver(s, g + 1, slot, t, fires);
+        } else {
+            for fg in n_filters..self.steps[s].stages.len() {
+                self.deliver(s, fg, slot, t, fires);
+            }
+        }
+    }
+
+    /// A key arrives at a stage at time `t`: sub-entry extraction first
+    /// (batched mode), otherwise into the accumulator — which fires the
+    /// moment it holds a full micro-batch.
+    fn deliver(&mut self, s: usize, g: usize, slot: usize, t: u64, fires: &mut Vec<Fire>) {
+        if self.batched {
+            let extracted = {
+                let run = &self.steps[s];
+                let mut sig = String::new();
+                self.session.client.extract_sub_entry(sig_for_key(
+                    &mut sig,
+                    &run.stages[g].sig_prefix,
+                    &run.slots[slot].key,
+                ))
+            };
+            if let Some(answer) = extracted {
+                self.acc.cache_hits += 1;
+                self.consume_answer(s, g, slot, &answer, t, fires);
+                return;
+            }
+        }
+        let fuse = self.fuse;
+        let stage = &mut self.steps[s].stages[g];
+        stage.pending.push(slot);
+        if stage.pending.len() >= fuse {
+            let members = std::mem::take(&mut stage.pending);
+            self.fire_chunk(s, g, members, fires);
+        }
+    }
+
+    /// Applies one key's answer at a stage: a filter verdict routes the
+    /// key onward or kills it (an unparseable verdict keeps the tuple out,
+    /// exactly like the wave pipeline); a fetch answer lands in the key's
+    /// row.
+    fn consume_answer(
+        &mut self,
+        s: usize,
+        g: usize,
+        slot: usize,
+        answer: &str,
+        t: u64,
+        fires: &mut Vec<Fire>,
+    ) {
+        match self.steps[s].stages[g].cell {
+            StageCell::Filter(_) => {
+                if parse_boolean_answer(answer).unwrap_or(false) {
+                    self.route_survivor(s, g, slot, t, fires);
+                } else {
+                    self.steps[s].slots[slot].alive = false;
+                }
+            }
+            StageCell::Fetch { col } => {
+                let value = {
+                    let run = &self.steps[s];
+                    let column = &run.step.columns[col];
+                    parse_value_answer(answer)
+                        .and_then(|raw| {
+                            clean_to_type(&raw, column.data_type, &self.session.options.cleaning)
+                        })
+                        .map(|v| match v {
+                            Value::Text(x) => Value::Text(normalise_text(&x)),
+                            other => other,
+                        })
+                        .unwrap_or(Value::Null)
+                };
+                self.steps[s].slots[slot].row[col] = value;
+            }
+        }
+    }
+
+    // --- drain propagation -------------------------------------------
+
+    /// The step's key stream is finished: no further list page can deliver
+    /// keys, so the first stages' accumulators flush and drain propagation
+    /// begins.
+    fn finish_list(&mut self, s: usize, t: u64, fires: &mut Vec<Fire>) {
+        if self.steps[s].n_filters > 0 {
+            self.stage_upstream_drained(s, 0, t, fires);
+        } else {
+            for g in 0..self.steps[s].stages.len() {
+                self.stage_upstream_drained(s, g, t, fires);
+            }
+        }
+    }
+
+    /// The stage's producer can deliver no further keys: flush the partial
+    /// micro-batch (the "lane would idle forever" trigger) and drain if
+    /// nothing is left in flight.
+    fn stage_upstream_drained(&mut self, s: usize, g: usize, t: u64, fires: &mut Vec<Fire>) {
+        self.steps[s].stages[g].upstream_drained = true;
+        if !self.steps[s].stages[g].pending.is_empty() {
+            let members = std::mem::take(&mut self.steps[s].stages[g].pending);
+            self.fire_chunk(s, g, members, fires);
+        }
+        self.maybe_drain(s, g, t, fires);
+    }
+
+    /// Marks a stage drained once its upstream is finished and its own
+    /// work has all landed, then propagates downstream.
+    fn maybe_drain(&mut self, s: usize, g: usize, t: u64, fires: &mut Vec<Fire>) {
+        {
+            let stage = &self.steps[s].stages[g];
+            if stage.drained
+                || !stage.upstream_drained
+                || stage.inflight > 0
+                || !stage.pending.is_empty()
+            {
+                return;
+            }
+        }
+        self.steps[s].stages[g].drained = true;
+        let n_filters = self.steps[s].n_filters;
+        if g + 1 < n_filters {
+            self.stage_upstream_drained(s, g + 1, t, fires);
+        } else if g < n_filters {
+            for fg in n_filters..self.steps[s].stages.len() {
+                self.stage_upstream_drained(s, fg, t, fires);
+            }
+        }
+        // Fetch stages are the dataflow's sinks: nothing downstream.
+    }
+}
+
+/// Reconstructs the borrowed cell form from a stage's indices.
+fn stage_cell(step: &LlmScanStep, cell: StageCell) -> BatchCell<'_> {
+    match cell {
+        StageCell::Filter(i) => BatchCell::Filter(&step.filter_conditions[i]),
+        StageCell::Fetch { col } => BatchCell::Fetch(&step.columns[col].name),
+    }
 }
 
 #[cfg(test)]
@@ -1413,6 +2285,106 @@ mod tests {
                 "lanes {lanes}"
             );
         }
+    }
+
+    fn oracle_session_pipelined(pipeline: Pipeline, lanes: usize) -> (Scenario, Galois) {
+        let s = Scenario::generate(42);
+        let model = Arc::new(SimLlm::new(s.knowledge.clone(), ModelProfile::oracle()));
+        let g = Galois::with_options(
+            model,
+            s.database.clone(),
+            GaloisOptions {
+                pipeline,
+                prompt_batch: PromptBatch::Keys(10),
+                parallelism: Parallelism::new(lanes),
+                ..Default::default()
+            },
+        );
+        (s, g)
+    }
+
+    #[test]
+    fn streaming_beats_the_wave_clock_with_lanes() {
+        let sql = "SELECT name, population FROM city WHERE elevation < 100";
+        let (_, wave) = oracle_session_pipelined(Pipeline::Off, 8);
+        let (_, stream) = oracle_session_pipelined(Pipeline::Streaming, 8);
+        let a = wave.execute(sql).unwrap();
+        let b = stream.execute(sql).unwrap();
+        assert_eq!(a.relation.rows, b.relation.rows);
+        assert_eq!(a.stats.total_prompts(), b.stats.total_prompts());
+        assert_eq!(a.stats.cache_hits, b.stats.cache_hits);
+        // The fetch micro-batches hide behind the exhausted-page check
+        // instead of waiting at the phase barrier.
+        assert!(
+            b.stats.virtual_ms < a.stats.virtual_ms,
+            "streaming {} vs wave {}",
+            b.stats.virtual_ms,
+            a.stats.virtual_ms
+        );
+    }
+
+    #[test]
+    fn streaming_single_lane_serialises_the_micro_batch_overheads() {
+        // With one lane there is nothing to overlap: every micro-batch
+        // pays its own request overhead back to back, while the wave
+        // amortises overheads across up to `batch_size` prompts. The
+        // documented trade-off — pipelining is a concurrency optimisation.
+        let sql = "SELECT name, population FROM city WHERE elevation < 100";
+        let (_, wave) = oracle_session_pipelined(Pipeline::Off, 1);
+        let (_, stream) = oracle_session_pipelined(Pipeline::Streaming, 1);
+        let a = wave.execute(sql).unwrap();
+        let b = stream.execute(sql).unwrap();
+        assert_eq!(a.relation.rows, b.relation.rows);
+        assert!(
+            b.stats.virtual_ms >= a.stats.virtual_ms,
+            "single-lane streaming {} must not beat the wave {}",
+            b.stats.virtual_ms,
+            a.stats.virtual_ms
+        );
+        // At one lane the event clock degenerates to a running sum.
+        assert_eq!(b.stats.virtual_ms, b.stats.serial_virtual_ms);
+    }
+
+    #[test]
+    fn phase_breakdown_locates_the_time() {
+        let sql = "SELECT name, population FROM city WHERE elevation < 100";
+        let (_, wave) = oracle_session_pipelined(Pipeline::Off, 8);
+        let (_, stream) = oracle_session_pipelined(Pipeline::Streaming, 8);
+        let a = wave.execute(sql).unwrap();
+        let b = stream.execute(sql).unwrap();
+        // The list chain is identical in both dataflows (it is inherently
+        // sequential); wave phases sum to the step clock pre-packing.
+        assert_eq!(a.stats.list_virtual_ms, b.stats.list_virtual_ms);
+        assert!(a.stats.list_virtual_ms > 0);
+        assert!(a.stats.fetch_virtual_ms > 0);
+        assert!(b.stats.fetch_virtual_ms > 0);
+    }
+
+    #[test]
+    fn streaming_sessions_explain_the_pipeline() {
+        let (_, g) = oracle_session_pipelined(Pipeline::Streaming, 8);
+        let text = g
+            .explain("SELECT name FROM city WHERE population > 1000000")
+            .unwrap();
+        assert!(text.contains("pipeline: streaming"));
+        let (_, off) = oracle_session_pipelined(Pipeline::Off, 8);
+        let text = off
+            .explain("SELECT name FROM city WHERE population > 1000000")
+            .unwrap();
+        assert!(!text.contains("pipeline:"));
+    }
+
+    #[test]
+    fn streaming_repeat_queries_are_served_from_sub_entries() {
+        let (_, g) = oracle_session_pipelined(Pipeline::Streaming, 8);
+        let sql = "SELECT name, population FROM city WHERE elevation < 100";
+        let first = g.execute(sql).unwrap();
+        let second = g.execute(sql).unwrap();
+        assert_eq!(first.relation.rows, second.relation.rows);
+        assert_eq!(second.stats.filter_prompts, 0);
+        assert_eq!(second.stats.fetch_prompts, 0);
+        assert!(second.stats.cache_hits > 0);
+        assert!(second.stats.virtual_ms < first.stats.virtual_ms);
     }
 
     #[test]

@@ -163,6 +163,18 @@ pub struct SuiteTotals {
     /// `lanes` concurrent query streams (equals `serial_virtual_ms` when
     /// both the session parallelism and `lanes` are 1).
     pub virtual_ms: u64,
+    /// Virtual milliseconds attributed to the key-listing phase, summed
+    /// over queries — where the remaining model time lives, per protocol
+    /// phase (see [`galois_core::QueryStats::list_virtual_ms`] for the
+    /// per-query accounting rule; phases overlap on the lanes, so the
+    /// three fields need not sum to `virtual_ms`).
+    pub list_virtual_ms: u64,
+    /// Virtual milliseconds attributed to the filter phase, summed over
+    /// queries.
+    pub filter_virtual_ms: u64,
+    /// Virtual milliseconds attributed to the attribute-fetch phase,
+    /// summed over queries.
+    pub fetch_virtual_ms: u64,
     /// Real wall-clock milliseconds for the run.
     pub wall_ms: u64,
 }
@@ -175,6 +187,9 @@ pub fn suite_totals(run: &GaloisRun, lanes: usize) -> SuiteTotals {
         cache_hits: run.outcomes.iter().map(|o| o.stats.cache_hits).sum(),
         serial_virtual_ms: run.outcomes.iter().map(|o| o.stats.serial_virtual_ms).sum(),
         virtual_ms: lane_schedule(run.outcomes.iter().map(|o| o.stats.virtual_ms), lanes),
+        list_virtual_ms: run.outcomes.iter().map(|o| o.stats.list_virtual_ms).sum(),
+        filter_virtual_ms: run.outcomes.iter().map(|o| o.stats.filter_virtual_ms).sum(),
+        fetch_virtual_ms: run.outcomes.iter().map(|o| o.stats.fetch_virtual_ms).sum(),
         wall_ms: run.wall_ms,
     }
 }
@@ -570,6 +585,55 @@ mod tests {
             "{} vs {}",
             b.virtual_ms,
             a.virtual_ms
+        );
+    }
+
+    #[test]
+    fn phase_breakdown_accounts_for_the_sequential_clock() {
+        let s = small_scenario();
+        let run = run_galois_suite(&s, ModelProfile::oracle(), GaloisOptions::default());
+        let t = suite_totals(&run, 1);
+        assert!(t.list_virtual_ms > 0);
+        assert!(t.fetch_virtual_ms > 0);
+        // At Parallelism(1) each query's wave phases sum to its virtual
+        // clock, so the suite phases sum to the serial total exactly.
+        assert_eq!(
+            t.list_virtual_ms + t.filter_virtual_ms + t.fetch_virtual_ms,
+            t.serial_virtual_ms
+        );
+    }
+
+    #[test]
+    fn pipelined_suite_matches_batched_accounting_with_lower_makespan() {
+        let s = small_scenario();
+        let lanes = 8;
+        let batched = GaloisOptions {
+            parallelism: galois_llm::Parallelism::new(lanes),
+            planner: galois_core::Planner::CostBased,
+            prompt_batch: galois_core::PromptBatch::Keys(10),
+            ..Default::default()
+        };
+        let pipelined = GaloisOptions {
+            pipeline: galois_core::Pipeline::Streaming,
+            ..batched.clone()
+        };
+        // One harness thread keeps cross-query cache interleaving
+        // deterministic, so the totals compare exactly.
+        let a = run_galois_suite_parallel(&s, ModelProfile::oracle(), batched, 1);
+        let b = run_galois_suite_parallel(&s, ModelProfile::oracle(), pipelined, 1);
+        assert_eq!(a.content_score(None), b.content_score(None));
+        assert_eq!(a.average_cardinality_diff(), b.average_cardinality_diff());
+        let at = suite_totals(&a, lanes);
+        let bt = suite_totals(&b, lanes);
+        // Streaming issues exactly the wave pipeline's prompts …
+        assert_eq!(at.prompts, bt.prompts);
+        assert_eq!(at.cache_hits, bt.cache_hits);
+        // … but stops idling at the phase barriers.
+        assert!(
+            bt.virtual_ms < at.virtual_ms,
+            "pipelined {} vs batched {}",
+            bt.virtual_ms,
+            at.virtual_ms
         );
     }
 

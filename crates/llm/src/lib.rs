@@ -41,7 +41,7 @@ pub mod tokenizer;
 pub use client::{BatchOutcome, ClientStats, LlmClient, BATCH_OVERHEAD_MS, CACHE_SHARDS};
 pub use intent::{CmpOp, Condition, PromptValue, TaskIntent};
 pub use knowledge::{Entity, EntityId, FactValue, KnowledgeStore};
-pub use lanes::{lane_schedule, Parallelism};
+pub use lanes::{lane_schedule, EventClock, Parallelism};
 pub use model::{Completion, FixedResponder, LanguageModel, Usage};
 pub use nlq::{AggIntent, AggKind, JoinIntent, QueryIntent};
 pub use profiles::ModelProfile;

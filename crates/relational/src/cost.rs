@@ -82,6 +82,22 @@ pub fn batched_prompt_count(items: f64, batch_keys: f64) -> f64 {
     }
 }
 
+/// Virtual latency of a pipelined (streaming) execution: the longer of
+/// the dataflow's dependency chain and the busy-time bound.
+///
+/// A wave execution sums its phases — every phase barrier adds its full
+/// wave time. A pipelined execution is instead bounded below by two
+/// quantities: the **critical path** (`chain_ms`, the sequential head the
+/// pipeline cannot overlap — e.g. the key-listing iteration chain — plus
+/// `tail_ms`, the last item's journey through the remaining stages) and
+/// the **busy bound** (`busy_ms` of total lane work spread across `lanes`
+/// — with one lane a pipeline degenerates to executing everything back to
+/// back). The estimate is the max of the two, the classical pipelined
+/// makespan approximation.
+pub fn critical_path_ms(chain_ms: f64, tail_ms: f64, busy_ms: f64, lanes: f64) -> f64 {
+    (chain_ms + tail_ms).max(busy_ms / lanes.max(1.0))
+}
+
 /// Estimated fraction of input rows satisfying a predicate, derived purely
 /// from the predicate's shape (System-R style constants — the classical
 /// default in the absence of histograms).
@@ -288,6 +304,16 @@ mod tests {
         assert_eq!(batched_prompt_count(21.0, 10.0), 3.0);
         assert_eq!(batched_prompt_count(0.0, 10.0), 0.0);
         assert_eq!(batched_prompt_count(-1.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn critical_path_takes_the_binding_bound() {
+        // Chain-bound: plenty of lanes, the dependency chain dominates.
+        assert_eq!(critical_path_ms(500.0, 250.0, 1000.0, 8.0), 750.0);
+        // Busy-bound: one lane, total work dominates.
+        assert_eq!(critical_path_ms(500.0, 250.0, 3000.0, 1.0), 3000.0);
+        // Lanes clamp to one.
+        assert_eq!(critical_path_ms(0.0, 0.0, 100.0, 0.0), 100.0);
     }
 
     #[test]

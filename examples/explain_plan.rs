@@ -1,12 +1,13 @@
 //! `EXPLAIN` and the cost-based planner: inspect how Galois would execute
 //! a query — which conditions become pushed-down scan prompts, which stay
 //! per-key boolean prompts, what every step is expected to cost — without
-//! issuing a single prompt, then execute under both planner modes (and
-//! with multi-key prompt batching) and compare the real accounting.
+//! issuing a single prompt, then execute under both planner modes (with
+//! multi-key prompt batching and the streaming pipeline) and compare the
+//! real accounting.
 //!
 //! Run with: `cargo run --release --example explain_plan`
 
-use galois::core::{Galois, GaloisOptions, Planner, PromptBatch};
+use galois::core::{Galois, GaloisOptions, Parallelism, Pipeline, Planner, PromptBatch};
 use galois::dataset::Scenario;
 use galois::llm::{ModelProfile, SimLlm};
 use std::sync::Arc;
@@ -15,13 +16,37 @@ fn main() {
     let scenario = Scenario::generate(42);
     let sql = "SELECT name, population FROM city WHERE elevation < 100";
 
-    for (label, planner, prompt_batch) in [
-        ("heuristic", Planner::Heuristic, PromptBatch::Off),
-        ("cost-based", Planner::CostBased, PromptBatch::Off),
+    for (label, planner, prompt_batch, pipeline, lanes) in [
+        (
+            "heuristic",
+            Planner::Heuristic,
+            PromptBatch::Off,
+            Pipeline::Off,
+            1,
+        ),
+        (
+            "cost-based",
+            Planner::CostBased,
+            PromptBatch::Off,
+            Pipeline::Off,
+            1,
+        ),
         (
             "cost-based + batch 10",
             Planner::CostBased,
             PromptBatch::Keys(10),
+            Pipeline::Off,
+            1,
+        ),
+        // The streaming pipeline needs lanes: the EXPLAIN header gains
+        // `pipeline: streaming` and the latency estimate becomes the
+        // dataflow's critical path instead of the phase-barrier sum.
+        (
+            "cost-based + batch 10 + streaming, 8 lanes",
+            Planner::CostBased,
+            PromptBatch::Keys(10),
+            Pipeline::Streaming,
+            8,
         ),
     ] {
         let model = Arc::new(SimLlm::new(
@@ -34,6 +59,8 @@ fn main() {
             GaloisOptions {
                 planner,
                 prompt_batch,
+                pipeline,
+                parallelism: Parallelism::new(lanes),
                 ..Default::default()
             },
         );
