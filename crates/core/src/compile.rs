@@ -61,6 +61,37 @@ pub struct LlmScanStep {
     pub filter_conditions: Vec<Condition>,
 }
 
+impl LlmScanStep {
+    /// The step's key-universe identity: two scans share a stored
+    /// universe exactly when they would render the same key-listing
+    /// prompt chain — same relation, key attribute, and pushed-down scan
+    /// condition. Filter conditions and fetched attributes are
+    /// deliberately excluded: they shape later phases, not the universe.
+    ///
+    /// Fields are joined with the ASCII unit separator so concatenation
+    /// cannot alias two different steps.
+    pub fn concept_signature(&self) -> String {
+        concept_signature_for(
+            &self.table,
+            &self.key_attr,
+            &self
+                .scan_condition
+                .as_ref()
+                .map(|c| c.render())
+                .unwrap_or_default(),
+        )
+    }
+}
+
+/// Builds a key-universe concept signature from raw parts — the same
+/// string [`LlmScanStep::concept_signature`] produces. Exposed so tests
+/// and tooling can look up a stored universe from a parsed `ListKeys`
+/// prompt (relation, key attribute, rendered condition) without
+/// compiling a query first.
+pub fn concept_signature_for(table: &str, key_attr: &str, rendered_condition: &str) -> String {
+    format!("list\u{1f}{table}\u{1f}{key_attr}\u{1f}{rendered_condition}")
+}
+
 /// A compiled query: retrieval steps plus the residual plan referencing
 /// temporary tables.
 #[derive(Debug, Clone, PartialEq)]

@@ -62,7 +62,7 @@ use galois_llm::intent::{CmpOp, Condition};
 use galois_llm::{ClientStats, Parallelism, BATCH_OVERHEAD_MS};
 use galois_relational::cost as rcost;
 use galois_relational::{Catalog, LogicalPlan};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// Expected per-prompt model latency (virtual ms) before any observed
@@ -132,6 +132,15 @@ pub struct PlannerParams {
     /// default) reproduces the wave estimates bit for bit. Prompt-count
     /// estimates are unaffected — streaming issues the same prompts.
     pub pipeline_streaming: bool,
+    /// Concepts already exhausted in the session's key-universe store
+    /// ([`crate::ListStore`]), keyed by
+    /// [`LlmScanStep::concept_signature`] and mapping to the stored key
+    /// count. A warm step's listing phase is estimated at zero prompts
+    /// and zero latency with an *exact* cardinality
+    /// ([`rcost::warm_list_rows`]). `None` (the default, and always when
+    /// the store is off) reproduces the store-free estimates bit for bit
+    /// and keeps the `EXPLAIN` report tag-free.
+    pub warm_lists: Option<BTreeMap<String, usize>>,
 }
 
 impl Default for PlannerParams {
@@ -145,6 +154,7 @@ impl Default for PlannerParams {
             list_page_size: DEFAULT_LIST_PAGE,
             batch_keys: 1.0,
             pipeline_streaming: false,
+            warm_lists: None,
         }
     }
 }
@@ -184,6 +194,25 @@ impl PlannerParams {
     pub fn with_pipeline(mut self, streaming: bool) -> Self {
         self.pipeline_streaming = streaming;
         self
+    }
+
+    /// Overlays the live key-universe store contents (exhausted concepts
+    /// → stored key counts) onto the frozen calibration, threading
+    /// [`crate::ListStore`] into the estimates. Called per planning
+    /// request, so the planner sees universes warmed by *earlier* queries
+    /// without thawing the latency/hit-rate calibration.
+    pub fn with_warm_lists(mut self, warm: BTreeMap<String, usize>) -> Self {
+        self.warm_lists = Some(warm);
+        self
+    }
+
+    /// The stored key count for a step's concept, when its universe is
+    /// warm (store on *and* concept exhausted).
+    fn warm_keys(&self, step: &LlmScanStep) -> Option<usize> {
+        self.warm_lists
+            .as_ref()
+            .and_then(|m| m.get(&step.concept_signature()))
+            .copied()
     }
 
     /// Expected latency of one prompt carrying `keys` fused tasks: the
@@ -291,22 +320,33 @@ fn wave_ms(prompts: f64, batches: f64, per_prompt_ms: f64, params: &PlannerParam
 
 /// Estimates the cost of one retrieval step against the catalog's stats.
 pub fn estimate_step(step: &LlmScanStep, catalog: &Catalog, params: &PlannerParams) -> StepCost {
-    let base = catalog
-        .get(&step.table)
-        .map(|t| t.len() as f64)
-        .unwrap_or(rcost::DEFAULT_SCAN_ROWS);
-    let mut keys = base;
-    if let Some(cond) = &step.scan_condition {
-        keys *= condition_selectivity(cond);
-    }
-    let est_keys_listed = keys;
+    // A warm key universe short-circuits the listing estimate entirely:
+    // the stored key count is exact, and the phase issues no prompts.
+    let warm_keys = params.warm_keys(step);
+    let est_keys_listed = match warm_keys {
+        Some(n) => rcost::warm_list_rows(n),
+        None => {
+            let base = catalog
+                .get(&step.table)
+                .map(|t| t.len() as f64)
+                .unwrap_or(rcost::DEFAULT_SCAN_ROWS);
+            match &step.scan_condition {
+                Some(cond) => base * condition_selectivity(cond),
+                None => base,
+            }
+        }
+    };
 
     // Key listing iterates page by page plus one exhausted page, and the
     // iterations chain — a strictly sequential phase of one-prompt batches.
-    let list_prompts = (est_keys_listed / params.list_page_size).ceil().max(0.0) + 1.0;
     let miss = 1.0 - params.cache_hit_rate;
     let per_iter = params.batch_overhead_ms + miss * params.prompt_latency_ms;
-    let list_chain = list_prompts * per_iter;
+    let (list_prompts, list_chain) = if warm_keys.is_some() {
+        (0.0, 0.0)
+    } else {
+        let prompts = (est_keys_listed / params.list_page_size).ceil().max(0.0) + 1.0;
+        (prompts, prompts * per_iter)
+    };
     let mut wave_total = list_chain;
 
     // Filter conditions chain (condition n+1 only prompts survivors of n);
@@ -537,6 +577,15 @@ impl PlannedQuery {
             .enumerate()
         {
             crate::compile::render_step_into(step, i, &mut out);
+            // Key-universe store line: only when a store is attached, so
+            // the store-off report stays byte-identical to the pre-store
+            // pipeline's.
+            if params.warm_lists.is_some() {
+                match params.warm_keys(step) {
+                    Some(n) => out.push_str(&format!("    list: warm ({n} keys)\n")),
+                    None => out.push_str("    list: cold\n"),
+                }
+            }
             out.push_str(&format!(
                 "    cost: keys≈{:.0}, prompts≈{:.0} ({:.0} list + {:.0} filter + {:.0} fetch), \
                  cache hits≈{:.0}, virtual≈{:.0} ms\n",

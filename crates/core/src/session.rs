@@ -47,7 +47,10 @@ use crate::plan_choice::{plan_query, PlannedQuery, Planner, PlannerParams};
 use crate::prompts::PromptBuilder;
 use crate::schedule::Scheduler;
 use galois_llm::intent::{split_batched_answer, Condition, TaskIntent};
-use galois_llm::{lane_schedule, BatchOutcome, ClientStats, LanguageModel, LlmClient, Parallelism};
+use galois_llm::{
+    lane_schedule, BatchOutcome, ClientStats, KeyUniverse, KeyUniverseStore, LanguageModel,
+    LlmClient, Parallelism, SubEntryLookup,
+};
 use galois_relational::{Column, Database, Relation, Table, TableSchema, Value};
 use std::sync::Arc;
 use std::time::Instant;
@@ -153,6 +156,68 @@ impl Pipeline {
     }
 }
 
+/// Cross-query key-universe store for the LIST phase.
+///
+/// The paper's protocol re-enumerates a concept's keys query after query;
+/// by PR 5 that serial listing chain was ~90 % of the pipelined critical
+/// path, because even prompt-cache hits ride in a batch request (one
+/// overhead each) and the exclusion-list iteration is inherently
+/// sequential. With the store enabled, the first query on a concept pages
+/// keys out of the model — *speculatively*: once page 1 reveals the page
+/// size, later pages are requested by offset
+/// ([`galois_llm::intent::TaskIntent::ListKeysPage`]) in parallel waves
+/// across the session's lanes — and publishes the universe under the
+/// concept's signature (table, key attribute, rendered scan condition),
+/// keyed by the model's [`LanguageModel::signature`]. Every later query
+/// on that concept reads the warm universe at **zero prompt and zero
+/// virtual cost**, counting the stored frontier's iterations as cache
+/// hits (the bill a re-listing run would have paid in prompt-cache hits);
+/// a partial frontier (iteration-capped listing) is resumed with classic
+/// exclusion paging and extended append-only.
+///
+/// Invariants:
+///
+/// * [`ListStore::Off`] (the default) is bit-identical to the store-less
+///   pipeline — prompts per kind, cache hits, both clocks, relations;
+/// * on a noise-free model, store-on execution never changes `R_M`, for
+///   any lane count, batch factor or pipeline mode, and a warm run's
+///   relations are bit-identical to its cold run's;
+/// * a model-signature change (a different noise profile) invalidates a
+///   stored universe on first read — the follow-up query re-lists from
+///   scratch, exactly like a fresh session.
+#[derive(Debug, Clone, Default)]
+pub enum ListStore {
+    /// No cross-query list state — the paper-faithful re-listing
+    /// behaviour, bit-identical to the pre-store pipeline. The default.
+    #[default]
+    Off,
+    /// Session-private store: queries of this session share listed
+    /// universes with each other.
+    On,
+    /// An externally owned store, shared across sessions (hand the same
+    /// `Arc` to several sessions — model-signature keying keeps universes
+    /// from leaking across differently-configured models).
+    Shared(Arc<KeyUniverseStore>),
+}
+
+impl ListStore {
+    /// True when some store (private or shared) is enabled.
+    pub fn is_on(&self) -> bool {
+        !matches!(self, ListStore::Off)
+    }
+}
+
+impl PartialEq for ListStore {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (ListStore::Off, ListStore::Off) => true,
+            (ListStore::On, ListStore::On) => true,
+            (ListStore::Shared(a), ListStore::Shared(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
 /// Tuning knobs of a session.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GaloisOptions {
@@ -188,6 +253,11 @@ pub struct GaloisOptions {
     /// event-driven virtual clock, issuing the same prompts without the
     /// phase barriers.
     pub pipeline: Pipeline,
+    /// Cross-query key-universe store for the LIST phase.
+    /// [`ListStore::Off`] (the default) re-lists every query bit for bit;
+    /// `On`/`Shared` serve warm concepts at zero prompt cost and page
+    /// cold ones speculatively (see [`ListStore`]).
+    pub list_store: ListStore,
 }
 
 impl Default for GaloisOptions {
@@ -201,6 +271,7 @@ impl Default for GaloisOptions {
             planner: Planner::default(),
             prompt_batch: PromptBatch::default(),
             pipeline: Pipeline::default(),
+            list_store: ListStore::default(),
         }
     }
 }
@@ -324,6 +395,25 @@ impl StepStats {
         self.serial_ms += outcome.serial_ms;
     }
 
+    /// Folds one batch's counters in, *except* cache hits — the form used
+    /// for multi-key-protocol prompts (chunks and their single-key
+    /// fallbacks), whose keys are billed per signature by the sub-entry
+    /// store at extraction time. Counting a prompt-level raw-cache hit on
+    /// such a prompt would bill the same keys twice — and, because
+    /// raw-cache hits on chunk strings only arise when concurrent queries
+    /// race into identical chunks, would make `cache_hits` depend on
+    /// arrival order. On a single harness thread this equals [`absorb`]
+    /// exactly: a pending key is by construction not yet stored, so a
+    /// re-ask chunk can never reproduce an earlier chunk's prompt string
+    /// and such hits are zero.
+    ///
+    /// [`absorb`]: StepStats::absorb
+    fn absorb_keyed(&mut self, outcome: &BatchOutcome) {
+        self.prompt_tokens += outcome.prompt_tokens;
+        self.completion_tokens += outcome.completion_tokens;
+        self.serial_ms += outcome.serial_ms;
+    }
+
     /// Charges wave time to the step clock and attributes it to a phase.
     fn charge_wave(&mut self, phase: Phase, ms: u64) {
         self.virtual_ms += ms;
@@ -366,6 +456,11 @@ pub struct Galois {
     /// of which concurrent query's prompts happened to land first in the
     /// shared client stats. [`Galois::recalibrate_planner`] re-freezes it.
     calibration: parking_lot::Mutex<Option<PlannerParams>>,
+    /// The resolved key-universe store (`None` when [`ListStore::Off`]).
+    list_store: Option<Arc<KeyUniverseStore>>,
+    /// The model's behaviour fingerprint, keying store entries so a
+    /// profile change invalidates stored universes cleanly.
+    model_sig: String,
 }
 
 impl Galois {
@@ -381,13 +476,26 @@ impl Galois {
         options: GaloisOptions,
     ) -> Self {
         let prompt_builder = PromptBuilder::for_model(model.name());
+        let model_sig = model.signature();
+        let list_store = match &options.list_store {
+            ListStore::Off => None,
+            ListStore::On => Some(Arc::new(KeyUniverseStore::new())),
+            ListStore::Shared(store) => Some(Arc::clone(store)),
+        };
         Galois {
             client: LlmClient::with_parallelism(model, options.parallelism),
             db,
             prompt_builder,
             options,
             calibration: parking_lot::Mutex::new(None),
+            list_store,
+            model_sig,
         }
+    }
+
+    /// The key-universe store in use (`None` when [`ListStore::Off`]).
+    pub fn key_universe_store(&self) -> Option<&Arc<KeyUniverseStore>> {
+        self.list_store.as_ref()
     }
 
     /// The underlying client (stats, cache control).
@@ -439,6 +547,22 @@ impl Galois {
         *self.calibration.lock() = Some(self.planner_params());
     }
 
+    /// The parameters one planning pass uses: the frozen calibration,
+    /// overlaid with the key-universe store's *live* warm-concept
+    /// cardinalities. The overlay is intentionally live where the
+    /// calibration is frozen — which concepts are warm is exact knowledge
+    /// (stored key counts), not a drifting rate estimate, and the whole
+    /// point of planner-visible list caching is that a concept listed by
+    /// an earlier query plans as free for the next one. With the store
+    /// off this is exactly the frozen calibration.
+    fn planning_params(&self) -> PlannerParams {
+        let params = self.calibration();
+        match &self.list_store {
+            Some(store) => params.with_warm_lists(store.warm_map(&self.model_sig)),
+            None => params,
+        }
+    }
+
     /// Parses one statement, mapping the SQL error into the session's.
     fn parse_statement(&self, sql: &str) -> Result<galois_sql::Statement> {
         galois_sql::parse(sql)
@@ -466,7 +590,7 @@ impl Galois {
     /// it, returning the compiled retrieval program plus its cost report.
     pub fn plan(&self, sql: &str) -> Result<PlannedQuery> {
         let stmt = self.parse_statement(sql)?;
-        self.plan_statement(stmt.select(), &self.calibration())
+        self.plan_statement(stmt.select(), &self.planning_params())
     }
 
     /// Renders the chosen plan with per-operator prompt/latency cost
@@ -475,7 +599,7 @@ impl Galois {
     /// Accepts either a plain query or an `EXPLAIN`-prefixed one.
     pub fn explain(&self, sql: &str) -> Result<String> {
         let stmt = self.parse_statement(sql)?;
-        let params = self.calibration();
+        let params = self.planning_params();
         let planned = self.plan_statement(stmt.select(), &params)?;
         Ok(planned.render(self.db.catalog(), &params))
     }
@@ -488,7 +612,7 @@ impl Galois {
     pub fn execute(&self, sql: &str) -> Result<GaloisResult> {
         let stmt = self.parse_statement(sql)?;
         if stmt.is_explain() {
-            let params = self.calibration();
+            let params = self.planning_params();
             let planned = self.plan_statement(stmt.select(), &params)?;
             let text = planned.render(self.db.catalog(), &params);
             return Ok(GaloisResult {
@@ -508,7 +632,7 @@ impl Galois {
                 crate::compile::compile(&plan, self.db.catalog(), &self.options.compile)?
             }
             Planner::CostBased => {
-                self.plan_statement(stmt.select(), &self.calibration())?
+                self.plan_statement(stmt.select(), &self.planning_params())?
                     .compiled
             }
         };
@@ -570,24 +694,95 @@ impl Galois {
     fn retrieve(&self, step: &LlmScanStep) -> Result<(Table, StepStats)> {
         let scheduler = Scheduler::new(self.options.parallelism);
         let mut acc = StepStats::default();
-        let keys = self.scan_keys(step, &mut acc);
+        let keys = self.scan_keys(step, &scheduler, &mut acc);
         let keys = self.apply_filters(step, keys, &scheduler, &mut acc);
         let rows = self.fetch_attributes(step, &keys, &scheduler, &mut acc);
         Ok((materialise_step(step, rows)?, acc))
     }
 
-    /// Key retrieval: iterate the list prompt until the model stops
-    /// producing new values (paper: "we iterate with a prompt until we
-    /// stop getting new results").
+    /// Key retrieval. Without a [`ListStore`], iterate the list prompt
+    /// until the model stops producing new values (paper: "we iterate
+    /// with a prompt until we stop getting new results") — bit-identical
+    /// to the pre-store pipeline. With a store, a warm concept is served
+    /// from its stored universe at zero prompt cost (a partial frontier
+    /// resumes classic paging after it), and a cold concept is paged
+    /// *speculatively*: page 1 is the classic first prompt, later pages
+    /// are requested by offset in parallel waves across the lanes.
+    fn scan_keys(
+        &self,
+        step: &LlmScanStep,
+        scheduler: &Scheduler,
+        acc: &mut StepStats,
+    ) -> Vec<String> {
+        let Some(store) = &self.list_store else {
+            return self
+                .scan_keys_classic(step, acc, Vec::new(), std::collections::HashSet::new(), 0)
+                .keys;
+        };
+        if self.options.max_list_iterations == 0 {
+            // Nothing may be listed: skip the store entirely (no warm
+            // service, no empty publish), like the streaming path.
+            return Vec::new();
+        }
+        let concept = step.concept_signature();
+        if let Some(stored) = store.read(&concept, &self.model_sig) {
+            // Warm read: the stored frontier's iterations are counted as
+            // cache hits — the same bill a re-listing run would have paid
+            // in prompt-cache hits — at zero prompts and zero virtual
+            // time.
+            acc.cache_hits += stored.iterations;
+            if stored.exhausted || stored.iterations >= self.options.max_list_iterations {
+                return stored.keys;
+            }
+            // Partial frontier (an earlier session hit its iteration cap):
+            // resume classic exclusion paging after the stored keys and
+            // extend the entry append-only.
+            let seen = stored.keys.iter().map(|k| k.to_ascii_lowercase()).collect();
+            let out = self.scan_keys_classic(step, acc, stored.keys, seen, stored.iterations);
+            store.publish(
+                &concept,
+                &self.model_sig,
+                KeyUniverse {
+                    keys: out.keys.clone(),
+                    iterations: out.iterations,
+                    exhausted: out.exhausted,
+                },
+            );
+            return out.keys;
+        }
+        let out = self.scan_keys_speculative(step, scheduler, acc);
+        store.publish(
+            &concept,
+            &self.model_sig,
+            KeyUniverse {
+                keys: out.keys.clone(),
+                iterations: out.iterations,
+                exhausted: out.exhausted,
+            },
+        );
+        out.keys
+    }
+
+    /// Classic exclusion-list key paging, resumable from a stored
+    /// frontier (`initial` keys / `seen` forms / `iterations` already
+    /// paid; all empty/zero on a fresh scan).
     ///
     /// Iterations chain on the exclusion list, so this phase is inherently
     /// sequential; its batches add to the step's virtual time directly.
     /// The growing exclusion list rides behind an `Arc`, so rendering each
     /// iteration's prompt shares rather than re-clones every seen key.
-    fn scan_keys(&self, step: &LlmScanStep, acc: &mut StepStats) -> Vec<String> {
-        let mut keys: Arc<Vec<String>> = Arc::new(Vec::new());
-        let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
-        for _ in 0..self.options.max_list_iterations {
+    fn scan_keys_classic(
+        &self,
+        step: &LlmScanStep,
+        acc: &mut StepStats,
+        initial: Vec<String>,
+        mut seen: std::collections::HashSet<String>,
+        start_iterations: usize,
+    ) -> ScanOutcome {
+        let mut keys: Arc<Vec<String>> = Arc::new(initial);
+        let mut iterations = start_iterations;
+        let mut exhausted = false;
+        while iterations < self.options.max_list_iterations {
             let prompt = {
                 // Scoped so the intent's `Arc` clone dies before
                 // `Arc::make_mut` below — keeping the push in-place.
@@ -601,10 +796,14 @@ impl Galois {
             };
             let outcome = self.client.complete_outcome(&prompt);
             acc.list_prompts += 1;
+            iterations += 1;
             acc.charge_wave(Phase::List, outcome.virtual_ms);
             acc.absorb(&outcome);
             match parse_list_answer(&outcome.completions[0].text) {
-                ListAnswer::Exhausted => break,
+                ListAnswer::Exhausted => {
+                    exhausted = true;
+                    break;
+                }
                 ListAnswer::Values(values) => {
                     let mut got_new = false;
                     let fresh = Arc::make_mut(&mut keys);
@@ -619,12 +818,125 @@ impl Galois {
                         }
                     }
                     if !got_new {
+                        exhausted = true;
                         break;
                     }
                 }
             }
         }
-        Arc::try_unwrap(keys).unwrap_or_else(|shared| (*shared).clone())
+        ScanOutcome {
+            keys: Arc::try_unwrap(keys).unwrap_or_else(|shared| (*shared).clone()),
+            iterations,
+            exhausted,
+        }
+    }
+
+    /// Speculative offset paging for a cold concept (store enabled).
+    ///
+    /// Page 1 is the classic first list prompt — identical string, so it
+    /// shares the prompt cache with store-off runs. Its raw value count
+    /// is the page-size estimate `P`; subsequent pages are requested as
+    /// [`TaskIntent::ListKeysPage`] at offsets `P, 2P, …` in waves whose
+    /// width doubles up to the lane count — the probe wave is one page
+    /// wide (the estimate may be the whole universe), later waves fan
+    /// out. Pages are applied in offset order; the first exhausted page,
+    /// short page or page with nothing new ends the universe (pages
+    /// already fired past it are counted waste — speculation buys
+    /// latency with at most a ramp-width of extra prompts, never
+    /// accuracy). Hitting the iteration cap leaves a partial frontier.
+    fn scan_keys_speculative(
+        &self,
+        step: &LlmScanStep,
+        scheduler: &Scheduler,
+        acc: &mut StepStats,
+    ) -> ScanOutcome {
+        let cap = self.options.max_list_iterations;
+        let mut out = ScanOutcome {
+            keys: Vec::new(),
+            iterations: 0,
+            exhausted: false,
+        };
+        if cap == 0 {
+            return out;
+        }
+        let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+        let first = {
+            let intent = TaskIntent::ListKeys {
+                relation: step.table.clone(),
+                key_attr: step.key_attr.clone(),
+                condition: step.scan_condition.clone(),
+                exclude: Arc::new(Vec::new()),
+            };
+            self.prompt_builder.task(&intent)
+        };
+        let outcome = self.client.complete_outcome(&first);
+        acc.list_prompts += 1;
+        out.iterations = 1;
+        acc.charge_wave(Phase::List, outcome.virtual_ms);
+        acc.absorb(&outcome);
+        let page_est = match parse_list_answer(&outcome.completions[0].text) {
+            ListAnswer::Exhausted => {
+                out.exhausted = true;
+                return out;
+            }
+            ListAnswer::Values(values) => {
+                let raw = values.len();
+                if !absorb_page(values, &mut out.keys, &mut seen) {
+                    out.exhausted = true;
+                    return out;
+                }
+                raw
+            }
+        };
+
+        let lanes = self.options.parallelism.get();
+        let mut offset = page_est;
+        let mut width = 1usize;
+        while !out.exhausted && out.iterations < cap {
+            let width_now = width.min(cap - out.iterations).max(1);
+            let prompts: Vec<String> = (0..width_now)
+                .map(|i| {
+                    self.prompt_builder.task(&TaskIntent::ListKeysPage {
+                        relation: step.table.clone(),
+                        key_attr: step.key_attr.clone(),
+                        condition: step.scan_condition.clone(),
+                        offset: offset + i * page_est,
+                    })
+                })
+                .collect();
+            let units: Vec<_> = prompts
+                .iter()
+                .map(|prompt| move || self.client.complete_outcome(prompt))
+                .collect();
+            let outcomes = scheduler.run_wave(units);
+            acc.list_prompts += width_now;
+            out.iterations += width_now;
+            acc.charge_wave(
+                Phase::List,
+                lane_schedule(outcomes.iter().map(|o| o.virtual_ms), lanes),
+            );
+            for outcome in &outcomes {
+                acc.absorb(outcome);
+            }
+            // Apply in offset order; the first terminal page wins.
+            for outcome in outcomes {
+                if out.exhausted {
+                    break;
+                }
+                match parse_list_answer(&outcome.completions[0].text) {
+                    ListAnswer::Exhausted => out.exhausted = true,
+                    ListAnswer::Values(values) => {
+                        let raw = values.len();
+                        if !absorb_page(values, &mut out.keys, &mut seen) || raw < page_est {
+                            out.exhausted = true;
+                        }
+                    }
+                }
+            }
+            offset += width_now * page_est;
+            width = (width * 2).min(lanes.max(1));
+        }
+        out
     }
 
     /// Selection via boolean prompts: one "is its <attr> <op> <value>?"
@@ -988,11 +1300,19 @@ impl Galois {
                         .client
                         .extract_sub_entry(sig_for_key(&mut sig, prefix, key))
                     {
-                        Some(answer) => {
+                        SubEntryLookup::Hit(answer) => {
                             acc.cache_hits += 1;
                             answers[i] = Some(answer);
                         }
-                        None => pending.push(i),
+                        // In flight elsewhere: already billed as a hit by
+                        // the client; re-ask rather than block so prompt
+                        // counts stay a local decision (determinism note
+                        // on [`LlmClient::extract_sub_entry`]).
+                        SubEntryLookup::InFlight => {
+                            acc.cache_hits += 1;
+                            pending.push(i);
+                        }
+                        SubEntryLookup::Miss => pending.push(i),
                     }
                 }
                 CellState {
@@ -1132,7 +1452,9 @@ impl Galois {
         );
         let mut completions = Vec::with_capacity(prompts.len());
         for outcome in outcomes {
-            acc.absorb(&outcome);
+            // Multi-key-protocol prompts: key-level hits were already
+            // billed by signature at sub-entry extraction.
+            acc.absorb_keyed(&outcome);
             completions.extend(outcome.completions);
         }
         completions
@@ -1173,6 +1495,39 @@ fn fold_step_stats(stats: &mut QueryStats, step: &StepStats) {
     stats.list_virtual_ms += step.phase_ms[Phase::List as usize];
     stats.filter_virtual_ms += step.phase_ms[Phase::Filter as usize];
     stats.fetch_virtual_ms += step.phase_ms[Phase::Fetch as usize];
+}
+
+/// Result of a key-listing scan: the keys plus the store bookkeeping
+/// ([`KeyUniverse`]) needed to publish them — how many list prompts the
+/// universe cost and whether the model was paged to exhaustion (vs the
+/// iteration cap cutting the frontier short).
+struct ScanOutcome {
+    keys: Vec<String>,
+    iterations: usize,
+    exhausted: bool,
+}
+
+/// Folds one list page's raw values into `keys`/`seen` (cleaning each
+/// surface and deduplicating case-insensitively, exactly like classic
+/// paging). Returns `false` when the page contributed nothing new — the
+/// universe is exhausted.
+fn absorb_page(
+    values: Vec<String>,
+    keys: &mut Vec<String>,
+    seen: &mut std::collections::HashSet<String>,
+) -> bool {
+    let mut got_new = false;
+    for v in values {
+        let cleaned = normalise_text(&v);
+        if cleaned.is_empty() {
+            continue;
+        }
+        if seen.insert(cleaned.to_ascii_lowercase()) {
+            keys.push(cleaned);
+            got_new = true;
+        }
+    }
+    got_new
 }
 
 /// Materialises retrieved rows as a step's temporary table: same column
@@ -1285,6 +1640,39 @@ struct KeySlot {
     row: Vec<Value>,
 }
 
+/// Speculative list-paging state of one cold-concept step (store on):
+/// offset pages in flight, their buffered answers, and the widening wave
+/// ramp. See [`Galois::scan_keys_speculative`] for the protocol — the
+/// stream version fires the same pages at the same iteration budget, with
+/// a wave barrier (the next wave fires only when the current one has
+/// fully landed) so stream and wave mode count iterations identically.
+#[derive(Debug)]
+struct SpecState {
+    /// Raw value count of page 1 — the offset stride.
+    page_est: usize,
+    /// First offset of the next wave.
+    next_offset: usize,
+    /// Pages in the next wave (1, then doubling up to the lane count).
+    width: usize,
+    /// Pages of the current wave still in flight.
+    inflight: usize,
+    /// Landed pages of the current wave, keyed by offset so they apply
+    /// in universe order regardless of completion order.
+    buffered: std::collections::BTreeMap<usize, String>,
+}
+
+impl SpecState {
+    fn new() -> Self {
+        SpecState {
+            page_est: 0,
+            next_offset: 0,
+            width: 1,
+            inflight: 0,
+            buffered: std::collections::BTreeMap::new(),
+        }
+    }
+}
+
 /// Per-step dataflow state of the streaming simulation.
 struct StepRun<'a> {
     step: &'a LlmScanStep,
@@ -1301,14 +1689,26 @@ struct StepRun<'a> {
     /// Filter stages (in conjunction order) followed by fetch stages.
     stages: Vec<StageState>,
     n_filters: usize,
+    /// Key-universe store concept to publish at list finish (`None` when
+    /// the store is off, or when the universe was served warm and needs
+    /// no re-publish).
+    concept: Option<String>,
+    /// Whether the key stream ended by exhaustion (terminal page) rather
+    /// than the iteration cap — the stored universe's `exhausted` flag.
+    list_exhausted: bool,
+    /// Guards the one-shot list-finish bookkeeping (publish).
+    list_done: bool,
+    /// Speculative paging state (cold concept with the store on).
+    spec: Option<SpecState>,
 }
 
-/// What a fired task is: one list iteration, one multi-key micro-batch,
-/// or one single-key prompt (a batched-mode fallback re-ask, or the
-/// entire dataflow when batching is off).
+/// What a fired task is: one list iteration, one speculative offset page,
+/// one multi-key micro-batch, or one single-key prompt (a batched-mode
+/// fallback re-ask, or the entire dataflow when batching is off).
 #[derive(Debug)]
 enum FireTarget {
     List,
+    ListPage { offset: usize },
     Chunk { stage: usize, members: Vec<usize> },
     Single { stage: usize, member: usize },
 }
@@ -1413,6 +1813,10 @@ impl<'a> StreamSim<'a> {
                     slots: Vec::new(),
                     stages,
                     n_filters: step.filter_conditions.len(),
+                    concept: None,
+                    list_exhausted: false,
+                    list_done: false,
+                    spec: None,
                 }
             })
             .collect();
@@ -1442,11 +1846,7 @@ impl<'a> StreamSim<'a> {
     fn run(&mut self) {
         let mut fires = Vec::new();
         for s in 0..self.steps.len() {
-            if self.session.options.max_list_iterations == 0 {
-                self.finish_list(s, 0, &mut fires);
-            } else {
-                self.fire_list(s, &mut fires);
-            }
+            self.start_step(s, &mut fires);
         }
         self.execute_fires(0, fires);
         while let Some(std::cmp::Reverse(head)) = self.events.peek() {
@@ -1491,6 +1891,51 @@ impl<'a> StreamSim<'a> {
         self.execute_fires(t, fires);
     }
 
+    /// Starts one step's key stream at `t = 0`: classic list paging when
+    /// the store is off; otherwise a warm universe is injected at zero
+    /// prompt cost (its stored iterations billed as cache hits, exactly
+    /// like the wave path), a partial frontier is injected and classic
+    /// paging resumes after it, and a cold concept lists speculatively.
+    fn start_step(&mut self, s: usize, fires: &mut Vec<Fire>) {
+        let cap = self.session.options.max_list_iterations;
+        if cap == 0 {
+            self.finish_list(s, 0, fires);
+            return;
+        }
+        let looked_up = self.session.list_store.as_ref().map(|store| {
+            let concept = self.steps[s].step.concept_signature();
+            let entry = store.read(&concept, &self.session.model_sig);
+            (concept, entry)
+        });
+        let Some((concept, entry)) = looked_up else {
+            self.fire_list(s, fires);
+            return;
+        };
+        match entry {
+            Some(stored) if stored.exhausted || stored.iterations >= cap => {
+                self.acc.cache_hits += stored.iterations;
+                self.absorb_stream_page(s, stored.keys, 0, fires);
+                self.steps[s].iterations = stored.iterations;
+                self.steps[s].list_exhausted = stored.exhausted;
+                // Warm service re-publishes nothing: `concept` stays
+                // `None`, so `finish_list` skips the store.
+                self.finish_list(s, 0, fires);
+            }
+            Some(stored) => {
+                self.acc.cache_hits += stored.iterations;
+                self.absorb_stream_page(s, stored.keys, 0, fires);
+                self.steps[s].iterations = stored.iterations;
+                self.steps[s].concept = Some(concept);
+                self.fire_list(s, fires);
+            }
+            None => {
+                self.steps[s].concept = Some(concept);
+                self.steps[s].spec = Some(SpecState::new());
+                self.fire_list(s, fires);
+            }
+        }
+    }
+
     // --- firing ------------------------------------------------------
 
     fn fire_list(&mut self, s: usize, fires: &mut Vec<Fire>) {
@@ -1499,6 +1944,31 @@ impl<'a> StreamSim<'a> {
             step: s,
             target: FireTarget::List,
         });
+    }
+
+    /// Fires the next speculative page wave: offsets stride by the page
+    /// estimate, the width ramps 1 → 2 → … up to the lane count (clamped
+    /// by the remaining iteration budget). The probe wave is one page
+    /// wide — the estimate may already be the whole universe.
+    fn fire_spec_wave(&mut self, s: usize, fires: &mut Vec<Fire>) {
+        let cap = self.session.options.max_list_iterations;
+        let lanes = self.session.options.parallelism.get();
+        let iterations = self.steps[s].iterations;
+        let run = &mut self.steps[s];
+        let spec = run.spec.as_mut().expect("spec wave outside spec mode");
+        let width_now = spec.width.min(cap.saturating_sub(iterations)).max(1);
+        for i in 0..width_now {
+            fires.push(Fire {
+                step: s,
+                target: FireTarget::ListPage {
+                    offset: spec.next_offset + i * spec.page_est,
+                },
+            });
+        }
+        spec.inflight += width_now;
+        spec.next_offset += width_now * spec.page_est;
+        spec.width = (spec.width * 2).min(lanes.max(1));
+        run.iterations += width_now;
     }
 
     fn fire_chunk(&mut self, s: usize, stage: usize, members: Vec<usize>, fires: &mut Vec<Fire>) {
@@ -1537,6 +2007,12 @@ impl<'a> StreamSim<'a> {
                 condition: run.step.scan_condition.clone(),
                 exclude: Arc::clone(&run.exclude),
             }),
+            FireTarget::ListPage { offset } => builder.task(&TaskIntent::ListKeysPage {
+                relation: run.step.table.clone(),
+                key_attr: run.step.key_attr.clone(),
+                condition: run.step.scan_condition.clone(),
+                offset: *offset,
+            }),
             FireTarget::Chunk { stage, members } => {
                 let chunk_keys: Vec<String> =
                     members.iter().map(|&i| run.slots[i].key.clone()).collect();
@@ -1560,7 +2036,7 @@ impl<'a> StreamSim<'a> {
 
     fn fire_phase(&self, fire: &Fire) -> Phase {
         match &fire.target {
-            FireTarget::List => Phase::List,
+            FireTarget::List | FireTarget::ListPage { .. } => Phase::List,
             FireTarget::Chunk { stage, .. } | FireTarget::Single { stage, .. } => {
                 match self.steps[fire.step].stages[*stage].cell {
                     StageCell::Filter(_) => Phase::Filter,
@@ -1601,7 +2077,14 @@ impl<'a> StreamSim<'a> {
                 Phase::Filter => self.acc.filter_prompts += 1,
                 Phase::Fetch => self.acc.fetch_prompts += 1,
             }
-            self.acc.absorb(&outcome);
+            match &fire.target {
+                // Multi-key-protocol prompts: key-level hits were
+                // already billed by signature at sub-entry extraction
+                // (see [`StepStats::absorb_keyed`]).
+                FireTarget::Chunk { .. } => self.acc.absorb_keyed(&outcome),
+                FireTarget::Single { .. } if self.batched => self.acc.absorb_keyed(&outcome),
+                _ => self.acc.absorb(&outcome),
+            }
             self.acc.charge_phase(phase, outcome.virtual_ms);
             let done = self.clock.schedule(t, outcome.virtual_ms);
             let completion = outcome
@@ -1628,6 +2111,20 @@ impl<'a> StreamSim<'a> {
         let s = event.step;
         match event.target {
             FireTarget::List => self.process_list(s, &event.completion.text, t, fires),
+            FireTarget::ListPage { offset } => {
+                let spec = self.steps[s]
+                    .spec
+                    .as_mut()
+                    .expect("page completion outside spec mode");
+                spec.inflight -= 1;
+                spec.buffered.insert(offset, event.completion.text);
+                // Wave barrier: pages apply (in offset order) only once
+                // the whole wave has landed, so iteration counts match
+                // the wave pipeline exactly.
+                if spec.inflight == 0 {
+                    self.spec_apply(s, t, fires);
+                }
+            }
             FireTarget::Chunk { stage, members } => {
                 self.steps[s].stages[stage].inflight -= 1;
                 let chunk_keys: Vec<String> = members
@@ -1686,50 +2183,120 @@ impl<'a> StreamSim<'a> {
     /// finished (exhausted page, no new keys, or the iteration cap).
     fn process_list(&mut self, s: usize, text: &str, t: u64, fires: &mut Vec<Fire>) {
         match parse_list_answer(text) {
-            ListAnswer::Exhausted => self.finish_list(s, t, fires),
+            ListAnswer::Exhausted => {
+                self.steps[s].list_exhausted = true;
+                self.finish_list(s, t, fires);
+            }
             ListAnswer::Values(values) => {
-                let session = self.session;
-                let mut new_slots = Vec::new();
-                {
-                    let run = &mut self.steps[s];
-                    let arity = run.step.columns.len();
-                    let fresh = Arc::make_mut(&mut run.exclude);
-                    for v in values {
-                        let cleaned = normalise_text(&v);
-                        if cleaned.is_empty() {
-                            continue;
-                        }
-                        if run.seen.insert(cleaned.to_ascii_lowercase()) {
-                            fresh.push(cleaned.clone());
-                            let mut row = vec![Value::Null; arity];
-                            row[run.step.key_index] = clean_to_type(
-                                &cleaned,
-                                run.step.columns[run.step.key_index].data_type,
-                                &session.options.cleaning,
-                            )
-                            .unwrap_or(Value::Null);
-                            new_slots.push(run.slots.len());
-                            run.slots.push(KeySlot {
-                                key: cleaned,
-                                alive: true,
-                                row,
-                            });
-                        }
-                    }
-                }
-                if new_slots.is_empty() {
+                let raw = values.len();
+                let added = self.absorb_stream_page(s, values, t, fires);
+                if added == 0 {
+                    self.steps[s].list_exhausted = true;
                     self.finish_list(s, t, fires);
                     return;
                 }
-                for &slot in &new_slots {
-                    self.enter_dataflow(s, slot, t, fires);
+                // Speculative mode: page 1 just landed — its raw value
+                // count is the page-size estimate, and offset probes
+                // replace the exclusion-list chain.
+                if let Some(spec) = self.steps[s].spec.as_mut() {
+                    spec.page_est = raw;
+                    spec.next_offset = raw;
+                    if self.steps[s].iterations < self.session.options.max_list_iterations {
+                        self.fire_spec_wave(s, fires);
+                    } else {
+                        self.finish_list(s, t, fires);
+                    }
+                    return;
                 }
-                if self.steps[s].iterations < session.options.max_list_iterations {
+                if self.steps[s].iterations < self.session.options.max_list_iterations {
                     self.fire_list(s, fires);
                 } else {
                     self.finish_list(s, t, fires);
                 }
             }
+        }
+    }
+
+    /// Folds one page of raw key surfaces into the step's stream (clean,
+    /// case-folded dedup, key slot, dataflow entry at `t` — identical to
+    /// classic page handling), returning how many new keys entered.
+    fn absorb_stream_page(
+        &mut self,
+        s: usize,
+        values: Vec<String>,
+        t: u64,
+        fires: &mut Vec<Fire>,
+    ) -> usize {
+        let session = self.session;
+        let mut new_slots = Vec::new();
+        {
+            let run = &mut self.steps[s];
+            let arity = run.step.columns.len();
+            let fresh = Arc::make_mut(&mut run.exclude);
+            for v in values {
+                let cleaned = normalise_text(&v);
+                if cleaned.is_empty() {
+                    continue;
+                }
+                if run.seen.insert(cleaned.to_ascii_lowercase()) {
+                    fresh.push(cleaned.clone());
+                    let mut row = vec![Value::Null; arity];
+                    row[run.step.key_index] = clean_to_type(
+                        &cleaned,
+                        run.step.columns[run.step.key_index].data_type,
+                        &session.options.cleaning,
+                    )
+                    .unwrap_or(Value::Null);
+                    new_slots.push(run.slots.len());
+                    run.slots.push(KeySlot {
+                        key: cleaned,
+                        alive: true,
+                        row,
+                    });
+                }
+            }
+        }
+        for &slot in &new_slots {
+            self.enter_dataflow(s, slot, t, fires);
+        }
+        new_slots.len()
+    }
+
+    /// Applies a fully-landed speculative wave in offset order: each page
+    /// feeds the dataflow at `t`; the first exhausted page, short page or
+    /// page with nothing new ends the universe (pages fired past it are
+    /// waste — already billed as iterations, exactly like the wave
+    /// pipeline). Otherwise the next wave fires, or the iteration cap
+    /// leaves a partial frontier.
+    fn spec_apply(&mut self, s: usize, t: u64, fires: &mut Vec<Fire>) {
+        let pages: Vec<(usize, String)> = {
+            let spec = self.steps[s].spec.as_mut().expect("spec wave landed");
+            std::mem::take(&mut spec.buffered).into_iter().collect()
+        };
+        let mut terminal = false;
+        for (_, text) in pages {
+            if terminal {
+                break;
+            }
+            match parse_list_answer(&text) {
+                ListAnswer::Exhausted => terminal = true,
+                ListAnswer::Values(values) => {
+                    let raw = values.len();
+                    let added = self.absorb_stream_page(s, values, t, fires);
+                    let page_est = self.steps[s].spec.as_ref().expect("spec mode").page_est;
+                    if added == 0 || raw < page_est {
+                        terminal = true;
+                    }
+                }
+            }
+        }
+        if terminal {
+            self.steps[s].list_exhausted = true;
+            self.finish_list(s, t, fires);
+        } else if self.steps[s].iterations >= self.session.options.max_list_iterations {
+            self.finish_list(s, t, fires);
+        } else {
+            self.fire_spec_wave(s, fires);
         }
     }
 
@@ -1773,10 +2340,16 @@ impl<'a> StreamSim<'a> {
                     &run.slots[slot].key,
                 ))
             };
-            if let Some(answer) = extracted {
-                self.acc.cache_hits += 1;
-                self.consume_answer(s, g, slot, &answer, t, fires);
-                return;
+            match extracted {
+                SubEntryLookup::Hit(answer) => {
+                    self.acc.cache_hits += 1;
+                    self.consume_answer(s, g, slot, &answer, t, fires);
+                    return;
+                }
+                // Counted as a hit, but re-asked locally — the sim loop
+                // must never park a key waiting on another thread.
+                SubEntryLookup::InFlight => self.acc.cache_hits += 1,
+                SubEntryLookup::Miss => {}
             }
         }
         let fuse = self.fuse;
@@ -1831,9 +2404,27 @@ impl<'a> StreamSim<'a> {
     // --- drain propagation -------------------------------------------
 
     /// The step's key stream is finished: no further list page can deliver
-    /// keys, so the first stages' accumulators flush and drain propagation
-    /// begins.
+    /// keys, so the universe publishes to the key-universe store (when one
+    /// is attached and the universe wasn't served warm), the first stages'
+    /// accumulators flush and drain propagation begins.
     fn finish_list(&mut self, s: usize, t: u64, fires: &mut Vec<Fire>) {
+        if !self.steps[s].list_done {
+            self.steps[s].list_done = true;
+            if let Some(concept) = self.steps[s].concept.take() {
+                if let Some(store) = &self.session.list_store {
+                    let run = &self.steps[s];
+                    store.publish(
+                        &concept,
+                        &self.session.model_sig,
+                        KeyUniverse {
+                            keys: (*run.exclude).clone(),
+                            iterations: run.iterations,
+                            exhausted: run.list_exhausted,
+                        },
+                    );
+                }
+            }
+        }
         if self.steps[s].n_filters > 0 {
             self.stage_upstream_drained(s, 0, t, fires);
         } else {

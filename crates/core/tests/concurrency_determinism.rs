@@ -10,10 +10,11 @@
 //! self-join whose steps race on identical prompts) through real worker
 //! threads.
 
-use galois_core::{Galois, GaloisOptions, Parallelism};
+use galois_core::{Galois, GaloisOptions, ListStore, Parallelism};
 use galois_dataset::{Scenario, WorldConfig};
-use galois_llm::{LanguageModel, ModelProfile, SimLlm};
+use galois_llm::{Completion, KeyUniverseStore, LanguageModel, ModelProfile, SimLlm};
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Query shapes covering scans, filters, fetches, aggregates and joins.
@@ -87,6 +88,117 @@ proptest! {
             prop_assert!(got.stats.virtual_ms <= base.stats.virtual_ms,
                 "lanes may only shorten the virtual clock");
         }
+    }
+}
+
+/// Counts how many prompts actually reach the model — the caches and the
+/// in-flight dedup sit in front of it, so this is the ground truth for
+/// "how much model work did the race cost".
+struct CountingModel {
+    inner: SimLlm,
+    calls: AtomicUsize,
+}
+
+impl LanguageModel for CountingModel {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn signature(&self) -> String {
+        self.inner.signature()
+    }
+    fn context_window(&self) -> usize {
+        self.inner.context_window()
+    }
+    fn complete(&self, prompt: &str) -> Completion {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        self.inner.complete(prompt)
+    }
+}
+
+/// Two OS threads racing the *same cold concept* on a shared key-universe
+/// store must converge on a single de-duplicated universe, and — at
+/// `Parallelism(1)` — cost the model exactly as many prompts as running
+/// the query twice sequentially: every prompt string the loser needs is
+/// either cached or in flight, so the model-call count is deterministic
+/// across repeats even though the thread interleaving is not.
+#[test]
+fn racing_threads_share_one_deduplicated_universe() {
+    let s = scenario(42);
+    let sql = "SELECT name FROM city";
+    let race = || {
+        let store = Arc::new(KeyUniverseStore::default());
+        let counter = Arc::new(CountingModel {
+            inner: SimLlm::new(s.knowledge.clone(), ModelProfile::oracle()),
+            calls: AtomicUsize::new(0),
+        });
+        let galois = Arc::new(Galois::with_options(
+            counter.clone(),
+            s.database.clone(),
+            GaloisOptions {
+                parallelism: Parallelism::new(1),
+                list_store: ListStore::Shared(store.clone()),
+                ..Default::default()
+            },
+        ));
+        let results: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let galois = galois.clone();
+                    scope.spawn(move || galois.execute(sql).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        (store, counter.calls.load(Ordering::SeqCst), results)
+    };
+
+    // Sequential ground truth: the same query twice on one session.
+    let (seq_store, seq_calls, seq_results) = {
+        let store = Arc::new(KeyUniverseStore::default());
+        let counter = Arc::new(CountingModel {
+            inner: SimLlm::new(s.knowledge.clone(), ModelProfile::oracle()),
+            calls: AtomicUsize::new(0),
+        });
+        let galois = Galois::with_options(
+            counter.clone(),
+            s.database.clone(),
+            GaloisOptions {
+                parallelism: Parallelism::new(1),
+                list_store: ListStore::Shared(store.clone()),
+                ..Default::default()
+            },
+        );
+        let a = galois.execute(sql).unwrap();
+        let b = galois.execute(sql).unwrap();
+        (store, counter.calls.load(Ordering::SeqCst), vec![a, b])
+    };
+    assert_eq!(seq_store.len(), 1, "one concept listed");
+
+    for attempt in 0..4 {
+        let (store, calls, results) = race();
+        assert_eq!(
+            store.len(),
+            1,
+            "racing threads must publish a single universe (attempt {attempt})"
+        );
+        let sig = SimLlm::new(s.knowledge.clone(), ModelProfile::oracle()).signature();
+        let warm = store.warm_map(&sig);
+        assert_eq!(warm.len(), 1, "the universe must be exhausted");
+        assert_eq!(
+            warm.values().copied().sum::<usize>(),
+            seq_results[0].relation.rows.len(),
+            "the shared universe must hold every key exactly once (attempt {attempt})"
+        );
+        for r in &results {
+            assert_eq!(
+                r.relation.rows, seq_results[0].relation.rows,
+                "racing result diverged (attempt {attempt})"
+            );
+        }
+        assert_eq!(
+            calls, seq_calls,
+            "prompt count must be deterministic under the race (attempt {attempt})"
+        );
     }
 }
 

@@ -103,10 +103,27 @@ pub fn run_galois_suite_parallel(
     options: GaloisOptions,
     threads: usize,
 ) -> GaloisRun {
-    let started = Instant::now();
     let model_name = profile.name.clone();
     let model = model_for(scenario, profile);
     let galois = Galois::with_options(model, scenario.database.clone(), options);
+    run_galois_suite_on(scenario, &galois, &model_name, threads)
+}
+
+/// Runs all 46 queries through an *existing* Galois session, across up to
+/// `threads` worker threads.
+///
+/// Separated from [`run_galois_suite_parallel`] (which constructs a fresh
+/// session) so callers can run the suite repeatedly on one session and
+/// measure what session-lived state — the prompt cache, and the
+/// key-universe store when [`galois_core::ListStore`] is enabled — buys
+/// the second pass.
+pub fn run_galois_suite_on(
+    scenario: &Scenario,
+    galois: &Galois,
+    model_name: &str,
+    threads: usize,
+) -> GaloisRun {
+    let started = Instant::now();
     let scheduler = Scheduler::new(Parallelism::new(threads));
     let units: Vec<_> = scenario
         .suite
@@ -143,7 +160,7 @@ pub fn run_galois_suite_parallel(
         .collect();
     let outcomes = scheduler.run_wave(units);
     GaloisRun {
-        model: model_name,
+        model: model_name.to_string(),
         outcomes,
         wall_ms: started.elapsed().as_millis() as u64,
     }

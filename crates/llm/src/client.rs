@@ -169,10 +169,45 @@ impl Drop for FulfillGuard<'_> {
     }
 }
 
+/// A per-key sub-entry slot: a stored answer fragment, or a marker that
+/// some request has already asked the model for this signature and its
+/// answer has not been stored yet.
+///
+/// The marker is what makes `cache_hits` accounting deterministic under
+/// threads: a lookup that finds *either* state counts as a hit — the
+/// signature has been asked before, full stop — instead of depending on
+/// whether the first asker's store happened to land before the second
+/// asker's lookup (arrival order). Prompt counts can still wobble under
+/// races (the second asker re-asks the model rather than blocking on the
+/// first), but the hit totals are a pure function of the per-signature ask
+/// counts.
+enum SubEntry {
+    /// The signature has been asked; its answer is still in flight.
+    Asked,
+    /// The stored answer fragment.
+    Ready(String),
+}
+
+/// Result of a sub-entry lookup ([`LlmClient::extract_sub_entry`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubEntryLookup {
+    /// A stored answer was served — a cache hit with zero prompt cost.
+    Hit(String),
+    /// Another request already asked this signature and its answer has not
+    /// been stored yet. Counted as a cache hit (by-signature accounting:
+    /// in a sequential run this lookup would have found the stored
+    /// answer), but the caller must produce the answer itself — the store
+    /// never blocks one query's dataflow on another's.
+    InFlight,
+    /// First ask of this signature; the caller owes a
+    /// [`LlmClient::store_sub_entry`] once the answer lands.
+    Miss,
+}
+
 /// A string-keyed map striped over [`CACHE_SHARDS`] mutexes, so concurrent
 /// lookups of different keys do not serialise on one lock. Backs both the
 /// prompt cache (`Striped<Slot>`) and the per-key sub-entry store
-/// (`Striped<String>`).
+/// (`Striped<SubEntry>`).
 struct Striped<V> {
     shards: Vec<Mutex<HashMap<String, V>>>,
 }
@@ -217,7 +252,7 @@ pub struct LlmClient {
     /// *task* granularity instead, so a key answered inside any earlier
     /// batch is a cache hit for every later prompt that would re-ask it,
     /// batched or not.
-    sub_entries: Striped<String>,
+    sub_entries: Striped<SubEntry>,
     stats: Mutex<ClientStats>,
     cache_enabled: bool,
     parallelism: Parallelism,
@@ -405,34 +440,56 @@ impl LlmClient {
         }
     }
 
-    /// Looks a per-key sub-entry up by task signature, counting a cache
-    /// hit when found (the key's answer is served without any prompt, so
-    /// no batch is charged — unlike a prompt-cache hit, which still rides
-    /// inside a batch request). Always misses when the cache is disabled.
-    pub fn extract_sub_entry(&self, sig: &str) -> Option<String> {
+    /// Looks a per-key sub-entry up by task signature.
+    ///
+    /// A stored answer is served as [`SubEntryLookup::Hit`] (a cache hit:
+    /// the key's answer costs no prompt, so no batch is charged — unlike a
+    /// prompt-cache hit, which still rides inside a batch request). A
+    /// first ask returns [`SubEntryLookup::Miss`] and leaves an in-flight
+    /// marker; a concurrent lookup that finds the marker returns
+    /// [`SubEntryLookup::InFlight`], which *also* counts as a cache hit —
+    /// hits are a function of how often each signature is asked, never of
+    /// which thread's store landed first — but obliges the caller to
+    /// produce the answer itself. Always misses when the cache is
+    /// disabled.
+    pub fn extract_sub_entry(&self, sig: &str) -> SubEntryLookup {
         if !self.cache_enabled {
-            return None;
+            return SubEntryLookup::Miss;
         }
-        let found = self.sub_entries.shard(sig).lock().get(sig).cloned();
-        if found.is_some() {
+        let found = {
+            let mut map = self.sub_entries.shard(sig).lock();
+            match map.get(sig) {
+                Some(SubEntry::Ready(answer)) => SubEntryLookup::Hit(answer.clone()),
+                Some(SubEntry::Asked) => SubEntryLookup::InFlight,
+                None => {
+                    map.insert(sig.to_string(), SubEntry::Asked);
+                    SubEntryLookup::Miss
+                }
+            }
+        };
+        if !matches!(found, SubEntryLookup::Miss) {
             self.stats.lock().cache_hits += 1;
         }
         found
     }
 
     /// Stores one key's answer fragment under its task signature, making
-    /// it extractable by later single-key or batched requests. First write
-    /// wins: per-key answers are deterministic per session, so re-storing
-    /// after a raw-prompt-cache hit must not flap the entry.
+    /// it extractable by later single-key or batched requests. First
+    /// *stored* write wins: per-key answers are deterministic per session,
+    /// so re-storing after a raw-prompt-cache hit must not flap the entry
+    /// (an in-flight marker is always replaced — it holds no answer).
     pub fn store_sub_entry(&self, sig: &str, answer: &str) {
         if !self.cache_enabled {
             return;
         }
-        self.sub_entries
-            .shard(sig)
-            .lock()
-            .entry(sig.to_string())
-            .or_insert_with(|| answer.to_string());
+        let mut map = self.sub_entries.shard(sig).lock();
+        match map.get_mut(sig) {
+            Some(SubEntry::Ready(_)) => {}
+            Some(slot @ SubEntry::Asked) => *slot = SubEntry::Ready(answer.to_string()),
+            None => {
+                map.insert(sig.to_string(), SubEntry::Ready(answer.to_string()));
+            }
+        }
     }
 
     /// Snapshot of the accumulated stats.
@@ -449,6 +506,135 @@ impl LlmClient {
     pub fn clear_cache(&self) {
         self.cache.clear();
         self.sub_entries.clear();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Key-universe store
+// ---------------------------------------------------------------------
+
+/// One concept's stored key universe: the keys its LIST phase produced, in
+/// discovery order, plus how far the listing got.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyUniverse {
+    /// Listed keys in discovery order (cleaned, de-duplicated — exactly
+    /// what the listing session's scan produced).
+    pub keys: Vec<String>,
+    /// LIST prompts the stored frontier cost. A warm reader counts these
+    /// as cache hits — the same bill a re-listing run would have paid in
+    /// prompt-cache hits.
+    pub iterations: usize,
+    /// True when the model said "No more results" (or produced nothing
+    /// new): the universe is complete and no later query needs to page
+    /// further. False when listing stopped at an iteration cap — a later
+    /// query with headroom resumes paging *after* the stored frontier.
+    pub exhausted: bool,
+}
+
+/// A stored universe plus the model signature that produced it.
+#[derive(Debug)]
+struct UniverseEntry {
+    model_sig: String,
+    universe: KeyUniverse,
+}
+
+/// Concept-keyed store of listed key universes, shared across queries (and
+/// across sessions, when handed the same `Arc`).
+///
+/// The first query on a concept pages keys out of the model and publishes
+/// what it found; every later query on that concept reads the warm
+/// universe at zero prompt cost, resuming paging only past a stored
+/// partial frontier. Entries are keyed by the *concept signature* (table,
+/// key attribute, rendered scan condition) and guarded by the producing
+/// model's [`LanguageModel::signature`]: a read under a different model
+/// signature drops the entry — a reconfigured model's beliefs may differ
+/// arbitrarily, so stale universes are invalidated rather than served.
+///
+/// Publishing is monotone: an entry is only replaced by one that knows
+/// strictly more (an exhausted universe over a partial one, or a longer
+/// key frontier), so concurrent publishers — two threads racing the same
+/// cold concept — converge on a single de-duplicated universe no matter
+/// the arrival order.
+#[derive(Debug, Default)]
+pub struct KeyUniverseStore {
+    entries: Mutex<HashMap<String, UniverseEntry>>,
+}
+
+impl KeyUniverseStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the stored universe for a concept, if one exists and was
+    /// produced by a model with the given signature. A signature mismatch
+    /// *drops* the stale entry (invalidate-on-read) and reports a cold
+    /// concept.
+    pub fn read(&self, concept: &str, model_sig: &str) -> Option<KeyUniverse> {
+        let mut entries = self.entries.lock();
+        match entries.get(concept) {
+            Some(entry) if entry.model_sig == model_sig => Some(entry.universe.clone()),
+            Some(_) => {
+                entries.remove(concept);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Publishes a listed universe for a concept. Monotone merge: an
+    /// existing same-signature entry is kept unless the new one knows
+    /// strictly more (exhausted beats partial; a longer frontier beats a
+    /// shorter one). A different-signature entry is always replaced.
+    pub fn publish(&self, concept: &str, model_sig: &str, universe: KeyUniverse) {
+        let mut entries = self.entries.lock();
+        match entries.get_mut(concept) {
+            Some(entry) if entry.model_sig == model_sig => {
+                let old = &entry.universe;
+                let extends =
+                    (universe.exhausted && !old.exhausted) || universe.keys.len() > old.keys.len();
+                if extends {
+                    entry.universe = universe;
+                }
+            }
+            _ => {
+                entries.insert(
+                    concept.to_string(),
+                    UniverseEntry {
+                        model_sig: model_sig.to_string(),
+                        universe,
+                    },
+                );
+            }
+        }
+    }
+
+    /// All *exhausted* universes stored under the given model signature,
+    /// as `concept → key count` — the planner-visible warm-list
+    /// cardinalities (partial frontiers still need paging, so they stay
+    /// invisible to cost estimation).
+    pub fn warm_map(&self, model_sig: &str) -> std::collections::BTreeMap<String, usize> {
+        self.entries
+            .lock()
+            .iter()
+            .filter(|(_, e)| e.model_sig == model_sig && e.universe.exhausted)
+            .map(|(concept, e)| (concept.clone(), e.universe.keys.len()))
+            .collect()
+    }
+
+    /// Number of stored concepts.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when no universe is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Drops every stored universe.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
     }
 }
 
@@ -548,11 +734,14 @@ mod tests {
     #[test]
     fn sub_entries_hit_count_and_clear() {
         let c = client();
-        assert_eq!(c.extract_sub_entry("fetch|city|name|population|Rome"), None);
+        assert_eq!(
+            c.extract_sub_entry("fetch|city|name|population|Rome"),
+            SubEntryLookup::Miss
+        );
         c.store_sub_entry("fetch|city|name|population|Rome", "2800000");
         assert_eq!(
             c.extract_sub_entry("fetch|city|name|population|Rome"),
-            Some("2800000".to_string())
+            SubEntryLookup::Hit("2800000".to_string())
         );
         // One hit counted for the successful extraction, none for misses,
         // and no batch/prompt charged.
@@ -561,14 +750,36 @@ mod tests {
         assert_eq!(s.prompts, 0);
         assert_eq!(s.batches, 0);
         assert_eq!(s.virtual_ms, 0);
-        // First write wins.
+        // First stored write wins.
         c.store_sub_entry("fetch|city|name|population|Rome", "other");
         assert_eq!(
             c.extract_sub_entry("fetch|city|name|population|Rome"),
-            Some("2800000".to_string())
+            SubEntryLookup::Hit("2800000".to_string())
         );
         c.clear_cache();
-        assert_eq!(c.extract_sub_entry("fetch|city|name|population|Rome"), None);
+        assert_eq!(
+            c.extract_sub_entry("fetch|city|name|population|Rome"),
+            SubEntryLookup::Miss
+        );
+    }
+
+    /// The by-signature accounting rule: a lookup that lands between a
+    /// first ask and its store finds the in-flight marker — counted as a
+    /// hit (the signature was asked before), answered by the caller.
+    #[test]
+    fn sub_entry_inflight_marker_counts_as_hit() {
+        let c = client();
+        assert_eq!(c.extract_sub_entry("sig"), SubEntryLookup::Miss);
+        // Second ask before the first asker stored: in flight, one hit.
+        assert_eq!(c.extract_sub_entry("sig"), SubEntryLookup::InFlight);
+        assert_eq!(c.stats().cache_hits, 1);
+        // The eventual store replaces the marker; later asks hit normally.
+        c.store_sub_entry("sig", "answer");
+        assert_eq!(
+            c.extract_sub_entry("sig"),
+            SubEntryLookup::Hit("answer".to_string())
+        );
+        assert_eq!(c.stats().cache_hits, 2);
     }
 
     #[test]
@@ -578,8 +789,56 @@ mod tests {
             response: "ok".into(),
         }));
         c.store_sub_entry("sig", "value");
-        assert_eq!(c.extract_sub_entry("sig"), None);
+        assert_eq!(c.extract_sub_entry("sig"), SubEntryLookup::Miss);
         assert_eq!(c.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn key_universe_store_reads_publishes_and_invalidates() {
+        let store = KeyUniverseStore::new();
+        assert!(store.is_empty());
+        assert_eq!(store.read("list|city|name|", "sig-a"), None);
+        let partial = KeyUniverse {
+            keys: vec!["Rome".into(), "Milan".into()],
+            iterations: 1,
+            exhausted: false,
+        };
+        store.publish("list|city|name|", "sig-a", partial.clone());
+        assert_eq!(
+            store.read("list|city|name|", "sig-a"),
+            Some(partial.clone())
+        );
+        assert_eq!(store.len(), 1);
+        // Partial frontiers stay invisible to the planner's warm map.
+        assert!(store.warm_map("sig-a").is_empty());
+
+        // Monotone merge: a shorter or equal universe never regresses the
+        // stored one; an exhausted or longer one replaces it.
+        store.publish(
+            "list|city|name|",
+            "sig-a",
+            KeyUniverse {
+                keys: vec!["Rome".into()],
+                iterations: 1,
+                exhausted: false,
+            },
+        );
+        assert_eq!(store.read("list|city|name|", "sig-a"), Some(partial));
+        let full = KeyUniverse {
+            keys: vec!["Rome".into(), "Milan".into(), "Paris".into()],
+            iterations: 2,
+            exhausted: true,
+        };
+        store.publish("list|city|name|", "sig-a", full.clone());
+        assert_eq!(store.read("list|city|name|", "sig-a"), Some(full));
+        assert_eq!(
+            store.warm_map("sig-a").get("list|city|name|").copied(),
+            Some(3)
+        );
+
+        // A read under a different model signature invalidates the entry.
+        assert_eq!(store.read("list|city|name|", "sig-b"), None);
+        assert!(store.is_empty());
     }
 
     #[test]

@@ -215,6 +215,23 @@ pub enum TaskIntent {
         /// previously seen key (the list is O(relation) by the last page).
         exclude: Arc<Vec<String>>,
     },
+    /// List one page of key values by *offset* instead of by exclusion
+    /// list: "starting after the first `offset` results". The speculative
+    /// page protocol of the key-universe store fires these for pages past
+    /// the first — the offset names the page boundary, so later pages can
+    /// be requested in parallel while earlier ones are still parsing
+    /// (an exclusion prompt can only be rendered once every prior key is
+    /// known).
+    ListKeysPage {
+        /// Relation name as written in the query.
+        relation: String,
+        /// Key attribute label.
+        key_attr: String,
+        /// Optional pushed-down condition (prompt-pushdown optimization).
+        condition: Option<Condition>,
+        /// How many leading results to skip.
+        offset: usize,
+    },
     /// Fetch one attribute value for one key (paper: injected retrieval
     /// node before selections/joins/projections).
     FetchAttr {
@@ -301,6 +318,22 @@ pub fn render_task(intent: &TaskIntent) -> String {
                     exclude.join("; ")
                 )
             }
+        }
+        TaskIntent::ListKeysPage {
+            relation,
+            key_attr,
+            condition,
+            offset,
+        } => {
+            let cond = condition
+                .as_ref()
+                .map(|c| format!(" whose {}", c.render()))
+                .unwrap_or_default();
+            format!(
+                "List the {key_attr} of every {relation}{cond}, starting after the first \
+                 {offset} results. Answer with a comma-separated list of new values only, \
+                 or say \"No more results\"."
+            )
         }
         TaskIntent::FetchAttr {
             relation,
@@ -494,6 +527,23 @@ fn parse_list_keys(q: &str) -> Option<TaskIntent> {
     // the … of every …" (those go through the QA path instead).
     let (body, _) = tail.split_once(". Answer with")?;
     let body = body.trim();
+    // Offset-page form: `…, starting after the first N results`.
+    if let Some((b, off)) = body.split_once(", starting after the first ") {
+        let offset: usize = off.strip_suffix(" results")?.trim().parse().ok()?;
+        let (relation, condition) = match b.split_once(" whose ") {
+            Some((r, c)) => (r.trim().to_string(), Some(Condition::parse(c)?)),
+            None => (b.trim().to_string(), None),
+        };
+        if relation.is_empty() || key_attr.is_empty() {
+            return None;
+        }
+        return Some(TaskIntent::ListKeysPage {
+            relation,
+            key_attr,
+            condition,
+            offset,
+        });
+    }
     let (body, exclude) = match body.split_once(", excluding: ") {
         Some((b, ex)) => (
             b,
@@ -672,6 +722,32 @@ mod tests {
             key_attr: "name".into(),
             condition: None,
             exclude: std::sync::Arc::new(vec!["Rome".into(), "Paris".into()]),
+        };
+        assert_eq!(parse_task(&render_task(&t)), Some(t));
+    }
+
+    #[test]
+    fn task_list_keys_page_roundtrip() {
+        let t = TaskIntent::ListKeysPage {
+            relation: "city".into(),
+            key_attr: "name".into(),
+            condition: None,
+            offset: 8,
+        };
+        assert_eq!(parse_task(&render_task(&t)), Some(t));
+    }
+
+    #[test]
+    fn task_list_keys_page_with_condition_roundtrip() {
+        let t = TaskIntent::ListKeysPage {
+            relation: "city".into(),
+            key_attr: "name".into(),
+            condition: Some(cond(
+                "population",
+                CmpOp::Gt,
+                vec![PromptValue::Number(1e6)],
+            )),
+            offset: 20,
         };
         assert_eq!(parse_task(&render_task(&t)), Some(t));
     }

@@ -38,7 +38,10 @@ pub mod qa;
 pub mod simllm;
 pub mod tokenizer;
 
-pub use client::{BatchOutcome, ClientStats, LlmClient, BATCH_OVERHEAD_MS, CACHE_SHARDS};
+pub use client::{
+    BatchOutcome, ClientStats, KeyUniverse, KeyUniverseStore, LlmClient, SubEntryLookup,
+    BATCH_OVERHEAD_MS, CACHE_SHARDS,
+};
 pub use intent::{CmpOp, Condition, PromptValue, TaskIntent};
 pub use knowledge::{Entity, EntityId, FactValue, KnowledgeStore};
 pub use lanes::{lane_schedule, EventClock, Parallelism};

@@ -56,6 +56,17 @@ pub trait LanguageModel: Send + Sync {
 
     /// Runs one completion.
     fn complete(&self, prompt: &str) -> Completion;
+
+    /// Fingerprint of the model's *answering behaviour*, used to key
+    /// cross-query stores (the key-universe store keeps listed keys only
+    /// as long as the model that produced them is answering). The default
+    /// is the model name; implementations whose answers depend on further
+    /// configuration (noise profiles, seeds, sampling knobs) must fold
+    /// every answer-affecting field in, so a configuration change
+    /// invalidates stored universes cleanly.
+    fn signature(&self) -> String {
+        self.name().to_string()
+    }
 }
 
 /// A trivial model for tests: echoes a fixed response.

@@ -311,6 +311,14 @@ impl SimLlm {
                 exclude.as_slice(),
                 prompt,
             ),
+            TaskIntent::ListKeysPage {
+                relation,
+                key_attr,
+                condition,
+                offset,
+            } => {
+                self.answer_list_keys_page(relation, key_attr, condition.as_ref(), *offset, prompt)
+            }
             TaskIntent::FetchAttr {
                 relation,
                 key_attr: _,
@@ -407,22 +415,24 @@ impl SimLlm {
         self.kb.canonical_predicate(relation)
     }
 
-    fn answer_list_keys(
+    /// The model's stable belief surface list for one relation scan —
+    /// recalled entities (condition-screened when the scan carries one,
+    /// with the stable combined-condition flip), each rendered in the
+    /// model's surface form, plus any hallucinated neighbours. Both list
+    /// protocols (exclusion iteration and offset paging) read the same
+    /// list, so a page at offset `n` serves exactly the keys an exclusion
+    /// prompt carrying the first `n` surfaces would have produced next.
+    fn list_surfaces(
         &self,
         relation: &str,
         key_attr: &str,
         condition: Option<&Condition>,
-        exclude: &[String],
-        prompt: &str,
-    ) -> String {
+    ) -> Option<Vec<String>> {
         let ty = self.relation_type(relation);
         let all = self.kb.entities_of_type(&ty);
         if all.is_empty() {
-            return "Unknown".to_string();
+            return None;
         }
-        let mut rng = self.rng(&["list", prompt]);
-
-        // The model's stable belief set for this relation.
         let mut surfaces: Vec<String> = Vec::new();
         for e in &all {
             if !self.recalls(e) {
@@ -445,7 +455,33 @@ impl SimLlm {
                 surfaces.push(noise::fake_name(&mut frng));
             }
         }
+        Some(surfaces)
+    }
 
+    /// Renders one page of list values ("No more results" when empty).
+    fn render_list_page(&self, fresh: Vec<String>, prompt: &str) -> String {
+        let mut rng = self.rng(&["list", prompt]);
+        if fresh.is_empty() {
+            return "No more results".to_string();
+        }
+        if self.profile.verbose && rng.gen::<f64>() < 0.5 {
+            format!("Sure! Here are some values: {}.", fresh.join(", "))
+        } else {
+            fresh.join(", ")
+        }
+    }
+
+    fn answer_list_keys(
+        &self,
+        relation: &str,
+        key_attr: &str,
+        condition: Option<&Condition>,
+        exclude: &[String],
+        prompt: &str,
+    ) -> String {
+        let Some(surfaces) = self.list_surfaces(relation, key_attr, condition) else {
+            return "Unknown".to_string();
+        };
         let excluded: std::collections::HashSet<String> = exclude
             .iter()
             .map(|s| s.trim().to_ascii_lowercase())
@@ -455,15 +491,29 @@ impl SimLlm {
             .filter(|s| !excluded.contains(&s.trim().to_ascii_lowercase()))
             .take(self.profile.list_page_size)
             .collect();
+        self.render_list_page(fresh, prompt)
+    }
 
-        if fresh.is_empty() {
-            return "No more results".to_string();
-        }
-        if self.profile.verbose && rng.gen::<f64>() < 0.5 {
-            format!("Sure! Here are some values: {}.", fresh.join(", "))
-        } else {
-            fresh.join(", ")
-        }
+    /// Offset paging over the same stable surface list the exclusion
+    /// protocol walks: "starting after the first `offset` results" skips
+    /// `offset` surfaces and returns the next page.
+    fn answer_list_keys_page(
+        &self,
+        relation: &str,
+        key_attr: &str,
+        condition: Option<&Condition>,
+        offset: usize,
+        prompt: &str,
+    ) -> String {
+        let Some(surfaces) = self.list_surfaces(relation, key_attr, condition) else {
+            return "Unknown".to_string();
+        };
+        let fresh: Vec<String> = surfaces
+            .into_iter()
+            .skip(offset)
+            .take(self.profile.list_page_size)
+            .collect();
+        self.render_list_page(fresh, prompt)
     }
 
     fn answer_fetch_attr(
@@ -586,6 +636,15 @@ impl LanguageModel for SimLlm {
 
     fn context_window(&self) -> usize {
         self.profile.context_window
+    }
+
+    /// Every answer this simulator produces is a deterministic function of
+    /// the prompt and the full [`ModelProfile`], so the store-keying
+    /// fingerprint is the profile itself: any field change (noise rates,
+    /// seed, page size, …) yields a different signature and invalidates
+    /// stored key universes.
+    fn signature(&self) -> String {
+        format!("{:?}", self.profile)
     }
 
     fn complete(&self, prompt: &str) -> Completion {
