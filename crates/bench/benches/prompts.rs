@@ -55,5 +55,45 @@ fn bench_batched_rendering(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_prompt_builder, bench_batched_rendering);
+/// The fetch-path per-cell render hoist: building one prompt per key for
+/// the same (relation, key attribute, attribute) cell. "before" rebuilds
+/// the full intent and re-renders the preamble/question framing per key;
+/// "after" renders through the hoisted [`galois_core::prompts::FetchTemplate`]
+/// — the table/attribute framing is formatted once and each key costs one
+/// exact-size concatenation.
+fn bench_fetch_render_hoist(c: &mut Criterion) {
+    let builder = PromptBuilder::for_model("chatgpt");
+    let keys: Vec<String> = (0..25).map(|i| format!("City{i}")).collect();
+
+    c.bench_function("fetch_render_per_key_intent_25", |b| {
+        b.iter(|| {
+            keys.iter()
+                .map(|key| {
+                    builder.task(&TaskIntent::FetchAttr {
+                        relation: "city".into(),
+                        key_attr: "name".into(),
+                        key: black_box(key).clone(),
+                        attribute: "population".into(),
+                    })
+                })
+                .collect::<Vec<String>>()
+        })
+    });
+
+    c.bench_function("fetch_render_hoisted_template_25", |b| {
+        b.iter(|| {
+            let template = builder.fetch_template("city", "name", "population");
+            keys.iter()
+                .map(|key| template.render(black_box(key)))
+                .collect::<Vec<String>>()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_prompt_builder,
+    bench_batched_rendering,
+    bench_fetch_render_hoist
+);
 criterion_main!(benches);

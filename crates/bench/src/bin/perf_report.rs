@@ -22,10 +22,20 @@
 //!   waiting at the phase barriers;
 //! * `galois_listcached_cold` / `galois_listcached_warm` — the pipelined
 //!   configuration plus the shared key-universe store
-//!   (`ListStore::On`), run as **two suite passes on one session**: the
-//!   cold pass pages every concept's key universe (speculatively, across
-//!   the lanes) and stores it; the warm pass reads every universe back
-//!   at zero list-prompt cost, collapsing the list-phase virtual floor;
+//!   (`ListStore::On`), run as **two suite passes on one session** across
+//!   `K` concurrent query streams: the cold pass pages every concept's
+//!   key universe (speculatively, across the lanes) and stores it; the
+//!   warm pass reads every universe back at zero list-prompt cost,
+//!   collapsing the list-phase virtual floor;
+//! * `galois_grid_fused` — the listcached-cold configuration with
+//!   `PromptBatch::Grid { keys: B, attrs: A }` (default `A = 6`, wide
+//!   enough to cover every table's non-key width; `--grid-keys` overrides
+//!   `B`, defaulting to `--batch`): one prompt asks up to `A` attributes
+//!   for up to `B` keys, cutting the fetch phase from `C × ⌈keys/B⌉` to
+//!   `⌈C/A⌉ × ⌈keys/B⌉` prompts per step, and speculative pad columns
+//!   seed the sub-entry store so later queries on the same table fetch
+//!   at zero prompt cost. One harness thread keeps the row exactly
+//!   reproducible;
 //! * `qa_baseline` / `qa_cot_baseline` — the paper's `T_M` and `T_C_M`
 //!   one-prompt-per-question methods, across `K` streams.
 //!
@@ -39,12 +49,14 @@
 //! per-key sub-entry store: `cache_hits` are counted by signature (never
 //! by arrival order) and so stay deterministic, but a racing query
 //! re-asks in-flight keys, so the main rows' *prompt* totals can still
-//! wobble by a few prompts between runs — the single-threaded pair (and
-//! the single-threaded listcached pair) is exactly reproducible on every
-//! field, which is what CI asserts equality on.
+//! wobble by a few prompts between runs — the single-threaded pair is
+//! exactly reproducible on every field, which is what CI asserts equality
+//! on. The `listcached_parity` object plays the same role for the
+//! `K`-thread listcached rows: the same cold/warm passes re-run on one
+//! harness thread (a fresh store session).
 //!
 //! Usage: `perf_report [--seed 42] [--parallelism 8] [--batch 10]
-//! [--out BENCH_e2e.json]`.
+//! [--grid-attrs 6] [--grid-keys 10] [--out BENCH_e2e.json]`.
 
 use galois_bench::{parsed_flag, seed_from_args, string_flag};
 use galois_core::{
@@ -174,9 +186,10 @@ fn main() {
         lanes,
     );
     // The listcached pair: one session with the key-universe store on,
-    // the suite run twice. One harness thread keeps both passes exactly
-    // reproducible (CI asserts on these rows); the lanes still drive the
-    // cold pass's speculative page fetches and the per-query dataflow.
+    // the suite run twice, across the full K harness threads (store
+    // totals are thread-count-deterministic since the shared-store PR;
+    // the prompt totals can wobble like the other K-thread rows, which is
+    // why CI asserts equality on the 1-thread parity pair below).
     let store_options = GaloisOptions {
         list_store: ListStore::On,
         ..pipelined_options.clone()
@@ -185,10 +198,46 @@ fn main() {
     let store_session = Galois::with_options(
         model_for(&scenario, store_profile.clone()),
         scenario.database.clone(),
+        store_options.clone(),
+    );
+    let listcached_cold =
+        run_galois_suite_on(&scenario, &store_session, &store_profile.name, lanes);
+    let listcached_warm =
+        run_galois_suite_on(&scenario, &store_session, &store_profile.name, lanes);
+    // The 1-thread listcached parity pair: a fresh store session, both
+    // passes exactly reproducible on every field.
+    let parity_store_session = Galois::with_options(
+        model_for(&scenario, store_profile.clone()),
+        scenario.database.clone(),
         store_options,
     );
-    let listcached_cold = run_galois_suite_on(&scenario, &store_session, &store_profile.name, 1);
-    let listcached_warm = run_galois_suite_on(&scenario, &store_session, &store_profile.name, 1);
+    let parity_listcached_cold = suite_totals(
+        &run_galois_suite_on(&scenario, &parity_store_session, &store_profile.name, 1),
+        lanes,
+    );
+    let parity_listcached_warm = suite_totals(
+        &run_galois_suite_on(&scenario, &parity_store_session, &store_profile.name, 1),
+        lanes,
+    );
+    // The grid-fused row: the listcached-cold configuration with
+    // multi-attribute grid prompting. One harness thread keeps it exactly
+    // reproducible; the lanes still drive the per-query dataflow.
+    let grid_attrs = parsed_flag::<usize>("--grid-attrs").unwrap_or(6).max(1);
+    let grid_keys = parsed_flag::<usize>("--grid-keys").unwrap_or(batch).max(1);
+    let grid_options = GaloisOptions {
+        list_store: ListStore::On,
+        prompt_batch: PromptBatch::Grid {
+            keys: grid_keys,
+            attrs: grid_attrs,
+        },
+        ..pipelined_options.clone()
+    };
+    let grid_session = Galois::with_options(
+        model_for(&scenario, store_profile.clone()),
+        scenario.database.clone(),
+        grid_options,
+    );
+    let grid_fused = run_galois_suite_on(&scenario, &grid_session, &store_profile.name, 1);
 
     let qa = run_baseline_suite_parallel(
         &scenario,
@@ -237,14 +286,20 @@ fn main() {
         MethodReport {
             name: "galois_listcached_cold",
             parallelism: lanes,
-            threads: 1,
+            threads: lanes,
             totals: suite_totals(&listcached_cold, lanes),
         },
         MethodReport {
             name: "galois_listcached_warm",
             parallelism: lanes,
-            threads: 1,
+            threads: lanes,
             totals: suite_totals(&listcached_warm, lanes),
+        },
+        MethodReport {
+            name: "galois_grid_fused",
+            parallelism: lanes,
+            threads: 1,
+            totals: suite_totals(&grid_fused, lanes),
         },
         MethodReport {
             name: "qa_baseline",
@@ -272,6 +327,7 @@ fn main() {
     let cold_ms = methods[5].totals.virtual_ms.max(1);
     let warm_ms = methods[6].totals.virtual_ms.max(1);
     let warm_speedup = cold_ms as f64 / warm_ms as f64;
+    let grid_ms = methods[7].totals.virtual_ms.max(1);
 
     let parity_row = |name: &str, t: &SuiteTotals| {
         format!(
@@ -284,10 +340,13 @@ fn main() {
     let json = format!(
         "{{\n  \"seed\": {seed},\n  \"suite\": \"oracle-46\",\n  \"parallelism\": {lanes},\n  \
          \"methods\": {{\n{}\n  }},\n  \"pipeline_parity\": {{\n{},\n{}\n  }},\n  \
+         \"listcached_parity\": {{\n{},\n{}\n  }},\n  \
          \"virtual_speedup\": {speedup:.2}\n}}\n",
         rows.join(",\n"),
         parity_row("galois_batched", &parity_batched),
         parity_row("galois_pipelined", &parity_pipelined),
+        parity_row("galois_listcached_cold", &parity_listcached_cold),
+        parity_row("galois_listcached_warm", &parity_listcached_warm),
     );
     std::fs::write(&out, &json).expect("write report");
 
@@ -312,6 +371,15 @@ fn main() {
         "key-universe store: {} ms cold -> {} ms warm ({warm_speedup:.1}x, \
          list phase {} -> {} ms)",
         cold_ms, warm_ms, methods[5].totals.list_virtual_ms, methods[6].totals.list_virtual_ms
+    );
+    println!(
+        "grid fusion (B={grid_keys} x A={grid_attrs}): {} prompts / {} ms cold -> {} prompts / \
+         {grid_ms} ms (fetch phase {} -> {} ms)",
+        methods[5].totals.prompts,
+        cold_ms,
+        methods[7].totals.prompts,
+        methods[5].totals.fetch_virtual_ms,
+        methods[7].totals.fetch_virtual_ms,
     );
     for m in &methods {
         println!(

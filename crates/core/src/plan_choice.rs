@@ -125,6 +125,12 @@ pub struct PlannerParams {
     /// fetch prompt. 1.0 (the default) reproduces the unbatched estimates
     /// bit for bit.
     pub batch_keys: f64,
+    /// Grid attribute-fusion factor
+    /// ([`crate::PromptBatch::Grid`]): fetched columns fused per grid
+    /// prompt, cutting the fetch phase from `C × ⌈keys/B⌉` to
+    /// `⌈C/A⌉ × ⌈keys/B⌉` prompts per step. 1.0 (the default) reproduces
+    /// the per-column estimates bit for bit.
+    pub batch_attrs: f64,
     /// Streaming pipeline on ([`crate::GaloisOptions::pipeline`]): latency
     /// is estimated as the dataflow's critical path
     /// ([`rcost::critical_path_ms`]) instead of the phase-barrier sum, and
@@ -153,6 +159,7 @@ impl Default for PlannerParams {
             cache_hit_rate: 0.0,
             list_page_size: DEFAULT_LIST_PAGE,
             batch_keys: 1.0,
+            batch_attrs: 1.0,
             pipeline_streaming: false,
             warm_lists: None,
         }
@@ -186,6 +193,13 @@ impl PlannerParams {
     /// [`crate::GaloisOptions::prompt_batch`] into the estimates.
     pub fn with_batch_keys(mut self, batch_keys: usize) -> Self {
         self.batch_keys = batch_keys.max(1) as f64;
+        self
+    }
+
+    /// Sets the grid attribute-fusion factor (clamped to ≥ 1), threading
+    /// [`crate::PromptBatch::Grid`]'s `attrs` into the estimates.
+    pub fn with_batch_attrs(mut self, batch_attrs: usize) -> Self {
+        self.batch_attrs = batch_attrs.max(1) as f64;
         self
     }
 
@@ -363,14 +377,24 @@ pub fn estimate_step(step: &LlmScanStep, catalog: &Catalog, params: &PlannerPara
         n *= condition_selectivity(cond);
     }
 
-    // Every (column × chunk) fetch cell is independent — one wave.
+    // Every (attr-group × chunk) fetch cell is independent — one wave.
+    // Without grid fusion each column is its own group; with
+    // `PromptBatch::Grid` the columns fuse into ⌈C/A⌉ groups whose prompts
+    // carry `batch_keys × attrs-per-group` answer cells each.
     let cols = step.fetch.len() as f64;
+    let groups = if cols > 0.0 {
+        (cols / params.batch_attrs).ceil()
+    } else {
+        0.0
+    };
+    let attrs_per_group = if groups > 0.0 { cols / groups } else { 0.0 };
     let col_prompts = rcost::batched_prompt_count(n, params.batch_keys);
-    let fetch_prompts = col_prompts * cols;
+    let fetch_prompts = col_prompts * groups;
+    let fetch_fused = params.fused_prompt_latency_ms(params.batch_keys * attrs_per_group.max(1.0));
     wave_total += wave_ms(
         fetch_prompts,
-        (col_prompts / params.batch_size).ceil() * cols,
-        fused,
+        (col_prompts / params.batch_size).ceil() * groups,
+        fetch_fused,
         params,
     );
 
@@ -552,7 +576,12 @@ impl PlannedQuery {
         // The batch factor only appears when batching is on, so the
         // `PromptBatch::Off` report stays byte-identical to the pre-batch
         // pipeline's.
-        let batch = if params.batch_keys > 1.0 {
+        let batch = if params.batch_attrs > 1.0 {
+            format!(
+                ", batch: {:.0} keys × {:.0} attrs/prompt",
+                params.batch_keys, params.batch_attrs
+            )
+        } else if params.batch_keys > 1.0 {
             format!(", batch: {:.0} keys/prompt", params.batch_keys)
         } else {
             String::new()
@@ -755,6 +784,73 @@ mod tests {
         assert!(p.fused_prompt_latency_ms(10.0) > p.prompt_latency_ms);
         assert!(p.fused_prompt_latency_ms(10.0) < 10.0 * p.prompt_latency_ms);
         assert_eq!(p.fused_prompt_latency_ms(1.0), p.prompt_latency_ms);
+    }
+
+    #[test]
+    fn batch_attrs_of_one_matches_per_column_estimates_exactly() {
+        let q = "SELECT name, population, country FROM city WHERE elevation < 100";
+        let base = planned(
+            q,
+            Planner::CostBased,
+            &PlannerParams::default().with_batch_keys(10),
+        );
+        let one = planned(
+            q,
+            Planner::CostBased,
+            &PlannerParams::default()
+                .with_batch_keys(10)
+                .with_batch_attrs(1),
+        );
+        assert_eq!(base.report, one.report);
+        assert_eq!(base.compiled, one.compiled);
+    }
+
+    #[test]
+    fn grid_shrinks_estimated_fetch_prompts() {
+        let q = "SELECT name, population, country FROM city WHERE elevation < 100";
+        let keys_only = planned(
+            q,
+            Planner::CostBased,
+            &PlannerParams::default().with_batch_keys(10),
+        );
+        let grid = planned(
+            q,
+            Planner::CostBased,
+            &PlannerParams::default()
+                .with_batch_keys(10)
+                .with_batch_attrs(4),
+        );
+        let keys_fetch: f64 = keys_only.report.steps.iter().map(|c| c.fetch_prompts).sum();
+        let grid_fetch: f64 = grid.report.steps.iter().map(|c| c.fetch_prompts).sum();
+        assert!(
+            grid_fetch < keys_fetch,
+            "grid {grid_fetch} vs keys-only {keys_fetch}"
+        );
+        assert!(grid.report.est_total_prompts < keys_only.report.est_total_prompts);
+        assert!(grid.report.est_virtual_ms < keys_only.report.est_virtual_ms);
+    }
+
+    #[test]
+    fn render_shows_grid_batch_tag() {
+        let s = Scenario::generate(42);
+        let plan = s
+            .database
+            .plan("SELECT name, population FROM city WHERE elevation < 100")
+            .unwrap();
+        let grid = PlannerParams::default()
+            .with_batch_keys(10)
+            .with_batch_attrs(4);
+        let text = plan_query(
+            &plan,
+            s.database.catalog(),
+            &CompileOptions::default(),
+            Planner::CostBased,
+            &grid,
+        )
+        .unwrap()
+        .render(s.database.catalog(), &grid);
+        assert!(text.contains("batch: 10 keys × 4 attrs/prompt"), "{text}");
+        assert!(!text.contains("keys/prompt"), "{text}");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! instruction, as the paper "construct\[s\] prompts appropriately for each
 //! model".
 
-use galois_llm::intent::{render_task, TaskIntent};
+use galois_llm::intent::{render_fetch_attr_parts, render_task, TaskIntent};
 
 /// The paper's Figure 4 preamble, verbatim.
 pub const FIGURE4_PREAMBLE: &str = "\
@@ -101,6 +101,43 @@ impl PromptBuilder {
             self.preamble, COT_EXEMPLAR
         )
     }
+
+    /// Precomputes the per-cell fetch prompt template of one `(relation,
+    /// key attribute, fetched attribute)` cell: everything but the key —
+    /// preamble, question lead-in, relation, attribute, answer instruction
+    /// — is rendered once, and the per-key hot loop of the fetch phase
+    /// becomes two appends around the key ([`FetchTemplate::render`]).
+    /// Same shape as the `cell_sig_prefix` hoist of the batched protocol;
+    /// the `prompts` criterion bench measures the before/after.
+    pub fn fetch_template(&self, relation: &str, key_attr: &str, attribute: &str) -> FetchTemplate {
+        let (q_prefix, q_suffix) = render_fetch_attr_parts(relation, key_attr, attribute);
+        FetchTemplate {
+            prefix: format!("{}{q_prefix}", self.question_prefix),
+            suffix: format!("{q_suffix}\nA:"),
+        }
+    }
+}
+
+/// A pre-rendered single-attribute fetch prompt with a hole for the key
+/// (see [`PromptBuilder::fetch_template`]). Rendering through the template
+/// is byte-identical to [`PromptBuilder::task`] on the equivalent
+/// [`TaskIntent::FetchAttr`] — the parts come from the same
+/// [`render_fetch_attr_parts`] the render arm uses.
+#[derive(Debug, Clone)]
+pub struct FetchTemplate {
+    prefix: String,
+    suffix: String,
+}
+
+impl FetchTemplate {
+    /// The full prompt for one key, in one exact-size allocation.
+    pub fn render(&self, key: &str) -> String {
+        let mut prompt = String::with_capacity(self.prefix.len() + key.len() + self.suffix.len());
+        prompt.push_str(&self.prefix);
+        prompt.push_str(key);
+        prompt.push_str(&self.suffix);
+        prompt
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +191,23 @@ mod tests {
                 format!("{}\nQ: How many cities exist?\nA:", b.preamble),
                 "{model}"
             );
+        }
+    }
+
+    #[test]
+    fn fetch_template_matches_task_rendering_byte_for_byte() {
+        for model in ["gpt3", "chatgpt", "flan", "tk"] {
+            let b = PromptBuilder::for_model(model);
+            let template = b.fetch_template("city", "name", "population");
+            for key in ["Rome", "Val d'Oro: east", "A, B"] {
+                let direct = b.task(&TaskIntent::FetchAttr {
+                    relation: "city".into(),
+                    key_attr: "name".into(),
+                    key: key.into(),
+                    attribute: "population".into(),
+                });
+                assert_eq!(template.render(key), direct, "{model} / {key}");
+            }
         }
     }
 

@@ -285,6 +285,22 @@ pub enum TaskIntent {
         /// Condition to check for every key.
         condition: Condition,
     },
+    /// Grid-fused fetch: one prompt asks *several* attributes for a whole
+    /// batch of keys and the model answers one `key ⌁ attr: value` line
+    /// per (key, attribute) cell. Fuses `FetchAttrBatch` across columns so
+    /// a scan step pays `ceil(C/A) × ceil(keys/B)` fetch prompts instead
+    /// of `C × ceil(keys/B)`.
+    FetchGridBatch {
+        /// Relation name.
+        relation: String,
+        /// Key attribute label.
+        key_attr: String,
+        /// Key values, one per requested line (same `- ` line protocol as
+        /// the single-attribute batch; keys may contain `:` and commas).
+        keys: Vec<String>,
+        /// Attributes to retrieve for every key, in answer-column order.
+        attributes: Vec<String>,
+    },
 }
 
 // ---------------------------------------------------------------------
@@ -340,10 +356,10 @@ pub fn render_task(intent: &TaskIntent) -> String {
             key_attr,
             key,
             attribute,
-        } => format!(
-            "For the {relation} identified by {key_attr} '{key}', what is its {attribute}? \
-             Answer with the value only, or \"Unknown\"."
-        ),
+        } => {
+            let (prefix, suffix) = render_fetch_attr_parts(relation, key_attr, attribute);
+            format!("{prefix}{key}{suffix}")
+        }
         TaskIntent::CheckFilter {
             relation,
             key_attr,
@@ -377,7 +393,35 @@ pub fn render_task(intent: &TaskIntent) -> String {
             condition.render_phrase(),
             render_key_lines(keys),
         ),
+        TaskIntent::FetchGridBatch {
+            relation,
+            key_attr,
+            keys,
+            attributes,
+        } => format!(
+            "For each {relation} identified by {key_attr} listed below, what are its \
+             {}? {FETCH_GRID_MARKER}\n{}",
+            attributes.join(" / "),
+            render_key_lines(keys),
+        ),
     }
+}
+
+/// The [`TaskIntent::FetchAttr`] question split around the key. The fetch
+/// phase renders one question per `(key, attribute)` cell and everything
+/// except the key is constant per cell, so prompt builders can precompute
+/// both halves once and splice each key in: `prefix + key + suffix` is
+/// byte-identical to [`render_task`] on the equivalent intent (the render
+/// arm itself goes through this function, so the two cannot fork).
+pub fn render_fetch_attr_parts(
+    relation: &str,
+    key_attr: &str,
+    attribute: &str,
+) -> (String, String) {
+    (
+        format!("For the {relation} identified by {key_attr} '"),
+        format!("', what is its {attribute}? Answer with the value only, or \"Unknown\"."),
+    )
 }
 
 /// Instruction sentence of a batched fetch prompt. Doubling as the parse
@@ -389,6 +433,17 @@ const FETCH_BATCH_MARKER: &str = "Answer with exactly one line per key, \
 /// Instruction sentence of a batched filter prompt.
 const FILTER_BATCH_MARKER: &str = "Answer with exactly one line per key, \
      formatted as \"key: Yes\" or \"key: No\". The keys:";
+
+/// The `key ⌁ attribute` separator of a grid answer line. U+2301 never
+/// occurs in schema attribute names or generated keys, so the line prefix
+/// `"{key} ⌁ {attr}: "` is unambiguous even when attribute names collide
+/// with key names or either side contains `:`.
+pub const GRID_SEP: &str = " \u{2301} ";
+
+/// Instruction sentence of a grid-fused fetch prompt.
+const FETCH_GRID_MARKER: &str = "Answer with exactly one line per key and attribute, \
+     formatted as \"key \u{2301} attribute: value\", or \
+     \"key \u{2301} attribute: Unknown\". The keys:";
 
 /// Renders batch keys one per line behind a `- ` marker. Parsing strips
 /// exactly one marker, so keys that themselves start with `- ` round-trip
@@ -476,6 +531,79 @@ where
     out
 }
 
+/// Splits a grid answer into per-cell payloads: `result[ki][ai]` is the
+/// payload for `keys[ki]` × `attrs[ai]`, or `None` when that cell's line
+/// was dropped or garbled (the caller's fallback ladder re-asks exactly
+/// those cells).
+///
+/// The model is asked for one `key ⌁ attr: payload` line per cell. Lines
+/// are matched by their `"{key} ⌁ {attr}: "` prefix, not by position, so
+/// a model that permutes answer lines still parses cleanly; duplicate
+/// keys in a batch consume matching lines greedily in order. As in
+/// [`split_batched_answer`], a line is assigned to a cell only if no cell
+/// with a *longer* key also owns it — a key containing the separator can
+/// never silently steal another cell's answer, it just falls back.
+pub fn split_grid_answer(
+    answer: &str,
+    keys: &[String],
+    attrs: &[String],
+) -> Vec<Vec<Option<String>>> {
+    let lines: Vec<&str> = answer.lines().map(str::trim).collect();
+    let mut used = vec![false; lines.len()];
+    fn owns<'a>(key: &str, attr: &str, line: &'a str) -> Option<&'a str> {
+        line.strip_prefix(key)?
+            .strip_prefix(GRID_SEP)?
+            .strip_prefix(attr)?
+            .strip_prefix(": ")
+    }
+    keys.iter()
+        .map(|key| {
+            attrs
+                .iter()
+                .map(|attr| {
+                    for (i, line) in lines.iter().enumerate() {
+                        if used[i] {
+                            continue;
+                        }
+                        if let Some(payload) = owns(key, attr, line) {
+                            let shadowed = keys.iter().any(|other| {
+                                other.len() > key.len()
+                                    && attrs.iter().any(|a| owns(other, a, line).is_some())
+                            });
+                            if shadowed {
+                                continue;
+                            }
+                            used[i] = true;
+                            return Some(payload.to_string());
+                        }
+                    }
+                    None
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Renders per-cell payloads as the `key ⌁ attr: payload` answer lines of
+/// a grid-fused prompt — the inverse of [`split_grid_answer`].
+pub fn render_grid_answer<'a, I>(cells: I) -> String
+where
+    I: IntoIterator<Item = (&'a str, &'a str, &'a str)>,
+{
+    let mut out = String::new();
+    for (i, (key, attr, payload)) in cells.into_iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(key);
+        out.push_str(GRID_SEP);
+        out.push_str(attr);
+        out.push_str(": ");
+        out.push_str(payload);
+    }
+    out
+}
+
 // ---------------------------------------------------------------------
 // Parsing (used by the simulated LLM)
 // ---------------------------------------------------------------------
@@ -514,6 +642,7 @@ pub fn parse_task(prompt: &str) -> Option<TaskIntent> {
         .or_else(|| parse_fetch_attr(q))
         .or_else(|| parse_check_filter(q))
         .or_else(|| parse_fetch_attr_batch(q))
+        .or_else(|| parse_fetch_grid_batch(q))
         .or_else(|| parse_filter_keys_batch(q))
 }
 
@@ -595,6 +724,26 @@ fn parse_fetch_attr_batch(q: &str) -> Option<TaskIntent> {
         key_attr: key_attr.trim().to_string(),
         keys: parse_key_lines(body)?,
         attribute: attribute.trim().to_string(),
+    })
+}
+
+fn parse_fetch_grid_batch(q: &str) -> Option<TaskIntent> {
+    let rest = q.strip_prefix("For each ")?;
+    let (relation, rest) = rest.split_once(" identified by ")?;
+    let (key_attr, rest) = rest.split_once(" listed below, what are its ")?;
+    let (attributes, body) = rest.split_once(&format!("? {FETCH_GRID_MARKER}\n"))?;
+    let attributes: Vec<String> = attributes
+        .split(" / ")
+        .map(|a| a.trim().to_string())
+        .collect();
+    if attributes.iter().any(String::is_empty) {
+        return None;
+    }
+    Some(TaskIntent::FetchGridBatch {
+        relation: relation.trim().to_string(),
+        key_attr: key_attr.trim().to_string(),
+        keys: parse_key_lines(body)?,
+        attributes,
     })
 }
 
@@ -905,6 +1054,133 @@ mod tests {
         assert_eq!(
             split_batched_answer(&rendered, &keys),
             vec![Some("Yes".to_string()), Some("No".to_string())]
+        );
+    }
+
+    #[test]
+    fn task_fetch_grid_batch_roundtrip() {
+        let t = TaskIntent::FetchGridBatch {
+            relation: "city".into(),
+            key_attr: "name".into(),
+            keys: vec!["Rome".into(), "New York City".into(), "- dashed".into()],
+            attributes: vec!["population".into(), "elevation".into()],
+        };
+        assert_eq!(parse_task(&render_task(&t)), Some(t.clone()));
+        let wrapped = format!(
+            "I am a bot.\nQ: What is 1+1?\nA: 2.\nQ: {}\nA:",
+            render_task(&t)
+        );
+        assert_eq!(parse_task(&wrapped), Some(t));
+    }
+
+    #[test]
+    fn grid_keys_with_colons_and_commas_roundtrip() {
+        let t = TaskIntent::FetchGridBatch {
+            relation: "song".into(),
+            key_attr: "title".into(),
+            keys: vec![
+                "Home: Live, Vol. 2".into(),
+                "a, b: c".into(),
+                "plain".into(),
+            ],
+            attributes: vec!["releaseYear".into(), "yearly passenger count".into()],
+        };
+        assert_eq!(parse_task(&render_task(&t)), Some(t));
+    }
+
+    #[test]
+    fn split_grid_answer_matches_cells_in_any_line_order() {
+        let keys: Vec<String> = vec!["Rome".into(), "Pa: ris".into()];
+        let attrs: Vec<String> = vec!["population".into(), "country".into()];
+        // Lines permuted relative to (key, attr) request order: matching
+        // is by prefix, not position.
+        let answer = "Pa: ris \u{2301} country: France\n\
+                      Rome \u{2301} population: 2800000\n\
+                      Pa: ris \u{2301} population: Unknown\n\
+                      Rome \u{2301} country: Italy: South";
+        assert_eq!(
+            split_grid_answer(answer, &keys, &attrs),
+            vec![
+                vec![
+                    Some("2800000".to_string()),
+                    Some("Italy: South".to_string())
+                ],
+                vec![Some("Unknown".to_string()), Some("France".to_string())],
+            ]
+        );
+        // A dropped line yields None for that cell only.
+        let partial = "Rome \u{2301} population: 2800000\nPa: ris \u{2301} country: France";
+        assert_eq!(
+            split_grid_answer(partial, &keys, &attrs),
+            vec![
+                vec![Some("2800000".to_string()), None],
+                vec![None, Some("France".to_string())],
+            ]
+        );
+    }
+
+    #[test]
+    fn split_grid_answer_handles_duplicate_keys_and_empty_values() {
+        let keys: Vec<String> = vec!["A".into(), "A".into()];
+        let attrs: Vec<String> = vec!["x".into()];
+        // Duplicate keys consume matching lines greedily in order. An
+        // *empty* payload trims down to a line without the ": " separator,
+        // so it reads as garbled → None → the caller's fallback re-asks
+        // that one cell (same contract as `split_batched_answer`; accuracy
+        // is preserved by the re-ask, never by guessing).
+        assert_eq!(
+            split_grid_answer("A \u{2301} x: 1\nA \u{2301} x: ", &keys, &attrs),
+            vec![vec![Some("1".to_string())], vec![None]]
+        );
+        assert_eq!(
+            split_grid_answer("nonsense", &keys, &attrs),
+            vec![vec![None], vec![None]]
+        );
+    }
+
+    #[test]
+    fn grid_attr_names_colliding_with_keys_do_not_cross_wire() {
+        // The key "population" collides with the attribute "population";
+        // the ⌁ separator keeps every cell unambiguous.
+        let keys: Vec<String> = vec!["population".into(), "Rome".into()];
+        let attrs: Vec<String> = vec!["population".into()];
+        let answer = "population \u{2301} population: 7\nRome \u{2301} population: 9";
+        assert_eq!(
+            split_grid_answer(answer, &keys, &attrs),
+            vec![vec![Some("7".to_string())], vec![Some("9".to_string())]]
+        );
+    }
+
+    #[test]
+    fn grid_shadowed_keys_fall_back_instead_of_stealing_answers() {
+        // "Rome"'s line was dropped; the surviving line belongs to the
+        // longer key "Rome ⌁ population: x" (a key that embeds the
+        // separator). "Rome" must yield None, not steal the line.
+        let keys: Vec<String> = vec!["Rome".into(), "Rome \u{2301} population: x".into()];
+        let attrs: Vec<String> = vec!["population".into()];
+        let answer = "Rome \u{2301} population: x \u{2301} population: 5";
+        assert_eq!(
+            split_grid_answer(answer, &keys, &attrs),
+            vec![vec![None], vec![Some("5".to_string())]]
+        );
+    }
+
+    #[test]
+    fn render_grid_answer_is_split_inverse() {
+        let keys: Vec<String> = vec!["Rome".into(), "Lyon".into()];
+        let attrs: Vec<String> = vec!["population".into(), "country".into()];
+        let rendered = render_grid_answer(vec![
+            ("Rome", "population", "2800000"),
+            ("Rome", "country", "Italy"),
+            ("Lyon", "population", "500000"),
+            ("Lyon", "country", "France"),
+        ]);
+        assert_eq!(
+            split_grid_answer(&rendered, &keys, &attrs),
+            vec![
+                vec![Some("2800000".to_string()), Some("Italy".to_string())],
+                vec![Some("500000".to_string()), Some("France".to_string())],
+            ]
         );
     }
 

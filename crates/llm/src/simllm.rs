@@ -367,7 +367,62 @@ impl SimLlm {
                     self.answer_check_filter(relation, key, condition, single_prompt)
                 },
             ),
+            TaskIntent::FetchGridBatch {
+                relation,
+                key_attr,
+                keys,
+                attributes,
+            } => self.answer_grid(prompt, relation, key_attr, keys, attributes),
         }
+    }
+
+    /// Answers a grid-fused fetch as one `key ⌁ attr: answer` line per
+    /// (key, attribute) cell.
+    ///
+    /// Like [`Self::answer_batched`], every cell is answered through the
+    /// *single-key, single-attribute* machinery seeded with the
+    /// reconstructed one-cell prompt, so grid answers are bit-identical to
+    /// what per-cell retrieval would have produced under the same prompt
+    /// builder — the guarantee that lets the engine prove grid mode's
+    /// `R_M`-invariance on a noise-free model.
+    fn answer_grid(
+        &self,
+        prompt: &str,
+        relation: &str,
+        key_attr: &str,
+        keys: &[String],
+        attributes: &[String],
+    ) -> String {
+        if keys.is_empty() || attributes.is_empty() {
+            return "Unknown".to_string();
+        }
+        let preamble = intent::question_start(prompt).map_or("", |i| &prompt[..i]);
+        let cells: Vec<(String, String, String)> = keys
+            .iter()
+            .flat_map(|key| {
+                attributes.iter().map(move |attribute| {
+                    let single_prompt = format!(
+                        "{preamble}Q: {}\nA:",
+                        intent::render_task(&TaskIntent::FetchAttr {
+                            relation: relation.to_string(),
+                            key_attr: key_attr.to_string(),
+                            key: key.clone(),
+                            attribute: attribute.clone(),
+                        })
+                    );
+                    (
+                        key.clone(),
+                        attribute.clone(),
+                        self.answer_fetch_attr(relation, key, attribute, &single_prompt),
+                    )
+                })
+            })
+            .collect();
+        intent::render_grid_answer(
+            cells
+                .iter()
+                .map(|(k, a, v)| (k.as_str(), a.as_str(), v.as_str())),
+        )
     }
 
     /// Answers a multi-key batched task as one `key: answer` line per key.
@@ -852,6 +907,64 @@ mod tests {
                 .text;
             assert_eq!(sub.as_deref(), Some(single.as_str()), "key {key}");
         }
+    }
+
+    #[test]
+    fn grid_fetch_answers_are_bit_identical_to_single_cell_path() {
+        // chatgpt, not oracle: format noise and verbosity are prompt-seeded,
+        // so this proves the per-cell prompt reconstruction.
+        let m = SimLlm::new(test_kb(), ModelProfile::chatgpt());
+        let keys: Vec<String> = vec!["Rome".into(), "Milan".into(), "Lyon".into()];
+        let attrs: Vec<String> = vec!["population".into(), "country".into()];
+        let grid = m
+            .complete(&with_preamble(&render_task(&TaskIntent::FetchGridBatch {
+                relation: "city".into(),
+                key_attr: "name".into(),
+                keys: keys.clone(),
+                attributes: attrs.clone(),
+            })))
+            .text;
+        let split = crate::intent::split_grid_answer(&grid, &keys, &attrs);
+        for (key, row) in keys.iter().zip(split) {
+            for (attr, cell) in attrs.iter().zip(row) {
+                let single = m
+                    .complete(&with_preamble(&render_task(&TaskIntent::FetchAttr {
+                        relation: "city".into(),
+                        key_attr: "name".into(),
+                        key: key.clone(),
+                        attribute: attr.clone(),
+                    })))
+                    .text;
+                assert_eq!(
+                    cell.as_deref(),
+                    Some(single.as_str()),
+                    "cell {key} × {attr}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_answer_latency_scales_with_answer_volume() {
+        let m = SimLlm::new(test_kb(), ModelProfile::gpt3());
+        let grid = |keys: Vec<String>, attributes: Vec<String>| {
+            m.complete(&render_task(&TaskIntent::FetchGridBatch {
+                relation: "city".into(),
+                key_attr: "name".into(),
+                keys,
+                attributes,
+            }))
+        };
+        let one = grid(vec!["Rome".into()], vec!["population".into()]);
+        let four = grid(
+            vec!["Rome".into(), "Milan".into()],
+            vec!["population".into(), "country".into()],
+        );
+        // One fixed decode latency per prompt; four cells cost answer
+        // tokens only — fusing attributes amortises exactly like fusing
+        // keys.
+        assert!(four.latency_ms > one.latency_ms);
+        assert!(four.latency_ms < 4 * one.latency_ms);
     }
 
     #[test]

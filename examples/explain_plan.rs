@@ -48,6 +48,16 @@ fn main() {
             Pipeline::Streaming,
             8,
         ),
+        // Grid fusion adds the attribute axis: the header's batch tag
+        // becomes `batch: 10 keys × 4 attrs/prompt` and the fetch
+        // estimate drops to `⌈C/A⌉` chunk streams.
+        (
+            "cost-based + grid 10×4 + streaming, 8 lanes",
+            Planner::CostBased,
+            PromptBatch::Grid { keys: 10, attrs: 4 },
+            Pipeline::Streaming,
+            8,
+        ),
     ] {
         let model = Arc::new(SimLlm::new(
             scenario.knowledge.clone(),

@@ -1,0 +1,404 @@
+//! Grid-fused multi-attribute prompting invariants (PR 7):
+//!
+//! 1. **Off bit-exactness** — `PromptBatch::Off` (still the default) must
+//!    stay bit-identical to a default-options session: prompts per kind,
+//!    cache hits, both virtual clocks and result relations all match.
+//!    (`Keys(B)` bit-exactness with the pre-grid engine is carried by
+//!    `tests/batch_equivalence.rs`, which is untouched by this PR.)
+//! 2. **Ablation base case** — `Grid { keys: B, attrs: 1 }` is the grid
+//!    protocol with no attribute fusion: same prompt-count economics as
+//!    `Keys(B)`, same relations.
+//! 3. **Grid result invariance** — `Grid { keys: B, attrs: A }` may
+//!    reshape the fetch schedule arbitrarily, but on a noise-free model it
+//!    never changes `R_M`, for any B, A, worker count or pipeline mode.
+//! 4. **Fallback safety** — when grid answers are corrupted so cells fail
+//!    to parse, the ladder (grid → per-attribute key batch → per-key
+//!    single) restores the exact `PromptBatch::Off` relations; accuracy
+//!    can never regress, only the prompt bill can.
+
+use galois::core::{Galois, GaloisOptions, Parallelism, Pipeline, PromptBatch};
+use galois::dataset::{Scenario, WorldConfig};
+use galois::llm::intent::{parse_task, TaskIntent};
+use galois::llm::{Completion, LanguageModel, ModelProfile, SimLlm};
+use galois::relational::{Relation, Value};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn small_config() -> WorldConfig {
+    WorldConfig {
+        countries: 6,
+        cities: 14,
+        airports: 6,
+        singers: 6,
+        concerts: 8,
+        employees: 10,
+    }
+}
+
+fn sorted_rows(rel: &Relation) -> Vec<Vec<String>> {
+    let mut rows: Vec<Vec<String>> = rel
+        .rows
+        .iter()
+        .map(|r| r.iter().map(Value::render).collect())
+        .collect();
+    rows.sort();
+    rows
+}
+
+fn session(s: &Scenario, batch: PromptBatch, lanes: usize, pipeline: Pipeline) -> Galois {
+    Galois::with_options(
+        Arc::new(SimLlm::new(s.knowledge.clone(), ModelProfile::oracle())),
+        s.database.clone(),
+        GaloisOptions {
+            prompt_batch: batch,
+            parallelism: Parallelism::new(lanes),
+            pipeline,
+            ..Default::default()
+        },
+    )
+}
+
+/// `PromptBatch::Off` stays the default, and the default session remains
+/// bit-identical to an explicitly-Off one on every observable counter —
+/// the grid machinery must be invisible until switched on.
+#[test]
+fn off_is_bit_identical_to_default_pipeline() {
+    let s = Scenario::generate_with(42, small_config());
+    let default_session = Galois::with_options(
+        Arc::new(SimLlm::new(s.knowledge.clone(), ModelProfile::oracle())),
+        s.database.clone(),
+        GaloisOptions::default(),
+    );
+    let off_session = session(&s, PromptBatch::Off, 1, Pipeline::Off);
+    assert_eq!(
+        GaloisOptions::default().prompt_batch,
+        PromptBatch::Off,
+        "Off must stay the default"
+    );
+    for spec in &s.suite {
+        let sql = spec.to_sql();
+        let a = default_session.execute(&sql).unwrap();
+        let b = off_session.execute(&sql).unwrap();
+        assert_eq!(a.relation.rows, b.relation.rows, "q{}", spec.id);
+        assert_eq!(a.stats.list_prompts, b.stats.list_prompts, "q{}", spec.id);
+        assert_eq!(
+            a.stats.filter_prompts, b.stats.filter_prompts,
+            "q{}",
+            spec.id
+        );
+        assert_eq!(a.stats.fetch_prompts, b.stats.fetch_prompts, "q{}", spec.id);
+        assert_eq!(a.stats.cache_hits, b.stats.cache_hits, "q{}", spec.id);
+        assert_eq!(a.stats.virtual_ms, b.stats.virtual_ms, "q{}", spec.id);
+        assert_eq!(
+            a.stats.serial_virtual_ms, b.stats.serial_virtual_ms,
+            "q{}",
+            spec.id
+        );
+    }
+}
+
+/// `Grid { keys: B, attrs: 1 }` is the ablation base case: the grid
+/// protocol without attribute fusion must match `Keys(B)`'s prompt-count
+/// economics exactly, on both pipelines.
+#[test]
+fn grid_of_one_attr_matches_keys_batching_counts() {
+    let s = Scenario::generate_with(42, small_config());
+    for pipeline in [Pipeline::Off, Pipeline::Streaming] {
+        let keys = session(&s, PromptBatch::Keys(8), 1, pipeline);
+        let grid = session(&s, PromptBatch::Grid { keys: 8, attrs: 1 }, 1, pipeline);
+        for spec in s.suite.iter().take(12) {
+            let sql = spec.to_sql();
+            let a = keys.execute(&sql).unwrap();
+            let b = grid.execute(&sql).unwrap();
+            assert_eq!(
+                sorted_rows(&a.relation),
+                sorted_rows(&b.relation),
+                "q{} ({pipeline:?})",
+                spec.id
+            );
+            assert_eq!(
+                a.stats.total_prompts(),
+                b.stats.total_prompts(),
+                "q{} ({pipeline:?})",
+                spec.id
+            );
+            assert_eq!(
+                a.stats.fetch_prompts, b.stats.fetch_prompts,
+                "q{} ({pipeline:?})",
+                spec.id
+            );
+        }
+    }
+}
+
+/// Grid execution returns identical relations across B × A × K × pipeline
+/// over the suite — attribute fusion reshapes the schedule, never `R_M`.
+#[test]
+fn grid_relations_match_off_across_b_a_k_and_pipelines() {
+    let s = Scenario::generate_with(42, small_config());
+    let off = session(&s, PromptBatch::Off, 1, Pipeline::Off);
+    for spec in s.suite.iter().take(12) {
+        let sql = spec.to_sql();
+        let base = off.execute(&sql).unwrap();
+        for pipeline in [Pipeline::Off, Pipeline::Streaming] {
+            for lanes in [1usize, 8] {
+                for b in [2usize, 10] {
+                    // `attrs: 64` exceeds every step's fetch width — the
+                    // "all attributes in one prompt" extreme.
+                    for a in [2usize, 64] {
+                        let got =
+                            session(&s, PromptBatch::Grid { keys: b, attrs: a }, lanes, pipeline)
+                                .execute(&sql)
+                                .unwrap();
+                        assert_eq!(
+                            sorted_rows(&got.relation),
+                            sorted_rows(&base.relation),
+                            "q{} diverged at B={b}, A={a}, K={lanes}, {pipeline:?}: {sql}",
+                            spec.id
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The headline economics: on a multi-attribute query the grid spends
+/// strictly fewer fetch prompts than key-only batching, and its per-(key,
+/// attr) sub-entries serve narrower follow-up queries without any new
+/// fetch prompts (cache interop).
+#[test]
+fn grid_cuts_fetch_prompts_and_serves_narrower_queries() {
+    let s = Scenario::generate_with(42, small_config());
+    let wide = "SELECT name, population, country FROM city WHERE elevation < 3000";
+    let narrow = "SELECT name, population FROM city WHERE elevation < 3000";
+    let keys = session(&s, PromptBatch::Keys(10), 1, Pipeline::Off);
+    let grid = session(
+        &s,
+        PromptBatch::Grid { keys: 10, attrs: 4 },
+        1,
+        Pipeline::Off,
+    );
+    let a = keys.execute(wide).unwrap();
+    let b = grid.execute(wide).unwrap();
+    assert_eq!(sorted_rows(&a.relation), sorted_rows(&b.relation));
+    assert!(
+        b.stats.fetch_prompts < a.stats.fetch_prompts,
+        "grid {} vs keys-only {}",
+        b.stats.fetch_prompts,
+        a.stats.fetch_prompts
+    );
+    // The wide grid answers were stored per (key, attr): the narrower
+    // query's fetch phase resolves entirely at sub-entry extraction.
+    let c = grid.execute(narrow).unwrap();
+    assert_eq!(c.stats.fetch_prompts, 0, "narrow query re-fetched");
+    assert!(c.stats.cache_hits > 0);
+}
+
+/// Speculative fill: a grid group with spare width pads itself with the
+/// relation's *other* columns, so a follow-up query touching columns the
+/// first query never asked for still fetches entirely from sub-entries —
+/// the cross-query lever that breaks the one-new-column-per-query fetch
+/// floor. Key-only batching (and `attrs: 1`, which has no spare width)
+/// must still pay fetch prompts for the unseen column, and the answers
+/// must be bit-identical either way.
+#[test]
+fn speculative_pads_serve_unseen_columns_without_prompts() {
+    let s = Scenario::generate_with(42, small_config());
+    let first = "SELECT name FROM city WHERE population > 100000";
+    let unseen = "SELECT name, mayor FROM city WHERE population > 100000";
+    for pipeline in [Pipeline::Off, Pipeline::Streaming] {
+        let keys = session(&s, PromptBatch::Keys(10), 1, pipeline);
+        let grid = session(&s, PromptBatch::Grid { keys: 10, attrs: 6 }, 1, pipeline);
+        let narrow = session(&s, PromptBatch::Grid { keys: 10, attrs: 1 }, 1, pipeline);
+        keys.execute(first).unwrap();
+        grid.execute(first).unwrap();
+        narrow.execute(first).unwrap();
+        let a = keys.execute(unseen).unwrap();
+        let b = grid.execute(unseen).unwrap();
+        let c = narrow.execute(unseen).unwrap();
+        assert_eq!(sorted_rows(&a.relation), sorted_rows(&b.relation));
+        assert_eq!(sorted_rows(&a.relation), sorted_rows(&c.relation));
+        assert!(a.stats.fetch_prompts > 0, "keys-only must re-fetch");
+        assert!(c.stats.fetch_prompts > 0, "attrs: 1 must re-fetch");
+        assert_eq!(
+            b.stats.fetch_prompts, 0,
+            "mayor was never selected, but the first query's pads stored it"
+        );
+    }
+}
+
+/// Wraps a model and corrupts every multi-key answer by dropping every
+/// second line — forcing half the cells of every grid prompt down the
+/// ladder, and half of *those* past the middle rung to per-key singles.
+struct LineDropper {
+    inner: SimLlm,
+}
+
+impl LanguageModel for LineDropper {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn context_window(&self) -> usize {
+        self.inner.context_window()
+    }
+    fn complete(&self, prompt: &str) -> Completion {
+        let mut completion = self.inner.complete(prompt);
+        if matches!(
+            parse_task(prompt),
+            Some(
+                TaskIntent::FetchGridBatch { .. }
+                    | TaskIntent::FetchAttrBatch { .. }
+                    | TaskIntent::FilterKeysBatch { .. }
+            )
+        ) {
+            completion.text = completion
+                .text
+                .lines()
+                .enumerate()
+                .filter_map(|(i, line)| (i % 2 == 0).then_some(line))
+                .collect::<Vec<_>>()
+                .join("\n");
+        }
+        completion
+    }
+}
+
+/// Wraps a model and reverses the line order of every grid answer — the
+/// parser is order-tolerant, so this must cost nothing: same relations,
+/// same prompt bill as the clean grid run.
+struct LinePermuter {
+    inner: SimLlm,
+}
+
+impl LanguageModel for LinePermuter {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn context_window(&self) -> usize {
+        self.inner.context_window()
+    }
+    fn complete(&self, prompt: &str) -> Completion {
+        let mut completion = self.inner.complete(prompt);
+        if matches!(parse_task(prompt), Some(TaskIntent::FetchGridBatch { .. })) {
+            let mut lines: Vec<&str> = completion.text.lines().collect();
+            lines.reverse();
+            completion.text = lines.join("\n");
+        }
+        completion
+    }
+}
+
+/// With half of every grid answer destroyed, the full fallback ladder must
+/// restore the exact `PromptBatch::Off` relations — at K ∈ {1, 8}, both
+/// pipelines — while necessarily spending extra prompts.
+#[test]
+fn corrupted_grids_fall_back_to_off_relations() {
+    let s = Scenario::generate_with(42, small_config());
+    let off = session(&s, PromptBatch::Off, 1, Pipeline::Off);
+    for pipeline in [Pipeline::Off, Pipeline::Streaming] {
+        for lanes in [1usize, 8] {
+            let flaky = Galois::with_options(
+                Arc::new(LineDropper {
+                    inner: SimLlm::new(s.knowledge.clone(), ModelProfile::oracle()),
+                }),
+                s.database.clone(),
+                GaloisOptions {
+                    prompt_batch: PromptBatch::Grid { keys: 8, attrs: 4 },
+                    parallelism: Parallelism::new(lanes),
+                    pipeline,
+                    ..Default::default()
+                },
+            );
+            for spec in s.suite.iter().take(12) {
+                let sql = spec.to_sql();
+                let a = off.execute(&sql).unwrap();
+                let b = flaky.execute(&sql).unwrap();
+                assert_eq!(
+                    sorted_rows(&a.relation),
+                    sorted_rows(&b.relation),
+                    "q{} diverged under corrupted grids at K={lanes}, {pipeline:?}: {sql}",
+                    spec.id
+                );
+            }
+        }
+    }
+}
+
+/// A model that permutes grid answer lines costs nothing: the parser
+/// matches cells by `key ⌁ attr` label, not position, so relations *and*
+/// the prompt bill match the clean grid run (no fallback fires).
+#[test]
+fn permuted_grid_lines_round_trip_without_fallback() {
+    let s = Scenario::generate_with(42, small_config());
+    let clean = session(
+        &s,
+        PromptBatch::Grid { keys: 8, attrs: 4 },
+        1,
+        Pipeline::Off,
+    );
+    let permuted = Galois::with_options(
+        Arc::new(LinePermuter {
+            inner: SimLlm::new(s.knowledge.clone(), ModelProfile::oracle()),
+        }),
+        s.database.clone(),
+        GaloisOptions {
+            prompt_batch: PromptBatch::Grid { keys: 8, attrs: 4 },
+            ..Default::default()
+        },
+    );
+    for spec in s.suite.iter().take(12) {
+        let sql = spec.to_sql();
+        let a = clean.execute(&sql).unwrap();
+        let b = permuted.execute(&sql).unwrap();
+        assert_eq!(
+            sorted_rows(&a.relation),
+            sorted_rows(&b.relation),
+            "q{}",
+            spec.id
+        );
+        assert_eq!(
+            a.stats.total_prompts(),
+            b.stats.total_prompts(),
+            "q{}: permuted lines must not trigger the fallback ladder",
+            spec.id
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property form over arbitrary worlds, suite queries, grid shapes and
+    /// pipelines: grid fusion never changes `R_M` on a noise-free model,
+    /// and with no fallbacks (the oracle parses cleanly) it never costs
+    /// more prompts than key-only batching at the same B.
+    #[test]
+    fn grid_is_result_invariant_for_any_seed(
+        seed in 0u64..10_000,
+        qi in 0usize..46,
+        b in 2usize..26,
+        a in 1usize..6,
+        streaming in any::<bool>(),
+    ) {
+        let pipeline = if streaming { Pipeline::Streaming } else { Pipeline::Off };
+        let s = Scenario::generate_with(seed, small_config());
+        let spec = &s.suite[qi];
+        let sql = spec.to_sql();
+        let base = session(&s, PromptBatch::Off, 1, Pipeline::Off).execute(&sql)
+            .map_err(|e| TestCaseError::fail(format!("q{}: {e}", spec.id)))?;
+        let keys = session(&s, PromptBatch::Keys(b), 1, pipeline).execute(&sql)
+            .map_err(|e| TestCaseError::fail(format!("q{}: {e}", spec.id)))?;
+        let grid = session(&s, PromptBatch::Grid { keys: b, attrs: a }, 1, pipeline).execute(&sql)
+            .map_err(|e| TestCaseError::fail(format!("q{}: {e}", spec.id)))?;
+        prop_assert_eq!(
+            sorted_rows(&base.relation), sorted_rows(&grid.relation),
+            "q{} R_M diverges at B={}, A={}, {:?}", spec.id, b, a, pipeline
+        );
+        prop_assert!(
+            grid.stats.total_prompts() <= keys.stats.total_prompts(),
+            "q{}: grid {} > keys-only {} prompts at B={}, A={}, {:?}",
+            spec.id, grid.stats.total_prompts(), keys.stats.total_prompts(), b, a, pipeline
+        );
+    }
+}
