@@ -22,11 +22,18 @@
 //!   waiting at the phase barriers;
 //! * `galois_listcached_cold` / `galois_listcached_warm` — the pipelined
 //!   configuration plus the shared key-universe store
-//!   (`ListStore::On`), run as **two suite passes on one session** across
-//!   `K` concurrent query streams: the cold pass pages every concept's
-//!   key universe (speculatively, across the lanes) and stores it; the
-//!   warm pass reads every universe back at zero list-prompt cost,
-//!   collapsing the list-phase virtual floor;
+//!   (`ListStore::On`), run as **two suite passes on one session**: the
+//!   cold pass pages every concept's key universe (speculatively, across
+//!   the lanes) and stores it; the warm pass reads every universe back at
+//!   zero list-prompt cost, collapsing the list-phase virtual floor. The
+//!   cold pass runs on **one harness thread** so its row is exactly
+//!   reproducible — with `K` query threads its prompt total wobbled a few
+//!   prompts between runs (racing queries re-ask in-flight keys), which
+//!   made the row disagree with the 1-thread `listcached_parity` object
+//!   (e.g. 182 vs 174). The method row and the parity object are now the
+//!   same measurement, and the method row is the authoritative one; the
+//!   warm pass still runs across `K` streams (deterministic regardless —
+//!   everything is cached);
 //! * `galois_grid_fused` — the listcached-cold configuration with
 //!   `PromptBatch::Grid { keys: B, attrs: A }` (default `A = 6`, wide
 //!   enough to cover every table's non-key width; `--grid-keys` overrides
@@ -35,6 +42,16 @@
 //!   `⌈C/A⌉ × ⌈keys/B⌉` prompts per step, and speculative pad columns
 //!   seed the sub-entry store so later queries on the same table fetch
 //!   at zero prompt cost. One harness thread keeps the row exactly
+//!   reproducible;
+//! * `galois_limit_streaming` / `galois_limit_unlimited` — the operator
+//!   suite's LIMIT family over a widened world (a 120-key `city` concept,
+//!   10-key list pages) through the streaming grid-fused stack. The
+//!   `limit_streaming` row runs the LIMIT queries with
+//!   `EarlyStop::Limit`: once confirmed survivors cover the window, list
+//!   paging is cancelled and the remaining filter/fetch micro-batches are
+//!   pruned. The `limit_unlimited` row runs the same queries' *unlimited*
+//!   forms on the same stack — the prompt gap is what LIMIT-aware early
+//!   termination buys. One harness thread keeps both rows exactly
 //!   reproducible;
 //! * `qa_baseline` / `qa_cot_baseline` — the paper's `T_M` and `T_C_M`
 //!   one-prompt-per-question methods, across `K` streams.
@@ -200,8 +217,10 @@ fn main() {
         scenario.database.clone(),
         store_options.clone(),
     );
-    let listcached_cold =
-        run_galois_suite_on(&scenario, &store_session, &store_profile.name, lanes);
+    // One harness thread for the cold pass: its row is authoritative and
+    // must equal the listcached_parity object exactly (see the module
+    // docs for the old K-thread wobble).
+    let listcached_cold = run_galois_suite_on(&scenario, &store_session, &store_profile.name, 1);
     let listcached_warm =
         run_galois_suite_on(&scenario, &store_session, &store_profile.name, lanes);
     // The 1-thread listcached parity pair: a fresh store session, both
@@ -238,6 +257,82 @@ fn main() {
         grid_options,
     );
     let grid_fused = run_galois_suite_on(&scenario, &grid_session, &store_profile.name, 1);
+
+    // The LIMIT-aware early-termination pair: the operator suite's LIMIT
+    // family over a widened world whose `city` concept spans 120 keys,
+    // with 10-key list pages so there is paging to cancel. Both rows run
+    // the streaming grid-fused stack on one harness thread; only the
+    // early-stop knob (and the LIMIT clause itself) differs.
+    let wide = Scenario::generate_with(
+        seed,
+        galois_dataset::WorldConfig {
+            cities: 120,
+            ..Default::default()
+        },
+    );
+    let paged_oracle = ModelProfile {
+        list_page_size: 10,
+        ..ModelProfile::oracle()
+    };
+    let limit_queries: Vec<galois_dataset::OperatorQuery> =
+        galois_dataset::build_operator_suite(&wide.world)
+            .into_iter()
+            .filter(|q| matches!(q.family, galois_dataset::OperatorFamily::Limit))
+            .collect();
+    let limit_options = |early_stop| GaloisOptions {
+        parallelism: Parallelism::new(lanes),
+        pipeline: Pipeline::Streaming,
+        prompt_batch: PromptBatch::Grid {
+            keys: grid_keys,
+            attrs: grid_attrs,
+        },
+        early_stop,
+        ..Default::default()
+    };
+    let run_limit_family =
+        |options: GaloisOptions, sql_of: &dyn Fn(&galois_dataset::OperatorQuery) -> String| {
+            let session = Galois::with_options(
+                std::sync::Arc::new(galois_llm::SimLlm::new(
+                    wide.knowledge.clone(),
+                    paged_oracle.clone(),
+                )),
+                wide.database.clone(),
+                options,
+            );
+            let started = std::time::Instant::now();
+            let stats: Vec<_> = limit_queries
+                .iter()
+                .map(|q| {
+                    session
+                        .execute(&sql_of(q))
+                        .expect("limit bench query")
+                        .stats
+                })
+                .collect();
+            SuiteTotals {
+                prompts: stats.iter().map(|s| s.total_prompts()).sum(),
+                cache_hits: stats.iter().map(|s| s.cache_hits).sum(),
+                serial_virtual_ms: stats.iter().map(|s| s.serial_virtual_ms).sum(),
+                virtual_ms: lane_schedule(stats.iter().map(|s| s.virtual_ms), 1),
+                list_virtual_ms: stats.iter().map(|s| s.list_virtual_ms).sum(),
+                filter_virtual_ms: stats.iter().map(|s| s.filter_virtual_ms).sum(),
+                fetch_virtual_ms: stats.iter().map(|s| s.fetch_virtual_ms).sum(),
+                wall_ms: started.elapsed().as_millis() as u64,
+            }
+        };
+    let limit_streaming = run_limit_family(limit_options(galois_core::EarlyStop::Limit), &|q| {
+        q.sql.clone()
+    });
+    let limit_unlimited = run_limit_family(
+        limit_options(galois_core::EarlyStop::Off),
+        &|q| match &q.check {
+            galois_dataset::OperatorCheck::Window { unlimited_sql, .. } => unlimited_sql.clone(),
+            galois_dataset::OperatorCheck::Exact => match q.sql.find(" LIMIT ") {
+                Some(i) => q.sql[..i].to_string(),
+                None => q.sql.clone(),
+            },
+        },
+    );
 
     let qa = run_baseline_suite_parallel(
         &scenario,
@@ -286,7 +381,7 @@ fn main() {
         MethodReport {
             name: "galois_listcached_cold",
             parallelism: lanes,
-            threads: lanes,
+            threads: 1,
             totals: suite_totals(&listcached_cold, lanes),
         },
         MethodReport {
@@ -300,6 +395,18 @@ fn main() {
             parallelism: lanes,
             threads: 1,
             totals: suite_totals(&grid_fused, lanes),
+        },
+        MethodReport {
+            name: "galois_limit_streaming",
+            parallelism: lanes,
+            threads: 1,
+            totals: limit_streaming,
+        },
+        MethodReport {
+            name: "galois_limit_unlimited",
+            parallelism: lanes,
+            threads: 1,
+            totals: limit_unlimited,
         },
         MethodReport {
             name: "qa_baseline",
@@ -380,6 +487,14 @@ fn main() {
         methods[7].totals.prompts,
         methods[5].totals.fetch_virtual_ms,
         methods[7].totals.fetch_virtual_ms,
+    );
+    println!(
+        "limit early stop (LIMIT family, 120-key concept): {} prompts unlimited -> {} prompts \
+         with LIMIT windows ({} -> {} list prompts' worth of virtual list time)",
+        methods[9].totals.prompts,
+        methods[8].totals.prompts,
+        methods[9].totals.list_virtual_ms,
+        methods[8].totals.list_virtual_ms,
     );
     for m in &methods {
         println!(

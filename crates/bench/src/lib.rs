@@ -16,6 +16,8 @@
 //! | `ablation_iteration` | §4 — "more results" iteration cap sweep |
 //! | `ablation_planner` | §6 — cost-based planner vs. fixed heuristic |
 //! | `ablation_batch` | multi-key prompt batching factor sweep (B ∈ {1, 2, 5, 10, 25}) |
+//! | `ablation_grid` | grid fusion factor sweep (keys × attributes per prompt) |
+//! | `ablation_limit` | LIMIT-aware early termination — window size sweep on a 120-key concept |
 //! | `perf_report` | end-to-end accounting (`BENCH_e2e.json`), incl. the planner and batched rows |
 //!
 //! Every binary accepts `--seed <u64>` (default 42).

@@ -329,9 +329,10 @@ fn rewrite(
         LogicalPlan::Distinct { input } => Ok(LogicalPlan::Distinct {
             input: Box::new(rewrite(input, catalog, options, needed, steps)?),
         }),
-        LogicalPlan::Limit { input, n } => Ok(LogicalPlan::Limit {
+        LogicalPlan::Limit { input, n, offset } => Ok(LogicalPlan::Limit {
             input: Box::new(rewrite(input, catalog, options, needed, steps)?),
             n: *n,
+            offset: *offset,
         }),
     }
 }
@@ -524,6 +525,46 @@ fn mirror(op: BinaryOp) -> BinaryOp {
         BinaryOp::Gt => BinaryOp::Lt,
         BinaryOp::GtEq => BinaryOp::LtEq,
         other => other,
+    }
+}
+
+/// The number of leading survivor keys that bound the query's result,
+/// when the residual plan's shape lets the streaming engine stop
+/// retrieval early: a `Limit` reached from the root through row-wise
+/// `Project`s, whose input chains through further `Project`s down to the
+/// sole LLM step's temp scan. The hint is `n + offset` — the rows the
+/// window can ever surface. Any other operator on that spine (a sort,
+/// join, aggregate, distinct or residual filter) consumes the full key
+/// universe, so the hint is `None` and retrieval runs to exhaustion.
+pub fn limit_hint(compiled: &CompiledQuery) -> Option<usize> {
+    if compiled.steps.len() != 1 {
+        return None;
+    }
+    // Walk root → Limit through the strip-Project the builder may add
+    // above the limit.
+    let mut node = &compiled.plan;
+    let (input, needed) = loop {
+        match node {
+            LogicalPlan::Project { input, .. } => node = input.as_ref(),
+            LogicalPlan::Limit { input, n, offset } => {
+                break (
+                    input.as_ref(),
+                    (*n as usize).saturating_add(*offset as usize),
+                )
+            }
+            _ => return None,
+        }
+    };
+    // Walk Limit → the step's temp scan through row-wise projections.
+    let mut node = input;
+    loop {
+        match node {
+            LogicalPlan::Project { input, .. } => node = input.as_ref(),
+            LogicalPlan::Scan { table, .. } if *table == compiled.steps[0].temp_name => {
+                return Some(needed);
+            }
+            _ => return None,
+        }
     }
 }
 

@@ -53,12 +53,13 @@ pub mod session;
 pub use baselines::{BaselineKind, BaselineResult, QaBaseline};
 pub use clean::CleaningPolicy;
 pub use compile::{
-    concept_signature_for, CompileOptions, CompiledQuery, DefaultSource, FilterMode, LlmScanStep,
+    concept_signature_for, limit_hint, CompileOptions, CompiledQuery, DefaultSource, FilterMode,
+    LlmScanStep,
 };
 pub use error::{GaloisError, Result};
 pub use galois_llm::Parallelism;
 pub use plan_choice::{PlanReport, PlannedQuery, Planner, PlannerParams, StepCost};
 pub use schedule::Scheduler;
 pub use session::{
-    Galois, GaloisOptions, GaloisResult, ListStore, Pipeline, PromptBatch, QueryStats,
+    EarlyStop, Galois, GaloisOptions, GaloisResult, ListStore, Pipeline, PromptBatch, QueryStats,
 };

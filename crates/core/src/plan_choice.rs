@@ -147,6 +147,15 @@ pub struct PlannerParams {
     /// the store is off) reproduces the store-free estimates bit for bit
     /// and keeps the `EXPLAIN` report tag-free.
     pub warm_lists: Option<BTreeMap<String, usize>>,
+    /// LIMIT-aware early termination on
+    /// ([`crate::EarlyStop::Limit`]): the `EXPLAIN` report gains a
+    /// `limit: early-stop after ~N keys` line for eligible plan shapes.
+    /// `false` (the default) keeps the report byte-identical to the
+    /// pre-limit pipeline's. The cost *estimates* are deliberately left
+    /// untouched — how many keys survive before the window fills is
+    /// data-dependent, so the planner reports the stop threshold rather
+    /// than guessing a discount.
+    pub early_stop: bool,
 }
 
 impl Default for PlannerParams {
@@ -162,6 +171,7 @@ impl Default for PlannerParams {
             batch_attrs: 1.0,
             pipeline_streaming: false,
             warm_lists: None,
+            early_stop: false,
         }
     }
 }
@@ -207,6 +217,13 @@ impl PlannerParams {
     /// [`crate::GaloisOptions::pipeline`] into the estimates.
     pub fn with_pipeline(mut self, streaming: bool) -> Self {
         self.pipeline_streaming = streaming;
+        self
+    }
+
+    /// Flags LIMIT-aware early termination
+    /// ([`crate::GaloisOptions::early_stop`]) for the `EXPLAIN` report.
+    pub fn with_early_stop(mut self, on: bool) -> Self {
+        self.early_stop = on;
         self
     }
 
@@ -298,6 +315,10 @@ pub struct PlanReport {
     pub est_total_prompts: f64,
     /// Expected cache hits across steps.
     pub est_cache_hits: f64,
+    /// The early-termination window (`LIMIT n` + `OFFSET`) when the plan
+    /// shape is eligible for LIMIT-aware streaming
+    /// ([`crate::compile::limit_hint`]); `None` otherwise.
+    pub limit_hint: Option<usize>,
 }
 
 /// Selectivity of a prompt-protocol condition, using the same System-R
@@ -447,6 +468,7 @@ fn make_report(
     candidates_considered: usize,
     steps: Vec<StepCost>,
     params: &PlannerParams,
+    limit_hint: Option<usize>,
 ) -> PlanReport {
     // Wave mode packs the steps onto the lanes as blocks; the streaming
     // pipeline shares the lanes across steps, so the query estimate is
@@ -467,6 +489,186 @@ fn make_report(
         est_virtual_ms,
         est_total_prompts,
         est_cache_hits,
+        limit_hint,
+    }
+}
+
+/// Scan bindings of a join side, left to right — the `EXPLAIN` label for
+/// one input of a join.
+fn side_label(plan: &LogicalPlan) -> String {
+    let labels: Vec<&str> = plan
+        .scans()
+        .iter()
+        .filter_map(|s| match s {
+            LogicalPlan::Scan { binding, .. } => Some(binding.as_str()),
+            _ => None,
+        })
+        .collect();
+    if labels.is_empty() {
+        "?".to_string()
+    } else {
+        labels.join(" ⋈ ")
+    }
+}
+
+/// Appends one `join order:` report line per join node (post-order, so
+/// inner joins print before the joins consuming them), with the estimated
+/// probe/build cardinalities that justified the chosen order.
+fn join_order_lines(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    overrides: &HashMap<String, f64>,
+    out: &mut String,
+) {
+    for child in plan.children() {
+        join_order_lines(child, catalog, overrides, out);
+    }
+    if let LogicalPlan::Join { left, right, .. } = plan {
+        out.push_str(&format!(
+            "join order: {} ⋈ {}  (probe rows≈{:.0}, build rows≈{:.0})\n",
+            side_label(left),
+            side_label(right),
+            rcost::estimate_rows_with(left, catalog, overrides),
+            rcost::estimate_rows_with(right, catalog, overrides),
+        ));
+    }
+}
+
+/// Rewrites a residual plan bottom-up, commuting every inner pure-equi
+/// join whose build side (the right input — the executor's hash join
+/// builds on the right) is estimated larger than its probe side, so the
+/// hash table is always the smaller relation. `overrides` supplies
+/// cardinalities for the not-yet-materialised `__llm_*` temps, taken from
+/// the retrieval-step estimates — join order is thereby costed by the
+/// same model that prices the prompts producing each side. A swapped
+/// join is wrapped in a projection restoring the original column order,
+/// so the rewrite changes nothing downstream except row order (which
+/// cost-based mode does not promise).
+fn commute_joins(
+    plan: LogicalPlan,
+    catalog: &Catalog,
+    overrides: &HashMap<String, f64>,
+) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            condition,
+            schema,
+        } => {
+            let left = Box::new(commute_joins(*left, catalog, overrides));
+            let right = Box::new(commute_joins(*right, catalog, overrides));
+            // Only an inner join with a pure equi condition commutes
+            // cleanly: a residual predicate and the outer flavours are
+            // resolved against the left ++ right column order.
+            let commutable = join_type == galois_sql::ast::JoinType::Inner
+                && !condition.equi.is_empty()
+                && condition.residual.is_none();
+            let probe = rcost::estimate_rows_with(left.as_ref(), catalog, overrides);
+            let build = rcost::estimate_rows_with(right.as_ref(), catalog, overrides);
+            if !commutable || probe >= build {
+                return LogicalPlan::Join {
+                    left,
+                    right,
+                    join_type,
+                    condition,
+                    schema,
+                };
+            }
+            let l_arity = left.schema().arity();
+            let r_arity = right.schema().arity();
+            let swapped_schema = galois_relational::PlanSchema::new(
+                schema.columns[l_arity..]
+                    .iter()
+                    .chain(&schema.columns[..l_arity])
+                    .cloned()
+                    .collect(),
+            );
+            let swapped = LogicalPlan::Join {
+                left: right,
+                right: left,
+                join_type,
+                condition: galois_relational::JoinCondition {
+                    equi: condition.equi.into_iter().map(|(l, r)| (r, l)).collect(),
+                    residual: None,
+                },
+                schema: swapped_schema,
+            };
+            // Restore the original left ++ right column order.
+            let exprs = schema
+                .columns
+                .iter()
+                .enumerate()
+                .map(|(i, col)| {
+                    let src = if i < l_arity {
+                        r_arity + i
+                    } else {
+                        i - l_arity
+                    };
+                    (
+                        galois_relational::ScalarExpr::Column(galois_relational::ResolvedColumn {
+                            index: src,
+                            binding: col.binding.clone(),
+                            name: col.name.clone(),
+                            data_type: col.data_type,
+                        }),
+                        col.name.clone(),
+                    )
+                })
+                .collect();
+            LogicalPlan::Project {
+                input: Box::new(swapped),
+                exprs,
+                schema,
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(commute_joins(*input, catalog, overrides)),
+            predicate,
+        },
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
+            input: Box::new(commute_joins(*input, catalog, overrides)),
+            exprs,
+            schema,
+        },
+        LogicalPlan::CrossJoin {
+            left,
+            right,
+            schema,
+        } => LogicalPlan::CrossJoin {
+            left: Box::new(commute_joins(*left, catalog, overrides)),
+            right: Box::new(commute_joins(*right, catalog, overrides)),
+            schema,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(commute_joins(*input, catalog, overrides)),
+            group_by,
+            aggregates,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(commute_joins(*input, catalog, overrides)),
+            keys,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(commute_joins(*input, catalog, overrides)),
+        },
+        LogicalPlan::Limit { input, n, offset } => LogicalPlan::Limit {
+            input: Box::new(commute_joins(*input, catalog, overrides)),
+            n,
+            offset,
+        },
+        leaf @ LogicalPlan::Scan { .. } => leaf,
     }
 }
 
@@ -524,9 +726,10 @@ pub fn plan_query(
                 .iter()
                 .map(|s| estimate_step(s, catalog, params))
                 .collect();
+            let limit_hint = crate::compile::limit_hint(&compiled);
             Ok(PlannedQuery {
+                report: make_report(planner, 1, steps, params, limit_hint),
                 compiled,
-                report: make_report(planner, 1, steps, params),
             })
         }
         Planner::CostBased => {
@@ -560,9 +763,19 @@ pub fn plan_query(
                 order.iter().map(|&i| compiled.steps[i].clone()).collect();
             let costs: Vec<StepCost> = order.iter().map(|&i| costs[i]).collect();
             compiled.steps = steps;
+            // Join-order choice: the executor's hash joins build on the
+            // right, so commute inner equi joins until the smaller
+            // estimated side — priced with the retrieval-step row
+            // estimates for the `__llm_*` temps — is the build side.
+            let mut temp_rows: HashMap<String, f64> = HashMap::new();
+            for (step, cost) in compiled.steps.iter().zip(&costs) {
+                temp_rows.insert(step.temp_name.to_ascii_lowercase(), cost.est_rows_out);
+            }
+            compiled.plan = commute_joins(compiled.plan, catalog, &temp_rows);
+            let limit_hint = crate::compile::limit_hint(&compiled);
             Ok(PlannedQuery {
+                report: make_report(planner, candidates.max(1), costs, params, limit_hint),
                 compiled,
-                report: make_report(planner, candidates.max(1), costs, params),
             })
         }
     }
@@ -597,6 +810,14 @@ impl PlannedQuery {
             "galois plan  (planner: {}, lanes: {}{batch}{pipeline}, candidates considered: {})\n",
             self.report.planner, params.lanes, self.report.candidates_considered
         );
+        // The early-termination line appears only when the session knob is
+        // on *and* the plan shape is eligible, so every other report stays
+        // byte-identical to the pre-limit pipeline's.
+        if params.early_stop {
+            if let Some(n) = self.report.limit_hint {
+                out.push_str(&format!("limit: early-stop after ~{n} keys\n"));
+            }
+        }
         let mut temp_rows: HashMap<String, f64> = HashMap::new();
         for (i, (step, cost)) in self
             .compiled
@@ -627,6 +848,11 @@ impl PlannedQuery {
                 cost.virtual_ms,
             ));
             temp_rows.insert(step.temp_name.to_ascii_lowercase(), cost.est_rows_out);
+        }
+        // Join-order lines accompany the cost-based planner's build-side
+        // choice; the heuristic report stays byte-identical without them.
+        if self.report.planner == Planner::CostBased {
+            join_order_lines(&self.compiled.plan, catalog, &temp_rows, &mut out);
         }
         out.push_str("[relational plan]\n");
         out.push_str(&rcost::explain_with_rows_overridden(
@@ -728,6 +954,135 @@ mod tests {
         let costs = &planned.report.steps;
         assert_eq!(costs.len(), 2);
         assert!(costs[0].virtual_ms >= costs[1].virtual_ms);
+    }
+
+    /// The first join node under `plan`, if any.
+    fn first_join(plan: &LogicalPlan) -> Option<&LogicalPlan> {
+        if matches!(plan, LogicalPlan::Join { .. }) {
+            return Some(plan);
+        }
+        plan.children().into_iter().find_map(first_join)
+    }
+
+    #[test]
+    fn cost_based_builds_hash_joins_on_the_smaller_side() {
+        let params = PlannerParams::default();
+        // The filtered city side is estimated smaller than the unfiltered
+        // mayor scan; the executor builds its hash table on the right, so
+        // the cost-based plan commutes the join (and restores the column
+        // order with a projection), while the heuristic leaves the
+        // FROM-clause order untouched.
+        let q = "SELECT p.name, r.electionYear FROM city p, cityMayor r \
+                 WHERE p.mayor = r.name AND p.population > 1000000";
+        let side = |planned: &PlannedQuery| -> (String, String) {
+            let Some(LogicalPlan::Join { left, right, .. }) = first_join(&planned.compiled.plan)
+            else {
+                panic!("no join in the residual plan");
+            };
+            (side_label(left), side_label(right))
+        };
+        let (h_probe, h_build) = side(&planned(q, Planner::Heuristic, &params));
+        assert_eq!((h_probe.as_str(), h_build.as_str()), ("p", "r"));
+        let cost_based = planned(q, Planner::CostBased, &params);
+        let (c_probe, c_build) = side(&cost_based);
+        assert_eq!(
+            (c_probe.as_str(), c_build.as_str()),
+            ("r", "p"),
+            "smaller side must build"
+        );
+        // The column-restoring projection keeps the output schema the
+        // heuristic plan produces.
+        let s = Scenario::generate(42);
+        let h = plan_query(
+            &s.database.plan(q).unwrap(),
+            s.database.catalog(),
+            &CompileOptions::default(),
+            Planner::Heuristic,
+            &params,
+        )
+        .unwrap();
+        assert_eq!(
+            cost_based.compiled.plan.schema().columns,
+            h.compiled.plan.schema().columns
+        );
+    }
+
+    #[test]
+    fn equal_sides_keep_the_from_clause_join_order() {
+        // No filter on either side: both temps are estimated at the
+        // catalog cardinality of their concept, and a tie must not swap
+        // (keeps the heuristic shape deterministic to diff against).
+        let q = "SELECT p.name, r.electionYear FROM city p, cityMayor r WHERE p.mayor = r.name";
+        let cost_based = planned(q, Planner::CostBased, &PlannerParams::default());
+        let Some(LogicalPlan::Join { left, right, .. }) = first_join(&cost_based.compiled.plan)
+        else {
+            panic!("no join in the residual plan");
+        };
+        assert_eq!(side_label(left), "p");
+        assert_eq!(side_label(right), "r");
+    }
+
+    #[test]
+    fn render_shows_join_order_only_under_cost_based_planning() {
+        let s = Scenario::generate(42);
+        let params = PlannerParams::default();
+        let plan = s
+            .database
+            .plan(
+                "SELECT p.name, r.electionYear FROM city p, cityMayor r \
+                 WHERE p.mayor = r.name AND p.population > 1000000",
+            )
+            .unwrap();
+        let render = |planner: Planner| {
+            plan_query(
+                &plan,
+                s.database.catalog(),
+                &CompileOptions::default(),
+                planner,
+                &params,
+            )
+            .unwrap()
+            .render(s.database.catalog(), &params)
+        };
+        assert!(!render(Planner::Heuristic).contains("join order:"));
+        let text = render(Planner::CostBased);
+        assert!(
+            text.contains("join order: r ⋈ p"),
+            "commuted order must be reported:\n{text}"
+        );
+        assert!(text.contains("probe rows≈"), "{text}");
+        assert!(text.contains("build rows≈"), "{text}");
+    }
+
+    #[test]
+    fn render_shows_the_early_stop_window_only_when_enabled() {
+        let s = Scenario::generate(42);
+        let off = PlannerParams::default();
+        let on = PlannerParams::default().with_early_stop(true);
+        let render = |sql: &str, params: &PlannerParams| {
+            plan_query(
+                &s.database.plan(sql).unwrap(),
+                s.database.catalog(),
+                &CompileOptions::default(),
+                Planner::Heuristic,
+                params,
+            )
+            .unwrap()
+            .render(s.database.catalog(), params)
+        };
+        let q = "SELECT name FROM city LIMIT 7 OFFSET 2";
+        assert!(!render(q, &off).contains("limit:"));
+        assert!(
+            render(q, &on).contains("limit: early-stop after ~9 keys"),
+            "{}",
+            render(q, &on)
+        );
+        // Ineligible shapes (no LIMIT window over the sole scan) stay
+        // tag-free even with the knob on.
+        let plain = "SELECT name FROM city";
+        assert!(!render(plain, &on).contains("limit:"));
+        let sorted = "SELECT name FROM city ORDER BY population LIMIT 7";
+        assert!(!render(sorted, &on).contains("limit:"));
     }
 
     #[test]

@@ -256,6 +256,55 @@ impl PartialEq for ListStore {
     }
 }
 
+/// LIMIT-aware early termination of streaming retrieval.
+///
+/// The paper's protocol materialises a concept's full key universe before
+/// the residual plan runs, so `SELECT … LIMIT 10` over a 100-key concept
+/// pays the whole prompt bill and throws 90 rows away. With early stop
+/// enabled, [`Pipeline::Streaming`] queries whose residual plan is a
+/// plain window — `Limit` over row-wise projections of a single LLM scan
+/// (see [`crate::compile::limit_hint`]) — stop retrieval as soon as the
+/// window is covered:
+///
+/// * list paging halts once `n + offset` keys have **survived every
+///   filter verdict** (in-flight keys count zero until their verdicts
+///   land, so the stop is never speculative);
+/// * keys listed past the point of coverage are pruned before entering
+///   the filter/fetch dataflow — but only when enough *earlier* keys are
+///   already confirmed, so the surfaced window is exactly the one the
+///   full run would produce;
+/// * keys whose verdicts are already in flight (including batched-answer
+///   fallback re-asks) always complete — early stop cancels unissued
+///   work, never in-flight work.
+///
+/// Invariants:
+///
+/// * [`EarlyStop::Off`] (the default) is bit-identical to the
+///   exhaustive pipeline — prompts per kind, cache hits, both clocks,
+///   relations;
+/// * on a noise-free model, an early-stopped `LIMIT` query returns
+///   exactly the full evaluation truncated to the window, and never
+///   issues more prompts than the unlimited query;
+/// * under [`Pipeline::Off`] (wave retrieval) the knob is inert: waves
+///   have no per-key release points to cancel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EarlyStop {
+    /// Always materialise the full key universe — the paper-faithful
+    /// behaviour, bit-identical to the pre-limit pipeline. The default.
+    #[default]
+    Off,
+    /// Stop streaming retrieval once a plain `LIMIT` window is covered by
+    /// confirmed survivors.
+    Limit,
+}
+
+impl EarlyStop {
+    /// True when LIMIT-aware early termination is enabled.
+    pub fn is_on(self) -> bool {
+        !matches!(self, EarlyStop::Off)
+    }
+}
+
 /// Tuning knobs of a session.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GaloisOptions {
@@ -296,6 +345,12 @@ pub struct GaloisOptions {
     /// `On`/`Shared` serve warm concepts at zero prompt cost and page
     /// cold ones speculatively (see [`ListStore`]).
     pub list_store: ListStore,
+    /// LIMIT-aware early termination for streaming retrieval.
+    /// [`EarlyStop::Off`] (the default) materialises every key universe
+    /// in full bit for bit; [`EarlyStop::Limit`] stops listing and prunes
+    /// unissued filter/fetch work once a plain `LIMIT` window is covered
+    /// by confirmed survivors (see [`EarlyStop`]).
+    pub early_stop: EarlyStop,
 }
 
 impl Default for GaloisOptions {
@@ -310,6 +365,7 @@ impl Default for GaloisOptions {
             prompt_batch: PromptBatch::default(),
             pipeline: Pipeline::default(),
             list_store: ListStore::default(),
+            early_stop: EarlyStop::default(),
         }
     }
 }
@@ -565,6 +621,7 @@ impl Galois {
         .with_batch_keys(self.options.prompt_batch.keys_per_prompt())
         .with_batch_attrs(self.options.prompt_batch.attrs_per_prompt())
         .with_pipeline(self.options.pipeline.is_streaming())
+        .with_early_stop(self.options.early_stop == EarlyStop::Limit)
     }
 
     /// The calibration snapshot plan choice uses, frozen at the session's
@@ -2125,6 +2182,16 @@ struct StreamSim<'a> {
     batched: bool,
     /// Keys per micro-batch (`B`; 1 when batching is off).
     fuse: usize,
+    /// LIMIT window size (`n + offset`) when early stop applies: the
+    /// session enables [`EarlyStop::Limit`] *and* the residual plan is a
+    /// plain window over this (single) step's scan
+    /// ([`crate::compile::limit_hint`]). `None` runs to exhaustion.
+    limit: Option<usize>,
+    /// Per-slot "survived every filter verdict" flags of the sole step
+    /// (only maintained when `limit` is set).
+    confirmed: Vec<bool>,
+    /// Count of `true` flags in `confirmed`.
+    confirmed_total: usize,
 }
 
 impl<'a> StreamSim<'a> {
@@ -2197,6 +2264,11 @@ impl<'a> StreamSim<'a> {
                 }
             })
             .collect();
+        let limit = if session.options.early_stop.is_on() {
+            crate::compile::limit_hint(compiled)
+        } else {
+            None
+        };
         StreamSim {
             session,
             scheduler: Scheduler::new(session.options.parallelism),
@@ -2207,6 +2279,37 @@ impl<'a> StreamSim<'a> {
             acc: StepStats::default(),
             batched,
             fuse: session.options.prompt_batch.keys_per_prompt(),
+            limit,
+            confirmed: Vec::new(),
+            confirmed_total: 0,
+        }
+    }
+
+    // --- LIMIT-aware early termination -------------------------------
+
+    /// True once the LIMIT window is covered by confirmed survivors —
+    /// the signal that stops list paging. In-flight filter verdicts
+    /// contribute nothing until they land, so coverage is never
+    /// speculative.
+    fn limit_covered(&self) -> bool {
+        self.limit.is_some_and(|n| self.confirmed_total >= n)
+    }
+
+    /// Confirmed survivors among slots strictly before `slot` (discovery
+    /// order). Rows materialise in slot order, so once `limit` earlier
+    /// slots are confirmed, `slot` can never surface inside the window.
+    fn prefix_confirmed(&self, slot: usize) -> usize {
+        self.confirmed.iter().take(slot).filter(|&&c| c).count()
+    }
+
+    /// Marks one slot as having survived every filter verdict.
+    fn confirm_survivor(&mut self, slot: usize) {
+        if self.confirmed.len() <= slot {
+            self.confirmed.resize(slot + 1, false);
+        }
+        if !self.confirmed[slot] {
+            self.confirmed[slot] = true;
+            self.confirmed_total += 1;
         }
     }
 
@@ -2303,7 +2406,11 @@ impl<'a> StreamSim<'a> {
                 self.absorb_stream_page(s, stored.keys, 0, fires);
                 self.steps[s].iterations = stored.iterations;
                 self.steps[s].concept = Some(concept);
-                self.fire_list(s, fires);
+                if self.limit_covered() {
+                    self.finish_list(s, 0, fires);
+                } else {
+                    self.fire_list(s, fires);
+                }
             }
             None => {
                 self.steps[s].concept = Some(concept);
@@ -2785,6 +2892,12 @@ impl<'a> StreamSim<'a> {
                     self.finish_list(s, t, fires);
                     return;
                 }
+                // LIMIT early stop: the window is covered by confirmed
+                // survivors, so no further page can change the result.
+                if self.limit_covered() {
+                    self.finish_list(s, t, fires);
+                    return;
+                }
                 // Speculative mode: page 1 just landed — its raw value
                 // count is the page-size estimate, and offset probes
                 // replace the exclusion-list chain.
@@ -2883,7 +2996,9 @@ impl<'a> StreamSim<'a> {
         if terminal {
             self.steps[s].list_exhausted = true;
             self.finish_list(s, t, fires);
-        } else if self.steps[s].iterations >= self.session.options.max_list_iterations {
+        } else if self.steps[s].iterations >= self.session.options.max_list_iterations
+            || self.limit_covered()
+        {
             self.finish_list(s, t, fires);
         } else {
             self.fire_spec_wave(s, fires);
@@ -2893,9 +3008,21 @@ impl<'a> StreamSim<'a> {
     /// Routes a freshly-listed key into the first stage of the step's
     /// dataflow (first filter condition; fetch stages when there is none).
     fn enter_dataflow(&mut self, s: usize, slot: usize, t: u64, fires: &mut Vec<Fire>) {
+        if let Some(n) = self.limit {
+            if self.prefix_confirmed(slot) >= n {
+                // The window is already covered by earlier confirmed
+                // survivors, so this key can never surface — prune it
+                // before any filter or fetch prompt is issued.
+                self.steps[s].slots[slot].alive = false;
+                return;
+            }
+        }
         if self.steps[s].n_filters > 0 {
             self.deliver(s, 0, slot, t, fires);
         } else {
+            if self.limit.is_some() {
+                self.confirm_survivor(slot);
+            }
             for g in 0..self.steps[s].stages.len() {
                 self.deliver(s, g, slot, t, fires);
             }
@@ -2910,6 +3037,15 @@ impl<'a> StreamSim<'a> {
         if g + 1 < n_filters {
             self.deliver(s, g + 1, slot, t, fires);
         } else {
+            if let Some(n) = self.limit {
+                self.confirm_survivor(slot);
+                if self.prefix_confirmed(slot) >= n {
+                    // Beyond the window: every verdict landed (the key
+                    // stays alive) but its row can never surface, so its
+                    // fetch prompts are never issued.
+                    return;
+                }
+            }
             for fg in n_filters..self.steps[s].stages.len() {
                 self.deliver(s, fg, slot, t, fires);
             }
@@ -3367,6 +3503,35 @@ mod tests {
         assert!(text.contains("planner: heuristic"));
         assert!(text.contains("cost: keys≈"));
         assert!(text.contains("[relational plan]"));
+    }
+
+    #[test]
+    fn explain_reports_the_early_stop_window_for_limit_sessions() {
+        let s = Scenario::generate(42);
+        let model = Arc::new(SimLlm::new(s.knowledge.clone(), ModelProfile::oracle()));
+        let sql = "SELECT name FROM city LIMIT 5 OFFSET 2";
+        let (_, plain) = oracle_session();
+        assert!(
+            !plain.explain(sql).unwrap().contains("limit:"),
+            "default sessions keep the pre-limit report"
+        );
+        let g = Galois::with_options(
+            model,
+            s.database.clone(),
+            GaloisOptions {
+                early_stop: EarlyStop::Limit,
+                ..Default::default()
+            },
+        );
+        assert!(g
+            .explain(sql)
+            .unwrap()
+            .contains("limit: early-stop after ~7 keys"));
+        // Ineligible plan shapes stay tag-free even on a limit session.
+        assert!(!g
+            .explain("SELECT name FROM city ORDER BY population LIMIT 5")
+            .unwrap()
+            .contains("limit:"));
     }
 
     #[test]

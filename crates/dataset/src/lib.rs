@@ -32,7 +32,10 @@ pub mod suite;
 pub mod world;
 
 pub use convert::{to_database, to_knowledge};
-pub use suite::{build_suite, AggSpec, JoinSpec, QueryCategory, QuerySpec};
+pub use suite::{
+    build_operator_suite, build_suite, AggSpec, JoinSpec, OperatorCheck, OperatorFamily,
+    OperatorQuery, QueryCategory, QuerySpec,
+};
 pub use world::{World, WorldConfig};
 
 use galois_llm::KnowledgeStore;

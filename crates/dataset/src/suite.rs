@@ -905,6 +905,245 @@ pub fn build_suite(world: &World) -> Vec<QuerySpec> {
     q
 }
 
+/// Operator families of the widened query surface (joins, grouped
+/// aggregates, LIMIT windows), exercised by the oracle-backed operator
+/// battery. These ride *alongside* the immutable 46-query paper suite —
+/// [`build_suite`] keeps its exact 20/18/8 mix; the operator suite is a
+/// separate workload with its own ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperatorFamily {
+    /// Joins where both sides are LLM relations.
+    JoinLlm,
+    /// Joins of an LLM relation against a `DB.`-qualified stored table.
+    JoinStored,
+    /// Grouped aggregates (GROUP BY / HAVING), including over a join.
+    GroupAgg,
+    /// ORDER BY / LIMIT / OFFSET windows.
+    Limit,
+}
+
+impl OperatorFamily {
+    /// Display label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OperatorFamily::JoinLlm => "LLM ⋈ LLM",
+            OperatorFamily::JoinStored => "LLM ⋈ stored",
+            OperatorFamily::GroupAgg => "Group/Agg",
+            OperatorFamily::Limit => "Limit",
+        }
+    }
+}
+
+/// How an operator query's result is scored against ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OperatorCheck {
+    /// The result must equal the ground-truth relation as a multiset of
+    /// rendered rows (deterministic queries: joins, aggregates, and
+    /// fully-ordered windows).
+    Exact,
+    /// An unordered window (`LIMIT` without a total order): the result
+    /// must be one that evaluating the unlimited query fully and then
+    /// truncating *admits* — every row appears in the unlimited ground
+    /// truth, and the row count is exactly
+    /// `min(n, max(|truth| - offset, 0))`.
+    Window {
+        /// The same query without its LIMIT/OFFSET clause.
+        unlimited_sql: String,
+        /// The window budget `n`.
+        n: usize,
+        /// Rows skipped before the budget.
+        offset: usize,
+    },
+}
+
+/// One query of the operator battery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorQuery {
+    /// 1-based id within the operator suite.
+    pub id: usize,
+    /// Operator family.
+    pub family: OperatorFamily,
+    /// SQL in the Galois dialect.
+    pub sql: String,
+    /// Scoring semantics.
+    pub check: OperatorCheck,
+}
+
+/// Builds the operator-surface workload from world statistics. Condition
+/// literals are drawn from quantiles (like [`build_suite`]) so every
+/// query has a non-empty ground truth on any seed.
+pub fn build_operator_suite(world: &World) -> Vec<OperatorQuery> {
+    let city_pop: Vec<f64> = world.cities.iter().map(|c| c.population as f64).collect();
+    let city_elev: Vec<f64> = world.cities.iter().map(|c| c.elevation as f64).collect();
+    let p = percentile;
+
+    let mut out = Vec::new();
+    let push = |out: &mut Vec<OperatorQuery>,
+                family: OperatorFamily,
+                sql: String,
+                check: OperatorCheck| {
+        let id = out.len() + 1;
+        out.push(OperatorQuery {
+            id,
+            family,
+            sql,
+            check,
+        });
+    };
+    use OperatorFamily::*;
+
+    // --- LLM ⋈ LLM ---------------------------------------------------
+    push(
+        &mut out,
+        JoinLlm,
+        format!(
+            "SELECT c.name, k.gdp FROM city c, country k \
+             WHERE c.country = k.name AND c.population > {}",
+            p(city_pop.clone(), 40.0)
+        ),
+        OperatorCheck::Exact,
+    );
+    push(
+        &mut out,
+        JoinLlm,
+        "SELECT s.name, k.continent FROM singer s, country k \
+         WHERE s.countryCode = k.code"
+            .to_string(),
+        OperatorCheck::Exact,
+    );
+    push(
+        &mut out,
+        JoinLlm,
+        "SELECT a.code, c.population FROM airport a, city c WHERE a.city = c.name".to_string(),
+        OperatorCheck::Exact,
+    );
+    push(
+        &mut out,
+        JoinLlm,
+        "SELECT co.name, s.genre FROM concert co, singer s WHERE co.singer = s.name".to_string(),
+        OperatorCheck::Exact,
+    );
+
+    // --- LLM ⋈ stored -------------------------------------------------
+    push(
+        &mut out,
+        JoinStored,
+        "SELECT c.name, k.gdp FROM city c, DB.country k WHERE c.country = k.name".to_string(),
+        OperatorCheck::Exact,
+    );
+    push(
+        &mut out,
+        JoinStored,
+        format!(
+            "SELECT c.name, m.party FROM city c, DB.cityMayor m \
+             WHERE c.mayor = m.name AND c.elevation < {}",
+            p(city_elev.clone(), 60.0)
+        ),
+        OperatorCheck::Exact,
+    );
+    push(
+        &mut out,
+        JoinStored,
+        "SELECT a.code, k.continent FROM airport a, DB.country k WHERE a.country = k.name"
+            .to_string(),
+        OperatorCheck::Exact,
+    );
+    push(
+        &mut out,
+        JoinStored,
+        "SELECT co.name, s.birthYear FROM concert co, DB.singer s WHERE co.singer = s.name"
+            .to_string(),
+        OperatorCheck::Exact,
+    );
+
+    // --- Grouped aggregates -------------------------------------------
+    push(
+        &mut out,
+        GroupAgg,
+        "SELECT country, COUNT(*) FROM city GROUP BY country".to_string(),
+        OperatorCheck::Exact,
+    );
+    push(
+        &mut out,
+        GroupAgg,
+        "SELECT continent, AVG(gdp) FROM country GROUP BY continent".to_string(),
+        OperatorCheck::Exact,
+    );
+    push(
+        &mut out,
+        GroupAgg,
+        "SELECT genre, MAX(netWorth) FROM singer GROUP BY genre HAVING COUNT(*) >= 1".to_string(),
+        OperatorCheck::Exact,
+    );
+    push(
+        &mut out,
+        GroupAgg,
+        "SELECT year, SUM(attendance) FROM concert GROUP BY year HAVING SUM(attendance) > 0"
+            .to_string(),
+        OperatorCheck::Exact,
+    );
+    push(
+        &mut out,
+        GroupAgg,
+        "SELECT k.continent, COUNT(*) FROM city c, country k \
+         WHERE c.country = k.name GROUP BY k.continent"
+            .to_string(),
+        OperatorCheck::Exact,
+    );
+
+    // --- LIMIT windows -------------------------------------------------
+    push(
+        &mut out,
+        Limit,
+        "SELECT name FROM city ORDER BY name LIMIT 5".to_string(),
+        OperatorCheck::Exact,
+    );
+    push(
+        &mut out,
+        Limit,
+        "SELECT name, population FROM city ORDER BY population DESC, name LIMIT 3 OFFSET 2"
+            .to_string(),
+        OperatorCheck::Exact,
+    );
+    {
+        let unlimited = format!(
+            "SELECT name FROM city WHERE population > {}",
+            p(city_pop.clone(), 30.0)
+        );
+        push(
+            &mut out,
+            Limit,
+            format!("{unlimited} LIMIT 4"),
+            OperatorCheck::Window {
+                unlimited_sql: unlimited,
+                n: 4,
+                offset: 0,
+            },
+        );
+    }
+    push(
+        &mut out,
+        Limit,
+        "SELECT code FROM airport ORDER BY code LIMIT 4 OFFSET 1".to_string(),
+        OperatorCheck::Exact,
+    );
+    {
+        let unlimited = "SELECT name FROM city".to_string();
+        push(
+            &mut out,
+            Limit,
+            format!("{unlimited} LIMIT 6 OFFSET 2"),
+            OperatorCheck::Window {
+                unlimited_sql: unlimited,
+                n: 6,
+                offset: 2,
+            },
+        );
+    }
+
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1003,5 +1242,57 @@ mod tests {
         let (w, s1) = suite();
         let s2 = build_suite(&w);
         assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn operator_suite_covers_every_family_and_is_deterministic() {
+        let w = World::generate(42);
+        let ops = build_operator_suite(&w);
+        for fam in [
+            OperatorFamily::JoinLlm,
+            OperatorFamily::JoinStored,
+            OperatorFamily::GroupAgg,
+            OperatorFamily::Limit,
+        ] {
+            assert!(
+                ops.iter().filter(|q| q.family == fam).count() >= 4,
+                "family {fam:?} under-represented"
+            );
+        }
+        for (i, q) in ops.iter().enumerate() {
+            assert_eq!(q.id, i + 1);
+        }
+        assert_eq!(ops, build_operator_suite(&w));
+    }
+
+    #[test]
+    fn operator_suite_plans_and_has_non_empty_ground_truth() {
+        for seed in [42u64, 7, 99] {
+            let w = World::generate(seed);
+            let db = to_database(&w);
+            for q in build_operator_suite(&w) {
+                let r = db
+                    .execute(&q.sql)
+                    .unwrap_or_else(|e| panic!("op{} (seed {seed}): {}\n{e}", q.id, q.sql));
+                assert!(
+                    !r.is_empty(),
+                    "op{} returned empty (seed {seed}): {}",
+                    q.id,
+                    q.sql
+                );
+                if let OperatorCheck::Window {
+                    unlimited_sql,
+                    n,
+                    offset,
+                } = &q.check
+                {
+                    let full = db
+                        .execute(unlimited_sql)
+                        .unwrap_or_else(|e| panic!("op{} unlimited: {e}", q.id));
+                    let expect = (*n).min(full.rows.len().saturating_sub(*offset));
+                    assert_eq!(r.rows.len(), expect, "op{} window size (seed {seed})", q.id);
+                }
+            }
+        }
     }
 }

@@ -11,7 +11,9 @@ use crate::cardinality::{average_diff, cardinality_diff_percent};
 use crate::matching::{match_records, relation_to_records, MatchOutcome};
 use crate::report::{percent0, signed1, TextTable};
 use galois_core::{BaselineKind, Galois, GaloisOptions, QaBaseline, QueryStats, Scheduler};
-use galois_dataset::{QueryCategory, Scenario};
+use galois_dataset::{
+    build_operator_suite, OperatorCheck, OperatorFamily, QueryCategory, Scenario,
+};
 use galois_llm::{lane_schedule, LanguageModel, ModelProfile, Parallelism, SimLlm};
 use std::sync::Arc;
 use std::time::Instant;
@@ -391,6 +393,182 @@ pub fn table2_parallel(scenario: &Scenario, profile: ModelProfile, threads: usiz
     }
 }
 
+/// One operator-suite query's outcome: whether Galois reproduced the
+/// ground truth under the query's scoring semantics
+/// ([`galois_dataset::OperatorCheck`]), plus its prompt accounting.
+#[derive(Debug, Clone)]
+pub struct OperatorOutcome {
+    /// Query id within the operator suite (1-based).
+    pub id: usize,
+    /// Operator family.
+    pub family: OperatorFamily,
+    /// `|R_D|` (for `Window` checks, the unlimited truth size).
+    pub truth_rows: usize,
+    /// `|R_M|`.
+    pub result_rows: usize,
+    /// True when the result satisfies the query's check exactly.
+    pub passed: bool,
+    /// Prompt accounting.
+    pub stats: QueryStats,
+}
+
+/// An operator-suite run ([`galois_dataset::build_operator_suite`])
+/// through one Galois session.
+#[derive(Debug, Clone)]
+pub struct OperatorRun {
+    /// Model profile name.
+    pub model: String,
+    /// Per-query outcomes, in suite order.
+    pub outcomes: Vec<OperatorOutcome>,
+    /// Real wall-clock milliseconds for the run.
+    pub wall_ms: u64,
+}
+
+impl OperatorRun {
+    /// Fraction of queries passing their check (`None` = all families).
+    pub fn pass_rate(&self, family: Option<OperatorFamily>) -> f64 {
+        let picked: Vec<&OperatorOutcome> = self
+            .outcomes
+            .iter()
+            .filter(|o| family.map(|f| o.family == f).unwrap_or(true))
+            .collect();
+        if picked.is_empty() {
+            0.0
+        } else {
+            picked.iter().filter(|o| o.passed).count() as f64 / picked.len() as f64
+        }
+    }
+
+    /// Renders the per-family report table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&["family", "queries", "passed", "prompts"]);
+        for family in [
+            OperatorFamily::JoinLlm,
+            OperatorFamily::JoinStored,
+            OperatorFamily::GroupAgg,
+            OperatorFamily::Limit,
+        ] {
+            let rows: Vec<&OperatorOutcome> = self
+                .outcomes
+                .iter()
+                .filter(|o| o.family == family)
+                .collect();
+            t.row(vec![
+                family.label().to_string(),
+                rows.len().to_string(),
+                rows.iter().filter(|o| o.passed).count().to_string(),
+                rows.iter()
+                    .map(|o| o.stats.total_prompts())
+                    .sum::<usize>()
+                    .to_string(),
+            ]);
+        }
+        t.row(vec![
+            "all".to_string(),
+            self.outcomes.len().to_string(),
+            self.outcomes
+                .iter()
+                .filter(|o| o.passed)
+                .count()
+                .to_string(),
+            self.outcomes
+                .iter()
+                .map(|o| o.stats.total_prompts())
+                .sum::<usize>()
+                .to_string(),
+        ]);
+        t.render()
+    }
+}
+
+/// Sorted rendered rows — the order-insensitive comparison key the
+/// operator checks use.
+fn sorted_rendered(rel: &galois_relational::Relation) -> Vec<Vec<String>> {
+    let mut rows: Vec<Vec<String>> = rel
+        .rows
+        .iter()
+        .map(|r| r.iter().map(galois_relational::Value::render).collect())
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// Runs the operator suite (joins, grouped aggregates, LIMIT windows)
+/// through Galois on the given model, scoring each query against ground
+/// truth under its check semantics: `Exact` queries must reproduce the
+/// truth as a multiset; `Window` queries must surface exactly
+/// `min(n, |truth| − offset)` rows, all admitted by the unlimited truth.
+pub fn run_operator_suite(
+    scenario: &Scenario,
+    profile: ModelProfile,
+    options: GaloisOptions,
+) -> OperatorRun {
+    let started = Instant::now();
+    let model_name = profile.name.clone();
+    let model = model_for(scenario, profile);
+    let galois = Galois::with_options(model, scenario.database.clone(), options);
+    let outcomes = build_operator_suite(&scenario.world)
+        .iter()
+        .map(|q| {
+            let (relation, stats) = match galois.execute(&q.sql) {
+                Ok(r) => (r.relation, r.stats),
+                Err(_) => (
+                    galois_relational::Relation::empty(galois_relational::PlanSchema::new(vec![])),
+                    QueryStats::default(),
+                ),
+            };
+            let (truth_rows, passed) = match &q.check {
+                OperatorCheck::Exact => {
+                    let truth = scenario
+                        .database
+                        .execute(&q.sql)
+                        .expect("operator queries execute on ground truth");
+                    (
+                        truth.len(),
+                        sorted_rendered(&relation) == sorted_rendered(&truth),
+                    )
+                }
+                OperatorCheck::Window {
+                    unlimited_sql,
+                    n,
+                    offset,
+                } => {
+                    let full = scenario
+                        .database
+                        .execute(unlimited_sql)
+                        .expect("operator queries execute on ground truth");
+                    let admitted = sorted_rendered(&full);
+                    let expect = (*n).min(full.len().saturating_sub(*offset));
+                    let ok = relation.len() == expect
+                        && relation
+                            .rows
+                            .iter()
+                            .map(|r| {
+                                r.iter()
+                                    .map(galois_relational::Value::render)
+                                    .collect::<Vec<_>>()
+                            })
+                            .all(|row| admitted.binary_search(&row).is_ok());
+                    (full.len(), ok)
+                }
+            };
+            OperatorOutcome {
+                id: q.id,
+                family: q.family,
+                truth_rows,
+                result_rows: relation.len(),
+                passed,
+                stats,
+            }
+        })
+        .collect();
+    OperatorRun {
+        model: model_name,
+        outcomes,
+        wall_ms: started.elapsed().as_millis() as u64,
+    }
+}
+
 /// Prompt/latency distribution over a run (paper §5: "GPT-3 takes ∼20
 /// seconds to execute a query (∼110 batched prompts per query).
 /// Distributions for these metrics are skewed").
@@ -540,6 +718,35 @@ mod tests {
             assert_eq!(x.stats.total_prompts(), y.stats.total_prompts());
             assert_eq!(x.matching.score(), y.matching.score());
         }
+    }
+
+    #[test]
+    fn operator_families_are_exact_on_the_oracle() {
+        let s = small_scenario();
+        let run = run_operator_suite(&s, ModelProfile::oracle(), GaloisOptions::default());
+        assert!(run.outcomes.len() >= 16);
+        for o in &run.outcomes {
+            assert!(o.passed, "op{} ({:?}) failed its check", o.id, o.family);
+        }
+        assert_eq!(run.pass_rate(None), 1.0);
+        let text = run.render();
+        for label in ["LLM ⋈ LLM", "LLM ⋈ stored", "Group/Agg", "Limit"] {
+            assert!(text.contains(label), "{text}");
+        }
+        // The widened surface holds under the full engine stack too:
+        // streaming, grid fusion and LIMIT-aware early termination.
+        let stacked = run_operator_suite(
+            &s,
+            ModelProfile::oracle(),
+            GaloisOptions {
+                pipeline: galois_core::Pipeline::Streaming,
+                prompt_batch: galois_core::PromptBatch::Grid { keys: 8, attrs: 2 },
+                parallelism: galois_llm::Parallelism::new(4),
+                early_stop: galois_core::EarlyStop::Limit,
+                ..Default::default()
+            },
+        );
+        assert_eq!(stacked.pass_rate(None), 1.0, "\n{}", stacked.render());
     }
 
     #[test]

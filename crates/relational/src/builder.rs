@@ -396,6 +396,7 @@ fn assemble(
         plan = LogicalPlan::Limit {
             input: Box::new(plan),
             n,
+            offset: stmt.offset.unwrap_or(0),
         };
     }
     if had_hidden {

@@ -234,7 +234,7 @@ pub fn estimate_rows_with(
         LogicalPlan::Sort { input, .. } | LogicalPlan::Distinct { input } => {
             estimate_rows_with(input, catalog, overrides)
         }
-        LogicalPlan::Limit { input, n } => {
+        LogicalPlan::Limit { input, n, .. } => {
             estimate_rows_with(input, catalog, overrides).min(*n as f64)
         }
     }

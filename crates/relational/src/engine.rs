@@ -150,6 +150,21 @@ mod tests {
     }
 
     #[test]
+    fn limit_offset_windows_the_result() {
+        let db = sample_db();
+        let r = db
+            .execute("SELECT name FROM city ORDER BY name LIMIT 2 OFFSET 1")
+            .unwrap();
+        let names: Vec<String> = r.rows.iter().map(|row| row[0].render()).collect();
+        assert_eq!(names, vec!["Lyon", "Milan"]);
+        // An offset past the end yields nothing rather than erroring.
+        let r = db
+            .execute("SELECT name FROM city LIMIT 3 OFFSET 10")
+            .unwrap();
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
     fn comma_join_becomes_hash_join() {
         let db = sample_db();
         let plan = db

@@ -209,8 +209,11 @@ pub fn execute(plan: &LogicalPlan, catalog: &Catalog) -> Result<Relation> {
                 rows,
             })
         }
-        LogicalPlan::Limit { input, n } => {
+        LogicalPlan::Limit { input, n, offset } => {
             let mut rel = execute(input, catalog)?;
+            if *offset > 0 {
+                rel.rows.drain(..(*offset as usize).min(rel.rows.len()));
+            }
             rel.rows.truncate(*n as usize);
             Ok(rel)
         }

@@ -97,9 +97,10 @@ fn map_children(plan: LogicalPlan, f: impl Fn(LogicalPlan) -> LogicalPlan + Copy
         LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
             input: Box::new(f(*input)),
         },
-        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+        LogicalPlan::Limit { input, n, offset } => LogicalPlan::Limit {
             input: Box::new(f(*input)),
             n,
+            offset,
         },
     }
 }

@@ -197,12 +197,14 @@ pub enum LogicalPlan {
         /// Input operator.
         input: Box<LogicalPlan>,
     },
-    /// Keep the first `n` rows.
+    /// Skip the first `offset` rows, then keep the next `n`.
     Limit {
         /// Input operator.
         input: Box<LogicalPlan>,
         /// Row budget.
         n: u64,
+        /// Rows skipped before the budget applies (0 for a plain LIMIT).
+        offset: u64,
     },
 }
 
@@ -380,8 +382,12 @@ impl LogicalPlan {
                 line(out, "Distinct".to_string());
                 input.explain_into(out, depth + 1, annotate);
             }
-            LogicalPlan::Limit { input, n } => {
-                line(out, format!("Limit {n}"));
+            LogicalPlan::Limit { input, n, offset } => {
+                if *offset > 0 {
+                    line(out, format!("Limit {n} OFFSET {offset}"));
+                } else {
+                    line(out, format!("Limit {n}"));
+                }
                 input.explain_into(out, depth + 1, annotate);
             }
         }
@@ -470,6 +476,7 @@ mod tests {
         let plan = LogicalPlan::Limit {
             input: Box::new(scan),
             n: 3,
+            offset: 0,
         };
         let text = plan.explain();
         assert!(text.starts_with("Limit 3\n"));

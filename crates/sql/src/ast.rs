@@ -627,6 +627,9 @@ pub struct SelectStatement {
     pub order_by: Vec<OrderItem>,
     /// `LIMIT` row count.
     pub limit: Option<u64>,
+    /// `OFFSET` row count (rows skipped before the limit applies; only
+    /// meaningful alongside `limit` in this dialect).
+    pub offset: Option<u64>,
 }
 
 impl SelectStatement {
@@ -699,6 +702,9 @@ impl fmt::Display for SelectStatement {
         }
         if let Some(l) = self.limit {
             write!(f, " LIMIT {l}")?;
+        }
+        if let Some(o) = self.offset {
+            write!(f, " OFFSET {o}")?;
         }
         Ok(())
     }
@@ -844,6 +850,7 @@ mod tests {
             having: None,
             order_by: vec![],
             limit: None,
+            offset: None,
         };
         assert!(stmt.is_aggregate_query());
     }

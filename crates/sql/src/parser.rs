@@ -226,6 +226,25 @@ impl Parser {
             None
         };
 
+        let offset = if self.eat_keyword(Keyword::Offset) {
+            if limit.is_none() {
+                return Err(self.error_here("OFFSET requires a preceding LIMIT".to_string()));
+            }
+            match self.peek_kind().clone() {
+                TokenKind::Integer(v) if v >= 0 => {
+                    self.advance();
+                    Some(v as u64)
+                }
+                other => {
+                    return Err(self.error_here(format!(
+                        "OFFSET expects a non-negative integer, found {other}"
+                    )));
+                }
+            }
+        } else {
+            None
+        };
+
         Ok(SelectStatement {
             distinct,
             items,
@@ -236,6 +255,7 @@ impl Parser {
             having,
             order_by,
             limit,
+            offset,
         })
     }
 
@@ -602,6 +622,22 @@ mod tests {
         assert_eq!(s.items.len(), 2);
         assert!(s.where_clause.is_some());
         assert!(!s.is_aggregate_query());
+    }
+
+    #[test]
+    fn parse_limit_with_offset() {
+        let Statement::Select(s) = parse("SELECT name FROM city LIMIT 5 OFFSET 2").unwrap() else {
+            panic!("expected SELECT")
+        };
+        assert_eq!(s.limit, Some(5));
+        assert_eq!(s.offset, Some(2));
+        assert_eq!(s.to_string(), "SELECT name FROM city LIMIT 5 OFFSET 2");
+    }
+
+    #[test]
+    fn offset_without_limit_is_rejected() {
+        let err = parse("SELECT name FROM city OFFSET 2").unwrap_err();
+        assert!(err.to_string().contains("OFFSET"), "{err}");
     }
 
     #[test]

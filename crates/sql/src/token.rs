@@ -19,6 +19,7 @@ pub enum Keyword {
     Having,
     Order,
     Limit,
+    Offset,
     Asc,
     Desc,
     And,
@@ -58,6 +59,7 @@ impl Keyword {
             "HAVING" => Keyword::Having,
             "ORDER" => Keyword::Order,
             "LIMIT" => Keyword::Limit,
+            "OFFSET" => Keyword::Offset,
             "ASC" => Keyword::Asc,
             "DESC" => Keyword::Desc,
             "AND" => Keyword::And,
@@ -93,6 +95,7 @@ impl Keyword {
             Keyword::Having => "HAVING",
             Keyword::Order => "ORDER",
             Keyword::Limit => "LIMIT",
+            Keyword::Offset => "OFFSET",
             Keyword::Asc => "ASC",
             Keyword::Desc => "DESC",
             Keyword::And => "AND",

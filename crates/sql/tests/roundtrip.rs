@@ -178,9 +178,10 @@ fn select_strategy() -> impl Strategy<Value = SelectStatement> {
             0..3,
         ),
         proptest::option::of(0u64..10_000),
+        proptest::option::of(0u64..10_000),
     )
         .prop_map(
-            |(distinct, items, from, where_clause, group_by, having, order_by, limit)| {
+            |(distinct, items, from, where_clause, group_by, having, order_by, limit, offset)| {
                 SelectStatement {
                     distinct,
                     items,
@@ -191,6 +192,9 @@ fn select_strategy() -> impl Strategy<Value = SelectStatement> {
                     having,
                     order_by,
                     limit,
+                    // The dialect only accepts OFFSET after LIMIT, and the
+                    // printer mirrors that.
+                    offset: if limit.is_some() { offset } else { None },
                 }
             },
         )

@@ -13,45 +13,19 @@
 //!    the exact `PromptBatch::Off` relations; accuracy can never regress,
 //!    only the prompt bill can.
 
-use galois::core::{Galois, GaloisOptions, Parallelism, PromptBatch};
-use galois::dataset::{Scenario, WorldConfig};
-use galois::llm::intent::{parse_task, TaskIntent};
-use galois::llm::{Completion, LanguageModel, ModelProfile, SimLlm};
-use galois::relational::{Relation, Value};
+mod common;
+
+use common::{
+    assert_suite_bit_identical, options, oracle_session, session_with_model, small_config,
+    sorted_rows, LineDropper,
+};
+use galois::core::{GaloisOptions, ListStore, Pipeline, PromptBatch};
+use galois::dataset::Scenario;
 use proptest::prelude::*;
 use std::sync::Arc;
 
-fn small_config() -> WorldConfig {
-    WorldConfig {
-        countries: 6,
-        cities: 14,
-        airports: 6,
-        singers: 6,
-        concerts: 8,
-        employees: 10,
-    }
-}
-
-fn sorted_rows(rel: &Relation) -> Vec<Vec<String>> {
-    let mut rows: Vec<Vec<String>> = rel
-        .rows
-        .iter()
-        .map(|r| r.iter().map(Value::render).collect())
-        .collect();
-    rows.sort();
-    rows
-}
-
-fn session(s: &Scenario, batch: PromptBatch, lanes: usize) -> Galois {
-    Galois::with_options(
-        Arc::new(SimLlm::new(s.knowledge.clone(), ModelProfile::oracle())),
-        s.database.clone(),
-        GaloisOptions {
-            prompt_batch: batch,
-            parallelism: Parallelism::new(lanes),
-            ..Default::default()
-        },
-    )
+fn session(s: &Scenario, batch: PromptBatch, lanes: usize) -> galois::core::Galois {
+    oracle_session(s, options(ListStore::Off, Pipeline::Off, batch, lanes))
 }
 
 /// `PromptBatch::Off` is the default: the default-options session and an
@@ -60,37 +34,14 @@ fn session(s: &Scenario, batch: PromptBatch, lanes: usize) -> Galois {
 #[test]
 fn off_is_bit_identical_to_default_pipeline() {
     let s = Scenario::generate_with(42, small_config());
-    let default_session = Galois::with_options(
-        Arc::new(SimLlm::new(s.knowledge.clone(), ModelProfile::oracle())),
-        s.database.clone(),
-        GaloisOptions::default(),
-    );
+    let default_session = oracle_session(&s, GaloisOptions::default());
     let off_session = session(&s, PromptBatch::Off, 1);
     assert_eq!(
         GaloisOptions::default().prompt_batch,
         PromptBatch::Off,
         "Off must stay the default"
     );
-    for spec in &s.suite {
-        let sql = spec.to_sql();
-        let a = default_session.execute(&sql).unwrap();
-        let b = off_session.execute(&sql).unwrap();
-        assert_eq!(a.relation.rows, b.relation.rows, "q{}", spec.id);
-        assert_eq!(a.stats.list_prompts, b.stats.list_prompts, "q{}", spec.id);
-        assert_eq!(
-            a.stats.filter_prompts, b.stats.filter_prompts,
-            "q{}",
-            spec.id
-        );
-        assert_eq!(a.stats.fetch_prompts, b.stats.fetch_prompts, "q{}", spec.id);
-        assert_eq!(a.stats.cache_hits, b.stats.cache_hits, "q{}", spec.id);
-        assert_eq!(a.stats.virtual_ms, b.stats.virtual_ms, "q{}", spec.id);
-        assert_eq!(
-            a.stats.serial_virtual_ms, b.stats.serial_virtual_ms,
-            "q{}",
-            spec.id
-        );
-    }
+    assert_suite_bit_identical(&s, &default_session, &off_session, usize::MAX, "batch off");
 }
 
 /// Batched execution returns identical relations for K ∈ {1, 8} worker
@@ -118,38 +69,6 @@ fn batched_relations_match_off_for_one_and_eight_workers() {
     }
 }
 
-/// Wraps a model and corrupts every batched answer by dropping every
-/// second line — forcing the per-key fallback path for half the keys of
-/// every batched prompt.
-struct LineDropper {
-    inner: SimLlm,
-}
-
-impl LanguageModel for LineDropper {
-    fn name(&self) -> &str {
-        self.inner.name()
-    }
-    fn context_window(&self) -> usize {
-        self.inner.context_window()
-    }
-    fn complete(&self, prompt: &str) -> Completion {
-        let mut completion = self.inner.complete(prompt);
-        if matches!(
-            parse_task(prompt),
-            Some(TaskIntent::FetchAttrBatch { .. } | TaskIntent::FilterKeysBatch { .. })
-        ) {
-            completion.text = completion
-                .text
-                .lines()
-                .enumerate()
-                .filter_map(|(i, line)| (i % 2 == 0).then_some(line))
-                .collect::<Vec<_>>()
-                .join("\n");
-        }
-        completion
-    }
-}
-
 /// With half of every batched answer destroyed, the fallback re-asks must
 /// restore the exact `PromptBatch::Off` relations — at K ∈ {1, 8} — while
 /// necessarily spending extra prompts.
@@ -158,28 +77,18 @@ fn corrupted_batches_fall_back_to_off_relations() {
     let s = Scenario::generate_with(42, small_config());
     let off = session(&s, PromptBatch::Off, 1);
     for lanes in [1usize, 8] {
-        let flaky = Galois::with_options(
-            Arc::new(LineDropper {
-                inner: SimLlm::new(s.knowledge.clone(), ModelProfile::oracle()),
-            }),
-            s.database.clone(),
-            GaloisOptions {
-                prompt_batch: PromptBatch::Keys(8),
-                parallelism: Parallelism::new(lanes),
-                ..Default::default()
-            },
+        let flaky = session_with_model(
+            Arc::new(LineDropper::oracle(&s)),
+            &s,
+            options(ListStore::Off, Pipeline::Off, PromptBatch::Keys(8), lanes),
         );
-        for spec in s.suite.iter().take(12) {
-            let sql = spec.to_sql();
-            let a = off.execute(&sql).unwrap();
-            let b = flaky.execute(&sql).unwrap();
-            assert_eq!(
-                sorted_rows(&a.relation),
-                sorted_rows(&b.relation),
-                "q{} diverged under corrupted batches at K={lanes}: {sql}",
-                spec.id
-            );
-        }
+        common::assert_suite_rows_match(
+            &s,
+            &off,
+            &flaky,
+            12,
+            &format!("corrupted batches at K={lanes}"),
+        );
     }
 }
 

@@ -16,46 +16,19 @@
 //!    single) restores the exact `PromptBatch::Off` relations; accuracy
 //!    can never regress, only the prompt bill can.
 
-use galois::core::{Galois, GaloisOptions, Parallelism, Pipeline, PromptBatch};
-use galois::dataset::{Scenario, WorldConfig};
-use galois::llm::intent::{parse_task, TaskIntent};
-use galois::llm::{Completion, LanguageModel, ModelProfile, SimLlm};
-use galois::relational::{Relation, Value};
+mod common;
+
+use common::{
+    assert_suite_bit_identical, assert_suite_rows_match, options, oracle_session,
+    session_with_model, small_config, sorted_rows, LineDropper, LinePermuter,
+};
+use galois::core::{Galois, GaloisOptions, ListStore, Pipeline, PromptBatch};
+use galois::dataset::Scenario;
 use proptest::prelude::*;
 use std::sync::Arc;
 
-fn small_config() -> WorldConfig {
-    WorldConfig {
-        countries: 6,
-        cities: 14,
-        airports: 6,
-        singers: 6,
-        concerts: 8,
-        employees: 10,
-    }
-}
-
-fn sorted_rows(rel: &Relation) -> Vec<Vec<String>> {
-    let mut rows: Vec<Vec<String>> = rel
-        .rows
-        .iter()
-        .map(|r| r.iter().map(Value::render).collect())
-        .collect();
-    rows.sort();
-    rows
-}
-
 fn session(s: &Scenario, batch: PromptBatch, lanes: usize, pipeline: Pipeline) -> Galois {
-    Galois::with_options(
-        Arc::new(SimLlm::new(s.knowledge.clone(), ModelProfile::oracle())),
-        s.database.clone(),
-        GaloisOptions {
-            prompt_batch: batch,
-            parallelism: Parallelism::new(lanes),
-            pipeline,
-            ..Default::default()
-        },
-    )
+    oracle_session(s, options(ListStore::Off, pipeline, batch, lanes))
 }
 
 /// `PromptBatch::Off` stays the default, and the default session remains
@@ -64,37 +37,14 @@ fn session(s: &Scenario, batch: PromptBatch, lanes: usize, pipeline: Pipeline) -
 #[test]
 fn off_is_bit_identical_to_default_pipeline() {
     let s = Scenario::generate_with(42, small_config());
-    let default_session = Galois::with_options(
-        Arc::new(SimLlm::new(s.knowledge.clone(), ModelProfile::oracle())),
-        s.database.clone(),
-        GaloisOptions::default(),
-    );
+    let default_session = oracle_session(&s, GaloisOptions::default());
     let off_session = session(&s, PromptBatch::Off, 1, Pipeline::Off);
     assert_eq!(
         GaloisOptions::default().prompt_batch,
         PromptBatch::Off,
         "Off must stay the default"
     );
-    for spec in &s.suite {
-        let sql = spec.to_sql();
-        let a = default_session.execute(&sql).unwrap();
-        let b = off_session.execute(&sql).unwrap();
-        assert_eq!(a.relation.rows, b.relation.rows, "q{}", spec.id);
-        assert_eq!(a.stats.list_prompts, b.stats.list_prompts, "q{}", spec.id);
-        assert_eq!(
-            a.stats.filter_prompts, b.stats.filter_prompts,
-            "q{}",
-            spec.id
-        );
-        assert_eq!(a.stats.fetch_prompts, b.stats.fetch_prompts, "q{}", spec.id);
-        assert_eq!(a.stats.cache_hits, b.stats.cache_hits, "q{}", spec.id);
-        assert_eq!(a.stats.virtual_ms, b.stats.virtual_ms, "q{}", spec.id);
-        assert_eq!(
-            a.stats.serial_virtual_ms, b.stats.serial_virtual_ms,
-            "q{}",
-            spec.id
-        );
-    }
+    assert_suite_bit_identical(&s, &default_session, &off_session, usize::MAX, "grid off");
 }
 
 /// `Grid { keys: B, attrs: 1 }` is the ablation base case: the grid
@@ -228,67 +178,6 @@ fn speculative_pads_serve_unseen_columns_without_prompts() {
     }
 }
 
-/// Wraps a model and corrupts every multi-key answer by dropping every
-/// second line — forcing half the cells of every grid prompt down the
-/// ladder, and half of *those* past the middle rung to per-key singles.
-struct LineDropper {
-    inner: SimLlm,
-}
-
-impl LanguageModel for LineDropper {
-    fn name(&self) -> &str {
-        self.inner.name()
-    }
-    fn context_window(&self) -> usize {
-        self.inner.context_window()
-    }
-    fn complete(&self, prompt: &str) -> Completion {
-        let mut completion = self.inner.complete(prompt);
-        if matches!(
-            parse_task(prompt),
-            Some(
-                TaskIntent::FetchGridBatch { .. }
-                    | TaskIntent::FetchAttrBatch { .. }
-                    | TaskIntent::FilterKeysBatch { .. }
-            )
-        ) {
-            completion.text = completion
-                .text
-                .lines()
-                .enumerate()
-                .filter_map(|(i, line)| (i % 2 == 0).then_some(line))
-                .collect::<Vec<_>>()
-                .join("\n");
-        }
-        completion
-    }
-}
-
-/// Wraps a model and reverses the line order of every grid answer — the
-/// parser is order-tolerant, so this must cost nothing: same relations,
-/// same prompt bill as the clean grid run.
-struct LinePermuter {
-    inner: SimLlm,
-}
-
-impl LanguageModel for LinePermuter {
-    fn name(&self) -> &str {
-        self.inner.name()
-    }
-    fn context_window(&self) -> usize {
-        self.inner.context_window()
-    }
-    fn complete(&self, prompt: &str) -> Completion {
-        let mut completion = self.inner.complete(prompt);
-        if matches!(parse_task(prompt), Some(TaskIntent::FetchGridBatch { .. })) {
-            let mut lines: Vec<&str> = completion.text.lines().collect();
-            lines.reverse();
-            completion.text = lines.join("\n");
-        }
-        completion
-    }
-}
-
 /// With half of every grid answer destroyed, the full fallback ladder must
 /// restore the exact `PromptBatch::Off` relations — at K ∈ {1, 8}, both
 /// pipelines — while necessarily spending extra prompts.
@@ -298,29 +187,23 @@ fn corrupted_grids_fall_back_to_off_relations() {
     let off = session(&s, PromptBatch::Off, 1, Pipeline::Off);
     for pipeline in [Pipeline::Off, Pipeline::Streaming] {
         for lanes in [1usize, 8] {
-            let flaky = Galois::with_options(
-                Arc::new(LineDropper {
-                    inner: SimLlm::new(s.knowledge.clone(), ModelProfile::oracle()),
-                }),
-                s.database.clone(),
-                GaloisOptions {
-                    prompt_batch: PromptBatch::Grid { keys: 8, attrs: 4 },
-                    parallelism: Parallelism::new(lanes),
+            let flaky = session_with_model(
+                Arc::new(LineDropper::oracle(&s)),
+                &s,
+                options(
+                    ListStore::Off,
                     pipeline,
-                    ..Default::default()
-                },
+                    PromptBatch::Grid { keys: 8, attrs: 4 },
+                    lanes,
+                ),
             );
-            for spec in s.suite.iter().take(12) {
-                let sql = spec.to_sql();
-                let a = off.execute(&sql).unwrap();
-                let b = flaky.execute(&sql).unwrap();
-                assert_eq!(
-                    sorted_rows(&a.relation),
-                    sorted_rows(&b.relation),
-                    "q{} diverged under corrupted grids at K={lanes}, {pipeline:?}: {sql}",
-                    spec.id
-                );
-            }
+            assert_suite_rows_match(
+                &s,
+                &off,
+                &flaky,
+                12,
+                &format!("corrupted grids at K={lanes}, {pipeline:?}"),
+            );
         }
     }
 }
@@ -337,15 +220,15 @@ fn permuted_grid_lines_round_trip_without_fallback() {
         1,
         Pipeline::Off,
     );
-    let permuted = Galois::with_options(
-        Arc::new(LinePermuter {
-            inner: SimLlm::new(s.knowledge.clone(), ModelProfile::oracle()),
-        }),
-        s.database.clone(),
-        GaloisOptions {
-            prompt_batch: PromptBatch::Grid { keys: 8, attrs: 4 },
-            ..Default::default()
-        },
+    let permuted = session_with_model(
+        Arc::new(LinePermuter::oracle(&s)),
+        &s,
+        options(
+            ListStore::Off,
+            Pipeline::Off,
+            PromptBatch::Grid { keys: 8, attrs: 4 },
+            1,
+        ),
     );
     for spec in s.suite.iter().take(12) {
         let sql = spec.to_sql();

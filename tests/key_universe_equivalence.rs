@@ -26,86 +26,20 @@
 //!    `R_M`, the warm pass lists nothing, and cache-hit totals match the
 //!    store-off session pass-for-pass.
 
+mod common;
+
+use common::{assert_stats_eq, options, oracle_session, permutation, small_config, sorted_rows};
 use galois::core::{
     concept_signature_for, Galois, GaloisOptions, ListStore, Parallelism, Pipeline, PromptBatch,
 };
-use galois::dataset::{Scenario, WorldConfig};
+use galois::dataset::Scenario;
 use galois::eval::{run_galois_suite_on, GaloisRun};
 use galois::llm::intent::{parse_task, TaskIntent};
 use galois::llm::{Completion, KeyUniverseStore, LanguageModel, ModelProfile, SimLlm};
-use galois::relational::{Relation, Value};
+use galois::relational::Value;
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-
-fn small_config() -> WorldConfig {
-    WorldConfig {
-        countries: 6,
-        cities: 14,
-        airports: 6,
-        singers: 6,
-        concerts: 8,
-        employees: 10,
-    }
-}
-
-/// `QueryStats` equality modulo the real wall clock, which is measured,
-/// not simulated.
-fn assert_stats_eq(a: &galois::core::QueryStats, b: &galois::core::QueryStats, label: &str) {
-    let mut a = *a;
-    let mut b = *b;
-    a.wall_ms = 0;
-    b.wall_ms = 0;
-    assert_eq!(a, b, "{label}");
-}
-
-fn sorted_rows(rel: &Relation) -> Vec<Vec<String>> {
-    let mut rows: Vec<Vec<String>> = rel
-        .rows
-        .iter()
-        .map(|r| r.iter().map(Value::render).collect())
-        .collect();
-    rows.sort();
-    rows
-}
-
-fn options(
-    store: ListStore,
-    pipeline: Pipeline,
-    batch: PromptBatch,
-    lanes: usize,
-) -> GaloisOptions {
-    GaloisOptions {
-        pipeline,
-        prompt_batch: batch,
-        parallelism: Parallelism::new(lanes),
-        list_store: store,
-        ..Default::default()
-    }
-}
-
-fn oracle_session(s: &Scenario, opts: GaloisOptions) -> Galois {
-    Galois::with_options(
-        Arc::new(SimLlm::new(s.knowledge.clone(), ModelProfile::oracle())),
-        s.database.clone(),
-        opts,
-    )
-}
-
-/// A deterministic Fisher–Yates permutation of `0..n` driven by a plain
-/// LCG, so proptest can explore suite orderings without a shuffle
-/// strategy.
-fn permutation(n: usize, mut state: u64) -> Vec<usize> {
-    let mut idx: Vec<usize> = (0..n).collect();
-    for i in (1..n).rev() {
-        state = state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        let j = (state >> 33) as usize % (i + 1);
-        idx.swap(i, j);
-    }
-    idx
-}
 
 /// `ListStore::Off` is the default and must be bit-identical to the
 /// pre-store engine: every observable counter and every row, for every

@@ -4,42 +4,25 @@
 //! property; Galois additionally depends on it because its prompt compiler
 //! consumes *optimized* plans.
 
-use galois::dataset::Scenario;
-use galois::relational::{execute, Value};
+mod common;
 
-fn sorted(rel: &galois::relational::Relation) -> Vec<Vec<String>> {
-    let mut rows: Vec<Vec<String>> = rel
-        .rows
-        .iter()
-        .map(|r| r.iter().map(Value::render).collect())
-        .collect();
-    rows.sort();
-    rows
-}
+use common::{medium_config, sorted_rows};
+use galois::dataset::Scenario;
+use galois::relational::execute;
 
 fn assert_equivalent(scenario: &Scenario, sql: &str) {
     let unopt = scenario.database.plan_unoptimized(sql).unwrap();
     let opt = scenario.database.plan(sql).unwrap();
     let a = execute(&unopt, scenario.database.catalog()).unwrap();
     let b = execute(&opt, scenario.database.catalog()).unwrap();
-    assert_eq!(sorted(&a), sorted(&b), "plans diverge for: {sql}");
+    assert_eq!(sorted_rows(&a), sorted_rows(&b), "plans diverge for: {sql}");
     assert_eq!(a.schema.arity(), b.schema.arity(), "{sql}");
 }
 
 #[test]
 fn suite_queries_are_optimizer_invariant() {
     for seed in [42u64, 7, 99] {
-        let s = Scenario::generate_with(
-            seed,
-            galois::dataset::WorldConfig {
-                countries: 8,
-                cities: 20,
-                airports: 10,
-                singers: 10,
-                concerts: 12,
-                employees: 15,
-            },
-        );
+        let s = Scenario::generate_with(seed, medium_config());
         for spec in &s.suite {
             assert_equivalent(&s, &spec.to_sql());
         }
@@ -76,6 +59,9 @@ fn adversarial_queries_are_optimizer_invariant() {
         // DISTINCT + LIMIT above a join.
         "SELECT DISTINCT k.continent FROM city c, country k \
          WHERE c.country = k.name ORDER BY k.continent LIMIT 3",
+        // LIMIT with OFFSET above a sorted join (windowing, not truncation).
+        "SELECT c.name FROM city c, country k \
+         WHERE c.country = k.name ORDER BY c.name LIMIT 4 OFFSET 2",
         // IN / BETWEEN / LIKE mix.
         "SELECT name FROM city WHERE name LIKE '%e%' \
          AND population BETWEEN 10000 AND 9000000 AND elevation IN (1, 2, 3, 100)",

@@ -19,46 +19,19 @@
 //!    single-key re-asks under the event-driven dataflow: accuracy can
 //!    never regress, only the prompt bill can.
 
-use galois::core::{Galois, GaloisOptions, Parallelism, Pipeline, PromptBatch};
-use galois::dataset::{Scenario, WorldConfig};
-use galois::llm::intent::{parse_task, TaskIntent};
-use galois::llm::{Completion, LanguageModel, ModelProfile, SimLlm};
-use galois::relational::{Relation, Value};
+mod common;
+
+use common::{
+    assert_suite_bit_identical, assert_suite_rows_match, options, oracle_session,
+    session_with_model, small_config, sorted_rows, LineDropper,
+};
+use galois::core::{Galois, GaloisOptions, ListStore, Pipeline, PromptBatch};
+use galois::dataset::Scenario;
 use proptest::prelude::*;
 use std::sync::Arc;
 
-fn small_config() -> WorldConfig {
-    WorldConfig {
-        countries: 6,
-        cities: 14,
-        airports: 6,
-        singers: 6,
-        concerts: 8,
-        employees: 10,
-    }
-}
-
-fn sorted_rows(rel: &Relation) -> Vec<Vec<String>> {
-    let mut rows: Vec<Vec<String>> = rel
-        .rows
-        .iter()
-        .map(|r| r.iter().map(Value::render).collect())
-        .collect();
-    rows.sort();
-    rows
-}
-
 fn session(s: &Scenario, pipeline: Pipeline, batch: PromptBatch, lanes: usize) -> Galois {
-    Galois::with_options(
-        Arc::new(SimLlm::new(s.knowledge.clone(), ModelProfile::oracle())),
-        s.database.clone(),
-        GaloisOptions {
-            pipeline,
-            prompt_batch: batch,
-            parallelism: Parallelism::new(lanes),
-            ..Default::default()
-        },
-    )
+    oracle_session(s, options(ListStore::Off, pipeline, batch, lanes))
 }
 
 /// `Pipeline::Off` is the default: the default-options session and an
@@ -68,52 +41,20 @@ fn session(s: &Scenario, pipeline: Pipeline, batch: PromptBatch, lanes: usize) -
 #[test]
 fn off_is_bit_identical_to_default_pipeline() {
     let s = Scenario::generate_with(42, small_config());
-    let default_session = Galois::with_options(
-        Arc::new(SimLlm::new(s.knowledge.clone(), ModelProfile::oracle())),
-        s.database.clone(),
-        GaloisOptions::default(),
-    );
+    let default_session = oracle_session(&s, GaloisOptions::default());
     let off_session = session(&s, Pipeline::Off, PromptBatch::Off, 1);
     assert_eq!(
         GaloisOptions::default().pipeline,
         Pipeline::Off,
         "Off must stay the default"
     );
-    for spec in &s.suite {
-        let sql = spec.to_sql();
-        let a = default_session.execute(&sql).unwrap();
-        let b = off_session.execute(&sql).unwrap();
-        assert_eq!(a.relation.rows, b.relation.rows, "q{}", spec.id);
-        assert_eq!(a.stats.list_prompts, b.stats.list_prompts, "q{}", spec.id);
-        assert_eq!(
-            a.stats.filter_prompts, b.stats.filter_prompts,
-            "q{}",
-            spec.id
-        );
-        assert_eq!(a.stats.fetch_prompts, b.stats.fetch_prompts, "q{}", spec.id);
-        assert_eq!(a.stats.cache_hits, b.stats.cache_hits, "q{}", spec.id);
-        assert_eq!(a.stats.virtual_ms, b.stats.virtual_ms, "q{}", spec.id);
-        assert_eq!(
-            a.stats.serial_virtual_ms, b.stats.serial_virtual_ms,
-            "q{}",
-            spec.id
-        );
-        assert_eq!(
-            a.stats.list_virtual_ms, b.stats.list_virtual_ms,
-            "q{}",
-            spec.id
-        );
-        assert_eq!(
-            a.stats.filter_virtual_ms, b.stats.filter_virtual_ms,
-            "q{}",
-            spec.id
-        );
-        assert_eq!(
-            a.stats.fetch_virtual_ms, b.stats.fetch_virtual_ms,
-            "q{}",
-            spec.id
-        );
-    }
+    assert_suite_bit_identical(
+        &s,
+        &default_session,
+        &off_session,
+        usize::MAX,
+        "pipeline off",
+    );
 }
 
 /// Streaming returns identical relations for K ∈ {1, 2, 8} × B ∈ {1, 10}
@@ -198,38 +139,6 @@ fn streaming_preserves_prompts_hits_and_row_order() {
     }
 }
 
-/// Wraps a model and corrupts every batched answer by dropping every
-/// second line — forcing the streaming fallback path for half the keys of
-/// every micro-batch.
-struct LineDropper {
-    inner: SimLlm,
-}
-
-impl LanguageModel for LineDropper {
-    fn name(&self) -> &str {
-        self.inner.name()
-    }
-    fn context_window(&self) -> usize {
-        self.inner.context_window()
-    }
-    fn complete(&self, prompt: &str) -> Completion {
-        let mut completion = self.inner.complete(prompt);
-        if matches!(
-            parse_task(prompt),
-            Some(TaskIntent::FetchAttrBatch { .. } | TaskIntent::FilterKeysBatch { .. })
-        ) {
-            completion.text = completion
-                .text
-                .lines()
-                .enumerate()
-                .filter_map(|(i, line)| (i % 2 == 0).then_some(line))
-                .collect::<Vec<_>>()
-                .join("\n");
-        }
-        completion
-    }
-}
-
 /// With half of every batched answer destroyed, the streaming fallback
 /// re-asks must restore the exact `Pipeline::Off` relations — at
 /// K ∈ {1, 8} — while necessarily spending extra prompts.
@@ -238,29 +147,23 @@ fn corrupted_streams_fall_back_to_off_relations() {
     let s = Scenario::generate_with(42, small_config());
     let off = session(&s, Pipeline::Off, PromptBatch::Off, 1);
     for lanes in [1usize, 8] {
-        let flaky = Galois::with_options(
-            Arc::new(LineDropper {
-                inner: SimLlm::new(s.knowledge.clone(), ModelProfile::oracle()),
-            }),
-            s.database.clone(),
-            GaloisOptions {
-                pipeline: Pipeline::Streaming,
-                prompt_batch: PromptBatch::Keys(8),
-                parallelism: Parallelism::new(lanes),
-                ..Default::default()
-            },
+        let flaky = session_with_model(
+            Arc::new(LineDropper::oracle(&s)),
+            &s,
+            options(
+                ListStore::Off,
+                Pipeline::Streaming,
+                PromptBatch::Keys(8),
+                lanes,
+            ),
         );
-        for spec in s.suite.iter().take(12) {
-            let sql = spec.to_sql();
-            let a = off.execute(&sql).unwrap();
-            let b = flaky.execute(&sql).unwrap();
-            assert_eq!(
-                sorted_rows(&a.relation),
-                sorted_rows(&b.relation),
-                "q{} diverged under corrupted micro-batches at K={lanes}: {sql}",
-                spec.id
-            );
-        }
+        assert_suite_rows_match(
+            &s,
+            &off,
+            &flaky,
+            12,
+            &format!("corrupted micro-batches at K={lanes}"),
+        );
     }
 }
 

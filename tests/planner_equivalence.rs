@@ -11,40 +11,19 @@
 //!    the result relation on a noise-free model: only the prompt
 //!    accounting may differ, and over the suite it must not cost more.
 
+mod common;
+
+use common::{oracle_session, small_config, sorted_rows};
 use galois::core::plan_choice::{plan_query, Planner, PlannerParams};
 use galois::core::{compile, Galois, GaloisOptions};
-use galois::dataset::{Scenario, WorldConfig};
+use galois::dataset::Scenario;
 use galois::eval::{run_galois_suite, suite_totals, table1, table2};
-use galois::llm::{ModelProfile, SimLlm};
-use galois::relational::{Relation, Value};
+use galois::llm::ModelProfile;
 use proptest::prelude::*;
-use std::sync::Arc;
 
-fn small_config() -> WorldConfig {
-    WorldConfig {
-        countries: 6,
-        cities: 14,
-        airports: 6,
-        singers: 6,
-        concerts: 8,
-        employees: 10,
-    }
-}
-
-fn sorted_rows(rel: &Relation) -> Vec<Vec<String>> {
-    let mut rows: Vec<Vec<String>> = rel
-        .rows
-        .iter()
-        .map(|r| r.iter().map(Value::render).collect())
-        .collect();
-    rows.sort();
-    rows
-}
-
-fn oracle_session(s: &Scenario, planner: Planner) -> Galois {
-    Galois::with_options(
-        Arc::new(SimLlm::new(s.knowledge.clone(), ModelProfile::oracle())),
-        s.database.clone(),
+fn planner_session(s: &Scenario, planner: Planner) -> Galois {
+    oracle_session(
+        s,
         GaloisOptions {
             planner,
             ..Default::default()
@@ -59,7 +38,7 @@ fn oracle_session(s: &Scenario, planner: Planner) -> Galois {
 fn heuristic_is_bit_identical_to_direct_compilation() {
     for seed in [42u64, 7, 99] {
         let s = Scenario::generate_with(seed, small_config());
-        let session = oracle_session(&s, Planner::Heuristic);
+        let session = planner_session(&s, Planner::Heuristic);
         for spec in &s.suite {
             let sql = spec.to_sql();
             let plan = s.database.plan(&sql).unwrap();
@@ -137,8 +116,8 @@ fn report_tables_are_byte_identical_under_explicit_heuristic() {
 #[test]
 fn cost_based_suite_is_cheaper_with_identical_relations() {
     let s = Scenario::generate_with(42, small_config());
-    let heuristic = oracle_session(&s, Planner::Heuristic);
-    let cost_based = oracle_session(&s, Planner::CostBased);
+    let heuristic = planner_session(&s, Planner::Heuristic);
+    let cost_based = planner_session(&s, Planner::CostBased);
     for spec in &s.suite {
         let sql = spec.to_sql();
         let a = heuristic.execute(&sql).unwrap();
@@ -198,9 +177,9 @@ proptest! {
         ).map_err(|e| TestCaseError::fail(format!("q{}: {e}", spec.id)))?;
         prop_assert_eq!(&heuristic.compiled, &direct, "q{} heuristic drift", spec.id);
 
-        let a = oracle_session(&s, Planner::Heuristic).execute(&sql)
+        let a = planner_session(&s, Planner::Heuristic).execute(&sql)
             .map_err(|e| TestCaseError::fail(format!("q{}: {e}", spec.id)))?;
-        let b = oracle_session(&s, Planner::CostBased).execute(&sql)
+        let b = planner_session(&s, Planner::CostBased).execute(&sql)
             .map_err(|e| TestCaseError::fail(format!("q{}: {e}", spec.id)))?;
         prop_assert_eq!(
             sorted_rows(&a.relation), sorted_rows(&b.relation),
