@@ -53,6 +53,15 @@
 //!   forms on the same stack — the prompt gap is what LIMIT-aware early
 //!   termination buys. One harness thread keeps both rows exactly
 //!   reproducible;
+//! * `galois_faulty_retry` — the sequential configuration re-run over a
+//!   [`FaultyLlm`]-wrapped oracle failing ~20 % of all prompts
+//!   (deterministically; truncated faults excluded so every fault is
+//!   marker-detectable), with `Resilience::On(RetryPolicy::default())`.
+//!   The retry budget dominates the injector's consecutive-failure cap,
+//!   so the row must tie `galois_sequential` **exactly** on prompts (net
+//!   of retries) and cache hits — CI asserts this — while its virtual
+//!   clock carries the billed retry/backoff overhead. One harness thread
+//!   keeps the row exactly reproducible;
 //! * `qa_baseline` / `qa_cot_baseline` — the paper's `T_M` and `T_C_M`
 //!   one-prompt-per-question methods, across `K` streams.
 //!
@@ -78,13 +87,14 @@
 use galois_bench::{parsed_flag, seed_from_args, string_flag};
 use galois_core::{
     BaselineKind, Galois, GaloisOptions, ListStore, Parallelism, Pipeline, Planner, PromptBatch,
+    Resilience, RetryPolicy,
 };
 use galois_dataset::Scenario;
 use galois_eval::{
     model_for, run_baseline_suite_parallel, run_galois_suite_on, run_galois_suite_parallel,
     suite_totals, BaselineRun, SuiteTotals,
 };
-use galois_llm::{lane_schedule, ModelProfile};
+use galois_llm::{lane_schedule, FaultProfile, FaultyLlm, ModelProfile};
 
 /// One method's row in the JSON report.
 struct MethodReport {
@@ -334,6 +344,29 @@ fn main() {
         },
     );
 
+    // The fault-injected resilience row: the sequential configuration
+    // over a deterministically faulty oracle (20 % of prompts fail with
+    // marker-detectable faults; truncated answers excluded so every fault
+    // is caught by the retry loop rather than parsed), absorbed by the
+    // default retry policy. One harness thread; the row must tie the
+    // galois_sequential row exactly on prompts and cache hits.
+    let faulty_session = Galois::with_options(
+        std::sync::Arc::new(FaultyLlm::new(
+            model_for(&scenario, ModelProfile::oracle()),
+            FaultProfile {
+                fault_rate: 0.2,
+                truncated_weight: 0,
+                ..FaultProfile::default()
+            },
+        )),
+        scenario.database.clone(),
+        GaloisOptions {
+            resilience: Resilience::On(RetryPolicy::default()),
+            ..Default::default()
+        },
+    );
+    let faulty_retry = run_galois_suite_on(&scenario, &faulty_session, &store_profile.name, 1);
+
     let qa = run_baseline_suite_parallel(
         &scenario,
         ModelProfile::oracle(),
@@ -407,6 +440,12 @@ fn main() {
             parallelism: lanes,
             threads: 1,
             totals: limit_unlimited,
+        },
+        MethodReport {
+            name: "galois_faulty_retry",
+            parallelism: 1,
+            threads: 1,
+            totals: suite_totals(&faulty_retry, 1),
         },
         MethodReport {
             name: "qa_baseline",
@@ -495,6 +534,18 @@ fn main() {
         methods[8].totals.prompts,
         methods[9].totals.list_virtual_ms,
         methods[8].totals.list_virtual_ms,
+    );
+    let faulty_retries: usize = faulty_retry.outcomes.iter().map(|o| o.stats.retries).sum();
+    println!(
+        "fault injection (rate 0.2, default retry policy): {} prompts / {} cache hits \
+         (sequential row: {} / {}), {} retries absorbed, virtual time {} -> {} ms",
+        methods[10].totals.prompts,
+        methods[10].totals.cache_hits,
+        methods[0].totals.prompts,
+        methods[0].totals.cache_hits,
+        faulty_retries,
+        methods[0].totals.virtual_ms,
+        methods[10].totals.virtual_ms,
     );
     for m in &methods {
         println!(

@@ -57,9 +57,10 @@ pub use compile::{
     LlmScanStep,
 };
 pub use error::{GaloisError, Result};
-pub use galois_llm::Parallelism;
+pub use galois_llm::{Parallelism, RetryPolicy};
 pub use plan_choice::{PlanReport, PlannedQuery, Planner, PlannerParams, StepCost};
 pub use schedule::Scheduler;
 pub use session::{
     EarlyStop, Galois, GaloisOptions, GaloisResult, ListStore, Pipeline, PromptBatch, QueryStats,
+    Resilience,
 };

@@ -59,7 +59,7 @@
 use crate::compile::{compile, CompileOptions, CompiledQuery, LlmScanStep};
 use crate::error::Result;
 use galois_llm::intent::{CmpOp, Condition};
-use galois_llm::{ClientStats, Parallelism, BATCH_OVERHEAD_MS};
+use galois_llm::{ClientStats, Parallelism, RetryPolicy, BATCH_OVERHEAD_MS};
 use galois_relational::cost as rcost;
 use galois_relational::{Catalog, LogicalPlan};
 use std::collections::{BTreeMap, HashMap};
@@ -156,6 +156,14 @@ pub struct PlannerParams {
     /// data-dependent, so the planner reports the stop threshold rather
     /// than guessing a discount.
     pub early_stop: bool,
+    /// Retry policy in effect ([`crate::Resilience::On`]): the `EXPLAIN`
+    /// report gains a `resilience:` header line naming the retry budget,
+    /// backoff shape and breaker threshold. `None` (the default) keeps
+    /// the report byte-identical to the pre-resilience pipeline's. Cost
+    /// estimates are deliberately untouched — retry time depends on the
+    /// model's live fault rate, which calibration already folds into the
+    /// observed per-prompt latency.
+    pub resilience: Option<RetryPolicy>,
 }
 
 impl Default for PlannerParams {
@@ -172,6 +180,7 @@ impl Default for PlannerParams {
             pipeline_streaming: false,
             warm_lists: None,
             early_stop: false,
+            resilience: None,
         }
     }
 }
@@ -224,6 +233,13 @@ impl PlannerParams {
     /// ([`crate::GaloisOptions::early_stop`]) for the `EXPLAIN` report.
     pub fn with_early_stop(mut self, on: bool) -> Self {
         self.early_stop = on;
+        self
+    }
+
+    /// Threads the session's retry policy
+    /// ([`crate::GaloisOptions::resilience`]) into the `EXPLAIN` report.
+    pub fn with_resilience(mut self, policy: Option<RetryPolicy>) -> Self {
+        self.resilience = policy;
         self
     }
 
@@ -818,6 +834,21 @@ impl PlannedQuery {
                 out.push_str(&format!("limit: early-stop after ~{n} keys\n"));
             }
         }
+        // The resilience line appears only with the retry knob on, so
+        // every `Resilience::Off` report stays byte-identical to the
+        // pre-resilience pipeline's.
+        if let Some(policy) = &params.resilience {
+            out.push_str(&format!(
+                "resilience: {} retries, backoff {}ms ×{} (cap {}ms), timeout {}ms, \
+                 breaker opens at {}\n",
+                policy.max_retries,
+                policy.base_backoff_ms,
+                policy.multiplier,
+                policy.max_backoff_ms,
+                policy.timeout_ms,
+                policy.breaker_threshold,
+            ));
+        }
         let mut temp_rows: HashMap<String, f64> = HashMap::new();
         for (i, (step, cost)) in self
             .compiled
@@ -1308,6 +1339,39 @@ mod tests {
         };
         assert!(!render(&off).contains("pipeline:"));
         assert!(render(&on).contains("pipeline: streaming"));
+    }
+
+    #[test]
+    fn render_shows_resilience_only_when_on() {
+        let s = Scenario::generate(42);
+        let plan = s
+            .database
+            .plan("SELECT name FROM city WHERE population > 1000000")
+            .unwrap();
+        let off = PlannerParams::default();
+        let on = PlannerParams::default().with_resilience(Some(RetryPolicy::default()));
+        let render = |params: &PlannerParams| {
+            plan_query(
+                &plan,
+                s.database.catalog(),
+                &CompileOptions::default(),
+                Planner::CostBased,
+                params,
+            )
+            .unwrap()
+            .render(s.database.catalog(), params)
+        };
+        assert!(!render(&off).contains("resilience:"));
+        let report = render(&on);
+        assert!(report.contains("resilience: 4 retries"));
+        assert!(report.contains("breaker opens at 8"));
+        // The knob adds one line and changes nothing else.
+        let stripped: String = report
+            .lines()
+            .filter(|l| !l.starts_with("resilience:"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(stripped, render(&off));
     }
 
     #[test]

@@ -46,10 +46,11 @@ use crate::parse::{parse_boolean_answer, parse_list_answer, parse_value_answer, 
 use crate::plan_choice::{plan_query, PlannedQuery, Planner, PlannerParams};
 use crate::prompts::PromptBuilder;
 use crate::schedule::Scheduler;
+use galois_llm::faults::is_fault_text;
 use galois_llm::intent::{split_batched_answer, split_grid_answer, Condition, TaskIntent};
 use galois_llm::{
     lane_schedule, BatchOutcome, ClientStats, KeyUniverse, KeyUniverseStore, LanguageModel,
-    LlmClient, Parallelism, SubEntryLookup,
+    LlmClient, Parallelism, RetryPolicy, SubEntryLookup,
 };
 use galois_relational::{Column, Database, Relation, Table, TableSchema, Value};
 use std::sync::Arc;
@@ -305,6 +306,48 @@ impl EarlyStop {
     }
 }
 
+/// Resilience knob: what the client does when a model request fails.
+///
+/// Invariants:
+///
+/// * [`Resilience::Off`] (the default) is bit-identical to the
+///   pre-resilience engine — faults' degraded completions flow downstream
+///   untouched, and on a fault-free model nothing changes at all;
+/// * on a fault-free model, `On` changes nothing either: the retry loop
+///   never fires, no backoff is billed, the breaker never opens;
+/// * with a bounded fault schedule (consecutive failures per prompt ≤ the
+///   retry budget, e.g. [`galois_llm::FaultProfile`]'s default cap under
+///   the default [`RetryPolicy`]), `On` reproduces the fault-free run's
+///   relations, prompt counts, cache hits and token totals bit-exactly —
+///   only the virtual clock grows by the billed retry/backoff time.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Resilience {
+    /// No retries: a failed request's degraded completion goes straight
+    /// into parsing, and graceful degradation (Nulls, dropped verdicts,
+    /// resumable partial listings) is the only defence. The default.
+    #[default]
+    Off,
+    /// Bounded retries with exponential backoff + jitter billed in
+    /// virtual time, per-request timeouts, and a circuit breaker that
+    /// fails fast after a streak of retry-exhausted requests.
+    On(RetryPolicy),
+}
+
+impl Resilience {
+    /// The retry policy, if resilience is on.
+    pub fn policy(&self) -> Option<RetryPolicy> {
+        match self {
+            Resilience::Off => None,
+            Resilience::On(policy) => Some(*policy),
+        }
+    }
+
+    /// True when the retry loop is enabled.
+    pub fn is_on(&self) -> bool {
+        matches!(self, Resilience::On(_))
+    }
+}
+
 /// Tuning knobs of a session.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GaloisOptions {
@@ -351,6 +394,11 @@ pub struct GaloisOptions {
     /// unissued filter/fetch work once a plain `LIMIT` window is covered
     /// by confirmed survivors (see [`EarlyStop`]).
     pub early_stop: EarlyStop,
+    /// Fault handling for model requests. [`Resilience::Off`] (the
+    /// default) hands degraded completions straight to the parsers bit
+    /// for bit; [`Resilience::On`] retries failed requests with backoff
+    /// billed in virtual time (see [`Resilience`]).
+    pub resilience: Resilience,
 }
 
 impl Default for GaloisOptions {
@@ -366,6 +414,7 @@ impl Default for GaloisOptions {
             pipeline: Pipeline::default(),
             list_store: ListStore::default(),
             early_stop: EarlyStop::default(),
+            resilience: Resilience::default(),
         }
     }
 }
@@ -418,6 +467,21 @@ pub struct QueryStats {
     pub wall_ms: u64,
     /// Rows materialised from the LLM across all scans.
     pub rows_retrieved: usize,
+    /// Re-asks issued by the resilient retry loop (prompt counters stay
+    /// net of retries).
+    pub retries: usize,
+    /// Attempts that exceeded their deadline (timeout faults plus
+    /// slower-than-policy successes).
+    pub timeouts: usize,
+    /// Attempts the model refused with a rate-limit signal.
+    pub rate_limited: usize,
+    /// Requests failed fast by the open circuit breaker.
+    pub breaker_fastfails: usize,
+    /// Retrieval cells (list pages, filter verdicts, fetched values) that
+    /// still held a degraded answer after all defences: the verdict was
+    /// dropped, the value annotated as `Null`, or the listing left
+    /// resumable instead of exhausted.
+    pub failed_cells: usize,
 }
 
 impl QueryStats {
@@ -477,9 +541,23 @@ struct StepStats {
     /// order (list, filter, fetch).
     phase_ms: [u64; 3],
     serial_ms: u64,
+    retries: usize,
+    timeouts: usize,
+    rate_limited: usize,
+    breaker_fastfails: usize,
+    failed_cells: usize,
 }
 
 impl StepStats {
+    /// Folds one batch's resilience counters in (shared by both absorb
+    /// variants — retry accounting is per model call, never per key).
+    fn absorb_resilience(&mut self, outcome: &BatchOutcome) {
+        self.retries += outcome.retries;
+        self.timeouts += outcome.timeouts;
+        self.rate_limited += outcome.rate_limited;
+        self.breaker_fastfails += outcome.breaker_fastfails;
+    }
+
     /// Folds one batch's counters in (time is phase-structured and added
     /// by the caller, not here).
     fn absorb(&mut self, outcome: &BatchOutcome) {
@@ -487,6 +565,7 @@ impl StepStats {
         self.prompt_tokens += outcome.prompt_tokens;
         self.completion_tokens += outcome.completion_tokens;
         self.serial_ms += outcome.serial_ms;
+        self.absorb_resilience(outcome);
     }
 
     /// Folds one batch's counters in, *except* cache hits — the form used
@@ -506,6 +585,7 @@ impl StepStats {
         self.prompt_tokens += outcome.prompt_tokens;
         self.completion_tokens += outcome.completion_tokens;
         self.serial_ms += outcome.serial_ms;
+        self.absorb_resilience(outcome);
     }
 
     /// Charges wave time to the step clock and attributes it to a phase.
@@ -576,8 +656,12 @@ impl Galois {
             ListStore::On => Some(Arc::new(KeyUniverseStore::new())),
             ListStore::Shared(store) => Some(Arc::clone(store)),
         };
+        let mut client = LlmClient::with_parallelism(model, options.parallelism);
+        if let Some(policy) = options.resilience.policy() {
+            client = client.with_resilience(policy);
+        }
         Galois {
-            client: LlmClient::with_parallelism(model, options.parallelism),
+            client,
             db,
             prompt_builder,
             options,
@@ -622,6 +706,7 @@ impl Galois {
         .with_batch_attrs(self.options.prompt_batch.attrs_per_prompt())
         .with_pipeline(self.options.pipeline.is_streaming())
         .with_early_stop(self.options.early_stop == EarlyStop::Limit)
+        .with_resilience(self.options.resilience.policy())
     }
 
     /// The calibration snapshot plan choice uses, frozen at the session's
@@ -895,6 +980,14 @@ impl Galois {
             iterations += 1;
             acc.charge_wave(Phase::List, outcome.virtual_ms);
             acc.absorb(&outcome);
+            if is_fault_text(&outcome.completions[0].text) {
+                // A degraded list page: stop paging, but leave the
+                // frontier resumable (`exhausted` stays false) — a
+                // faulted page must never be recorded as the end of the
+                // universe, so a later query resumes where this one died.
+                acc.failed_cells += 1;
+                break;
+            }
             match parse_list_answer(&outcome.completions[0].text) {
                 ListAnswer::Exhausted => {
                     exhausted = true;
@@ -970,6 +1063,12 @@ impl Galois {
         out.iterations = 1;
         acc.charge_wave(Phase::List, outcome.virtual_ms);
         acc.absorb(&outcome);
+        if is_fault_text(&outcome.completions[0].text) {
+            // Degraded first page: give up paging with a resumable
+            // (non-exhausted) empty frontier.
+            acc.failed_cells += 1;
+            return out;
+        }
         let page_est = match parse_list_answer(&outcome.completions[0].text) {
             ListAnswer::Exhausted => {
                 out.exhausted = true;
@@ -988,7 +1087,8 @@ impl Galois {
         let lanes = self.options.parallelism.get();
         let mut offset = page_est;
         let mut width = 1usize;
-        while !out.exhausted && out.iterations < cap {
+        let mut faulted = false;
+        while !out.exhausted && !faulted && out.iterations < cap {
             let width_now = width.min(cap - out.iterations).max(1);
             let prompts: Vec<String> = (0..width_now)
                 .map(|i| {
@@ -1016,7 +1116,15 @@ impl Galois {
             }
             // Apply in offset order; the first terminal page wins.
             for outcome in outcomes {
-                if out.exhausted {
+                if out.exhausted || faulted {
+                    break;
+                }
+                if is_fault_text(&outcome.completions[0].text) {
+                    // A degraded page ends the ramp resumably: pages
+                    // fired past it are waste (as with any speculative
+                    // overshoot) and the frontier stays non-exhausted.
+                    acc.failed_cells += 1;
+                    faulted = true;
                     break;
                 }
                 match parse_list_answer(&outcome.completions[0].text) {
@@ -1081,6 +1189,13 @@ impl Galois {
             for outcome in &outcomes {
                 acc.absorb(outcome);
                 for completion in &outcome.completions {
+                    if is_fault_text(&completion.text) {
+                        // A degraded verdict keeps the tuple out, like any
+                        // unparseable one, but is counted as a failed cell.
+                        acc.failed_cells += 1;
+                        verdicts.push(false);
+                        continue;
+                    }
                     // An unparseable verdict keeps the tuple out: the
                     // predicate did not evaluate to TRUE.
                     verdicts.push(parse_boolean_answer(&completion.text).unwrap_or(false));
@@ -1171,13 +1286,21 @@ impl Galois {
         for ((col_idx, _), col_answers) in col_prompts.iter().zip(answers) {
             let column = &step.columns[*col_idx];
             for (row, completion) in rows.iter_mut().zip(col_answers) {
-                let value = parse_value_answer(&completion.text)
-                    .and_then(|raw| clean_to_type(&raw, column.data_type, &self.options.cleaning))
-                    .map(|v| match v {
-                        Value::Text(s) => Value::Text(normalise_text(&s)),
-                        other => other,
-                    })
-                    .unwrap_or(Value::Null);
+                let value = if is_fault_text(&completion.text) {
+                    // A degraded fetch annotates the cell as Null.
+                    acc.failed_cells += 1;
+                    Value::Null
+                } else {
+                    parse_value_answer(&completion.text)
+                        .and_then(|raw| {
+                            clean_to_type(&raw, column.data_type, &self.options.cleaning)
+                        })
+                        .map(|v| match v {
+                            Value::Text(s) => Value::Text(normalise_text(&s)),
+                            other => other,
+                        })
+                        .unwrap_or(Value::Null)
+                };
                 row[*col_idx] = value;
             }
         }
@@ -1217,6 +1340,10 @@ impl Galois {
                 .into_iter()
                 .zip(answers)
                 .filter_map(|(k, answer)| {
+                    if is_fault_text(&answer) {
+                        acc.failed_cells += 1;
+                        return None;
+                    }
                     parse_boolean_answer(&answer).unwrap_or(false).then_some(k)
                 })
                 .collect();
@@ -1262,13 +1389,21 @@ impl Galois {
             acc.fetch_prompts += prompts;
             let column = &step.columns[col_idx];
             for (row, answer) in rows.iter_mut().zip(answers) {
-                let value = parse_value_answer(&answer)
-                    .and_then(|raw| clean_to_type(&raw, column.data_type, &self.options.cleaning))
-                    .map(|v| match v {
-                        Value::Text(s) => Value::Text(normalise_text(&s)),
-                        other => other,
-                    })
-                    .unwrap_or(Value::Null);
+                let value = if is_fault_text(&answer) {
+                    // A degraded fetch annotates the cell as Null.
+                    acc.failed_cells += 1;
+                    Value::Null
+                } else {
+                    parse_value_answer(&answer)
+                        .and_then(|raw| {
+                            clean_to_type(&raw, column.data_type, &self.options.cleaning)
+                        })
+                        .map(|v| match v {
+                            Value::Text(s) => Value::Text(normalise_text(&s)),
+                            other => other,
+                        })
+                        .unwrap_or(Value::Null)
+                };
                 row[col_idx] = value;
             }
         }
@@ -1520,13 +1655,21 @@ impl Galois {
                 let answer = answers[ci][i]
                     .take()
                     .expect("every grid cell answered by sub-entry, grid, batch or fallback");
-                let value = parse_value_answer(&answer)
-                    .and_then(|raw| clean_to_type(&raw, column.data_type, &self.options.cleaning))
-                    .map(|v| match v {
-                        Value::Text(s) => Value::Text(normalise_text(&s)),
-                        other => other,
-                    })
-                    .unwrap_or(Value::Null);
+                let value = if is_fault_text(&answer) {
+                    // A degraded fetch annotates the cell as Null.
+                    acc.failed_cells += 1;
+                    Value::Null
+                } else {
+                    parse_value_answer(&answer)
+                        .and_then(|raw| {
+                            clean_to_type(&raw, column.data_type, &self.options.cleaning)
+                        })
+                        .map(|v| match v {
+                            Value::Text(s) => Value::Text(normalise_text(&s)),
+                            other => other,
+                        })
+                        .unwrap_or(Value::Null)
+                };
                 row[col_idx] = value;
             }
         }
@@ -1873,6 +2016,11 @@ fn fold_step_stats(stats: &mut QueryStats, step: &StepStats) {
     stats.list_virtual_ms += step.phase_ms[Phase::List as usize];
     stats.filter_virtual_ms += step.phase_ms[Phase::Filter as usize];
     stats.fetch_virtual_ms += step.phase_ms[Phase::Fetch as usize];
+    stats.retries += step.retries;
+    stats.timeouts += step.timeouts;
+    stats.rate_limited += step.rate_limited;
+    stats.breaker_fastfails += step.breaker_fastfails;
+    stats.failed_cells += step.failed_cells;
 }
 
 /// Result of a key-listing scan: the keys plus the store bookkeeping
@@ -2879,6 +3027,15 @@ impl<'a> StreamSim<'a> {
     /// time `t`, and either the next iteration fires or the key stream is
     /// finished (exhausted page, no new keys, or the iteration cap).
     fn process_list(&mut self, s: usize, text: &str, t: u64, fires: &mut Vec<Fire>) {
+        if is_fault_text(text) {
+            // A degraded list page ends the key stream *resumably*:
+            // `list_exhausted` stays false, so the published universe is a
+            // partial frontier a later query resumes — never a poisoned
+            // "complete" listing.
+            self.acc.failed_cells += 1;
+            self.finish_list(s, t, fires);
+            return;
+        }
         match parse_list_answer(text) {
             ListAnswer::Exhausted => {
                 self.steps[s].list_exhausted = true;
@@ -2977,9 +3134,17 @@ impl<'a> StreamSim<'a> {
             std::mem::take(&mut spec.buffered).into_iter().collect()
         };
         let mut terminal = false;
+        let mut faulted = false;
         for (_, text) in pages {
-            if terminal {
+            if terminal || faulted {
                 break;
+            }
+            if is_fault_text(&text) {
+                // A degraded page ends the ramp resumably (pages fired
+                // past it are waste, like any speculative overshoot).
+                self.acc.failed_cells += 1;
+                faulted = true;
+                continue;
             }
             match parse_list_answer(&text) {
                 ListAnswer::Exhausted => terminal = true,
@@ -2996,7 +3161,8 @@ impl<'a> StreamSim<'a> {
         if terminal {
             self.steps[s].list_exhausted = true;
             self.finish_list(s, t, fires);
-        } else if self.steps[s].iterations >= self.session.options.max_list_iterations
+        } else if faulted
+            || self.steps[s].iterations >= self.session.options.max_list_iterations
             || self.limit_covered()
         {
             self.finish_list(s, t, fires);
@@ -3159,7 +3325,12 @@ impl<'a> StreamSim<'a> {
     ) {
         match self.steps[s].stages[g].cell {
             StageCell::Filter(_) => {
-                if parse_boolean_answer(answer).unwrap_or(false) {
+                if is_fault_text(answer) {
+                    // A degraded verdict keeps the tuple out, like any
+                    // unparseable one, but is counted as a failed cell.
+                    self.acc.failed_cells += 1;
+                    self.steps[s].slots[slot].alive = false;
+                } else if parse_boolean_answer(answer).unwrap_or(false) {
                     self.route_survivor(s, g, slot, t, fires);
                 } else {
                     self.steps[s].slots[slot].alive = false;
@@ -3175,6 +3346,12 @@ impl<'a> StreamSim<'a> {
     /// Lands one fetch answer in a key's materialising row (shared by the
     /// per-column and grid stages).
     fn consume_fetch_value(&mut self, s: usize, col: usize, slot: usize, answer: &str) {
+        if is_fault_text(answer) {
+            // A degraded fetch annotates the cell as Null.
+            self.acc.failed_cells += 1;
+            self.steps[s].slots[slot].row[col] = Value::Null;
+            return;
+        }
         let value = {
             let run = &self.steps[s];
             let column = &run.step.columns[col];

@@ -26,7 +26,8 @@
 //! sequential accounting bit-for-bit.
 
 use crate::lanes::{lane_schedule, Parallelism};
-use crate::model::{Completion, LanguageModel};
+use crate::model::{Completion, FaultKind, LanguageModel, Usage};
+use crate::resilience::{CircuitBreaker, RetryPolicy};
 use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -51,6 +52,20 @@ pub struct ClientStats {
     /// Virtual milliseconds a single-lane client would have charged for the
     /// same batches (`virtual_ms == serial_ms` when `Parallelism` is 1).
     pub serial_ms: u64,
+    /// Re-asks issued by the resilient retry loop (never counted in
+    /// `prompts`, which stays net of retries).
+    pub retries: usize,
+    /// Attempts that exceeded their deadline (timeout faults, plus
+    /// successful answers slower than the policy's `timeout_ms`).
+    pub timeouts: usize,
+    /// Attempts the model refused with a rate-limit signal.
+    pub rate_limited: usize,
+    /// Requests failed fast by the open circuit breaker (no model call).
+    pub breaker_fastfails: usize,
+    /// Faulted attempts observed, all kinds (with resilience off, each is
+    /// a degraded completion handed downstream; with resilience on, most
+    /// are absorbed by retries).
+    pub faults: usize,
 }
 
 impl ClientStats {
@@ -86,6 +101,47 @@ pub struct BatchOutcome {
     pub virtual_ms: u64,
     /// Virtual cost the same batch would have had on one lane.
     pub serial_ms: u64,
+    /// Re-asks the retry loop spent on this batch's misses.
+    pub retries: usize,
+    /// Timed-out attempts behind this batch's misses.
+    pub timeouts: usize,
+    /// Rate-limited attempts behind this batch's misses.
+    pub rate_limited: usize,
+    /// Requests failed fast by the open breaker.
+    pub breaker_fastfails: usize,
+    /// Faulted attempts observed behind this batch's misses.
+    pub faults: usize,
+}
+
+/// Per-call resilience accounting, threaded from the model-call path up to
+/// [`LlmClient::charge`] (internal carrier; surfaced flat on
+/// [`BatchOutcome`] and [`ClientStats`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct FaultCounters {
+    retries: usize,
+    timeouts: usize,
+    rate_limited: usize,
+    breaker_fastfails: usize,
+    faults: usize,
+}
+
+impl FaultCounters {
+    fn add(&mut self, other: FaultCounters) {
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.rate_limited += other.rate_limited;
+        self.breaker_fastfails += other.breaker_fastfails;
+        self.faults += other.faults;
+    }
+
+    fn count_kind(&mut self, kind: FaultKind) {
+        self.faults += 1;
+        match kind {
+            FaultKind::Timeout => self.timeouts += 1,
+            FaultKind::RateLimit => self.rate_limited += 1,
+            FaultKind::Transient | FaultKind::Truncated => {}
+        }
+    }
 }
 
 /// A cache slot: a landed completion, or a marker that some thread is
@@ -256,6 +312,13 @@ pub struct LlmClient {
     stats: Mutex<ClientStats>,
     cache_enabled: bool,
     parallelism: Parallelism,
+    /// Retry/backoff/timeout policy; `None` forwards every fault's
+    /// degraded completion downstream untouched (the PR-8 behaviour).
+    resilience: Option<RetryPolicy>,
+    /// Circuit breaker over the client's model (one model per client, so
+    /// per-client is per-model-signature). Only consulted with resilience
+    /// on.
+    breaker: Mutex<CircuitBreaker>,
 }
 
 impl LlmClient {
@@ -273,7 +336,23 @@ impl LlmClient {
             stats: Mutex::new(ClientStats::default()),
             cache_enabled: true,
             parallelism,
+            resilience: None,
+            breaker: Mutex::new(CircuitBreaker::default()),
         }
+    }
+
+    /// Enables the resilient retry loop: faulted requests are retried up
+    /// to the policy's budget with exponential backoff + jitter billed in
+    /// virtual time, slow answers past `timeout_ms` are re-asked, and the
+    /// circuit breaker fails requests fast after a streak of exhaustions.
+    pub fn with_resilience(mut self, policy: RetryPolicy) -> Self {
+        self.resilience = Some(policy);
+        self
+    }
+
+    /// The retry policy in effect, if resilience is on.
+    pub fn resilience(&self) -> Option<RetryPolicy> {
+        self.resilience
     }
 
     /// Wraps a model without the prompt cache (every call hits the model).
@@ -304,14 +383,14 @@ impl LlmClient {
 
     /// Completes one prompt, returning full batch accounting.
     pub fn complete_outcome(&self, prompt: &str) -> BatchOutcome {
-        let (completion, hit) = self.lookup_or_complete(prompt);
+        let (completion, hit, counters) = self.lookup_or_complete(prompt);
         if hit {
-            self.charge(vec![completion], 1, &[], 0, 0)
+            self.charge(vec![completion], 1, &[], 0, 0, counters)
         } else {
             let latency = [completion.latency_ms];
             let p_tok = completion.usage.prompt_tokens;
             let c_tok = completion.usage.completion_tokens;
-            self.charge(vec![completion], 0, &latency, p_tok, c_tok)
+            self.charge(vec![completion], 0, &latency, p_tok, c_tok, counters)
         }
     }
 
@@ -327,8 +406,10 @@ impl LlmClient {
         let mut completions = Vec::with_capacity(prompts.len());
         let mut miss_latencies = Vec::new();
         let (mut hits, mut p_tok, mut c_tok) = (0usize, 0usize, 0usize);
+        let mut counters = FaultCounters::default();
         for prompt in prompts {
-            let (completion, hit) = self.lookup_or_complete(prompt);
+            let (completion, hit, call_counters) = self.lookup_or_complete(prompt);
+            counters.add(call_counters);
             if hit {
                 hits += 1;
             } else {
@@ -338,18 +419,23 @@ impl LlmClient {
             }
             completions.push(completion);
         }
-        self.charge(completions, hits, &miss_latencies, p_tok, c_tok)
+        self.charge(completions, hits, &miss_latencies, p_tok, c_tok, counters)
     }
 
-    /// One cache round-trip for one prompt; returns `(completion, hit)`.
+    /// One cache round-trip for one prompt; returns `(completion, hit,
+    /// resilience counters)`.
     ///
     /// Hits take a single shard-lock acquisition. Misses insert an
-    /// [`InFlight`] marker, release the lock, call the model, then swap the
-    /// marker for the landed completion — concurrent requests for the same
-    /// prompt wait on the marker and count as hits.
-    fn lookup_or_complete(&self, prompt: &str) -> (Completion, bool) {
+    /// [`InFlight`] marker, release the lock, call the model (through the
+    /// retry loop when resilience is on), then swap the marker for the
+    /// landed completion — concurrent requests for the same prompt wait on
+    /// the marker and count as hits. The marker also serialises the retry
+    /// loop per prompt: a prompt's attempt sequence is walked by exactly
+    /// one thread, so fault schedules stay deterministic under lanes.
+    fn lookup_or_complete(&self, prompt: &str) -> (Completion, bool, FaultCounters) {
         if !self.cache_enabled {
-            return (self.model.complete(prompt), false);
+            let (completion, counters) = self.call_model(prompt);
+            return (completion, false, counters);
         }
         enum Found {
             Ready(Completion),
@@ -371,9 +457,9 @@ impl LlmClient {
                 }
             };
             match found {
-                Found::Ready(c) => return (c, true),
+                Found::Ready(c) => return (c, true, FaultCounters::default()),
                 Found::Wait(pending) => match pending.wait() {
-                    Some(c) => return (c, true),
+                    Some(c) => return (c, true, FaultCounters::default()),
                     // The owner panicked before fulfilling: retry the
                     // lookup and complete the prompt ourselves.
                     None => continue,
@@ -385,7 +471,7 @@ impl LlmClient {
                         pending: &pending,
                         armed: true,
                     };
-                    let completion = self.model.complete(prompt);
+                    let (completion, counters) = self.call_model(prompt);
                     guard.armed = false;
                     {
                         let mut map = shard.lock();
@@ -399,7 +485,80 @@ impl LlmClient {
                         }
                     }
                     pending.resolve(InFlightState::Ready(completion.clone()));
-                    return (completion, false);
+                    return (completion, false, counters);
+                }
+            }
+        }
+    }
+
+    /// One model request through the resilience layer.
+    ///
+    /// With resilience off this is a single `try_complete`: a fault's
+    /// degraded completion is handed downstream as-is (only counted).
+    /// With resilience on, faulted attempts — and successful answers
+    /// slower than the policy deadline — are retried up to the budget,
+    /// with each failed attempt's latency plus the exponential backoff
+    /// (deterministically jittered per prompt/attempt) accrued into the
+    /// returned completion's `latency_ms`, so retry time flows through
+    /// lane packing and the event clock like any model latency. Token
+    /// usage is *not* accrued across attempts: retry cost is modelled in
+    /// virtual time only, which keeps token totals bit-exact with the
+    /// fault-free run once retries succeed. On exhaustion the last fault's
+    /// degraded completion (with the accrued wait) goes downstream and the
+    /// breaker records the failure; while the breaker is open, requests
+    /// fail fast with marker text and zero model calls.
+    fn call_model(&self, prompt: &str) -> (Completion, FaultCounters) {
+        let mut counters = FaultCounters::default();
+        let Some(policy) = self.resilience else {
+            return match self.model.try_complete(prompt) {
+                Ok(completion) => (completion, counters),
+                Err(fault) => {
+                    counters.count_kind(fault.kind);
+                    (fault.degraded, counters)
+                }
+            };
+        };
+        if !self.breaker.lock().admit(&policy) {
+            counters.breaker_fastfails += 1;
+            let text = crate::faults::fault_text(FaultKind::Transient);
+            let completion = Completion {
+                usage: Usage::default(),
+                text,
+                latency_ms: 0,
+            };
+            return (completion, counters);
+        }
+        let mut accrued_ms = 0u64;
+        let mut retry = 0u32;
+        loop {
+            let outcome = self.model.try_complete(prompt);
+            let budget_left = retry < policy.max_retries;
+            match outcome {
+                Ok(completion) if completion.latency_ms > policy.timeout_ms && budget_left => {
+                    // Too slow: the caller gave up at the deadline. Bill
+                    // the window waited plus the backoff, then re-ask.
+                    counters.timeouts += 1;
+                    counters.retries += 1;
+                    accrued_ms += policy.timeout_ms + policy.backoff_ms(prompt, retry);
+                    retry += 1;
+                }
+                Ok(mut completion) => {
+                    completion.latency_ms += accrued_ms;
+                    self.breaker.lock().record_success();
+                    return (completion, counters);
+                }
+                Err(fault) if budget_left => {
+                    counters.count_kind(fault.kind);
+                    counters.retries += 1;
+                    accrued_ms += fault.degraded.latency_ms + policy.backoff_ms(prompt, retry);
+                    retry += 1;
+                }
+                Err(fault) => {
+                    counters.count_kind(fault.kind);
+                    self.breaker.lock().record_exhaustion(&policy);
+                    let mut completion = fault.degraded;
+                    completion.latency_ms += accrued_ms;
+                    return (completion, counters);
                 }
             }
         }
@@ -414,6 +573,7 @@ impl LlmClient {
         miss_latencies: &[u64],
         prompt_tokens: usize,
         completion_tokens: usize,
+        counters: FaultCounters,
     ) -> BatchOutcome {
         let misses = miss_latencies.len();
         let virtual_ms = BATCH_OVERHEAD_MS
@@ -428,6 +588,11 @@ impl LlmClient {
             stats.completion_tokens += completion_tokens;
             stats.virtual_ms += virtual_ms;
             stats.serial_ms += serial_ms;
+            stats.retries += counters.retries;
+            stats.timeouts += counters.timeouts;
+            stats.rate_limited += counters.rate_limited;
+            stats.breaker_fastfails += counters.breaker_fastfails;
+            stats.faults += counters.faults;
         }
         BatchOutcome {
             completions,
@@ -437,6 +602,11 @@ impl LlmClient {
             completion_tokens,
             virtual_ms,
             serial_ms,
+            retries: counters.retries,
+            timeouts: counters.timeouts,
+            rate_limited: counters.rate_limited,
+            breaker_fastfails: counters.breaker_fastfails,
+            faults: counters.faults,
         }
     }
 
@@ -478,8 +648,12 @@ impl LlmClient {
     /// *stored* write wins: per-key answers are deterministic per session,
     /// so re-storing after a raw-prompt-cache hit must not flap the entry
     /// (an in-flight marker is always replaced — it holds no answer).
+    ///
+    /// Fault-marker text is never stored: a degraded answer must not
+    /// poison the sub-entry store for later queries (the `Asked` marker is
+    /// left in place, so by-signature hit accounting is unaffected).
     pub fn store_sub_entry(&self, sig: &str, answer: &str) {
-        if !self.cache_enabled {
+        if !self.cache_enabled || crate::faults::is_fault_text(answer) {
             return;
         }
         let mut map = self.sub_entries.shard(sig).lock();
@@ -940,6 +1114,156 @@ mod tests {
         // dead owner's marker.
         assert_eq!(c.complete("boom").text, "ok");
         assert_eq!(c.stats().prompts, 1);
+    }
+
+    /// A model whose every request fails with a transient fault.
+    struct AlwaysFaulty {
+        calls: std::sync::atomic::AtomicUsize,
+    }
+
+    impl AlwaysFaulty {
+        fn new() -> Self {
+            AlwaysFaulty {
+                calls: std::sync::atomic::AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl LanguageModel for AlwaysFaulty {
+        fn name(&self) -> &str {
+            "always-faulty"
+        }
+        fn context_window(&self) -> usize {
+            4096
+        }
+        fn complete(&self, prompt: &str) -> Completion {
+            self.try_complete(prompt)
+                .unwrap_or_else(|fault| fault.degraded)
+        }
+        fn try_complete(&self, _prompt: &str) -> Result<Completion, crate::model::Fault> {
+            self.calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            Err(crate::model::Fault {
+                kind: FaultKind::Transient,
+                degraded: Completion {
+                    text: crate::faults::fault_text(FaultKind::Transient),
+                    usage: Usage::default(),
+                    latency_ms: 10,
+                },
+            })
+        }
+    }
+
+    #[test]
+    fn retries_recover_a_faulty_prompt_and_bill_the_wait() {
+        let faulty = crate::faults::FaultyLlm::new(
+            Arc::new(FixedResponder {
+                model_name: "fixed".into(),
+                response: "clean".into(),
+            }),
+            crate::faults::FaultProfile::with_rate(1.0),
+        );
+        let c = LlmClient::new(Arc::new(faulty)).with_resilience(RetryPolicy::default());
+        let outcome = c.complete_outcome("prompt");
+        assert_eq!(outcome.completions[0].text, "clean");
+        let s = c.stats();
+        // Net of retries: one prompt, clean tokens, but the retry loop ran.
+        assert_eq!(s.prompts, 1);
+        assert!(s.retries >= 1, "rate 1.0 must have retried");
+        assert_eq!(s.faults, s.retries, "every retry was caused by a fault");
+        // Failed-attempt latency + backoff accrued beyond the clean 1 ms.
+        assert!(
+            outcome.completions[0].latency_ms > 1,
+            "retry wait must be billed: {}",
+            outcome.completions[0].latency_ms
+        );
+    }
+
+    #[test]
+    fn exhaustion_returns_the_degraded_completion() {
+        let c = LlmClient::new(Arc::new(AlwaysFaulty::new())).with_resilience(RetryPolicy {
+            max_retries: 2,
+            jitter_permille: 0,
+            ..RetryPolicy::default()
+        });
+        let outcome = c.complete_outcome("prompt");
+        assert!(crate::faults::is_fault_text(&outcome.completions[0].text));
+        let s = c.stats();
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.faults, 3, "three attempts, all faulted");
+        // Two failed attempts' latency (10 each) + backoffs (50, 100)
+        // accrued onto the final degraded completion's own 10 ms.
+        assert_eq!(outcome.completions[0].latency_ms, 10 + 50 + 10 + 100 + 10);
+    }
+
+    #[test]
+    fn breaker_fails_fast_after_an_exhaustion_streak() {
+        let model = Arc::new(AlwaysFaulty::new());
+        let c = LlmClient::new(Arc::clone(&model) as Arc<dyn LanguageModel>).with_resilience(
+            RetryPolicy {
+                max_retries: 1,
+                breaker_threshold: 2,
+                breaker_cooldown: 3,
+                ..RetryPolicy::default()
+            },
+        );
+        c.complete("p1");
+        c.complete("p2");
+        let calls_when_tripped = model.calls.load(std::sync::atomic::Ordering::SeqCst);
+        assert_eq!(calls_when_tripped, 4, "2 prompts × 2 attempts");
+        // Breaker is now open: the next prompts fail fast, no model calls.
+        c.complete("p3");
+        c.complete("p4");
+        assert_eq!(
+            model.calls.load(std::sync::atomic::Ordering::SeqCst),
+            calls_when_tripped
+        );
+        assert_eq!(c.stats().breaker_fastfails, 2);
+        // Third fast-fail spends the cooldown; the prompt after that is
+        // the half-open probe and reaches the model again.
+        c.complete("p5");
+        c.complete("p6");
+        assert_eq!(c.stats().breaker_fastfails, 3);
+        assert!(model.calls.load(std::sync::atomic::Ordering::SeqCst) > calls_when_tripped);
+    }
+
+    #[test]
+    fn resilience_off_forwards_degraded_completions_and_counts() {
+        let c = LlmClient::new(Arc::new(AlwaysFaulty::new()));
+        let outcome = c.complete_outcome("prompt");
+        assert!(crate::faults::is_fault_text(&outcome.completions[0].text));
+        let s = c.stats();
+        assert_eq!(s.retries, 0);
+        assert_eq!(s.faults, 1);
+        assert_eq!(s.prompts, 1);
+    }
+
+    #[test]
+    fn clean_model_under_resilience_changes_nothing() {
+        let run = |resilient: bool| {
+            let mut c = client();
+            if resilient {
+                c = c.with_resilience(RetryPolicy::default());
+            }
+            c.complete("a");
+            c.complete("a");
+            c.complete_batch(&["a".to_string(), "b".to_string()]);
+            c.stats()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn sub_entry_store_rejects_fault_marker_text() {
+        let c = client();
+        assert_eq!(c.extract_sub_entry("sig"), SubEntryLookup::Miss);
+        c.store_sub_entry("sig", &crate::faults::fault_text(FaultKind::Timeout));
+        // The degraded answer was not stored; the Asked marker remains.
+        assert_eq!(c.extract_sub_entry("sig"), SubEntryLookup::InFlight);
+        c.store_sub_entry("sig", "real answer");
+        assert_eq!(
+            c.extract_sub_entry("sig"),
+            SubEntryLookup::Hit("real answer".to_string())
+        );
     }
 
     #[test]

@@ -1,0 +1,351 @@
+//! Deterministic fault injection: a model wrapper that fails requests on
+//! a seeded schedule.
+//!
+//! Production LLM traffic fails constantly — transient 5xx errors,
+//! latency spikes past the deadline, 429 load shedding, truncated or
+//! garbled completions — and the surveys in PAPERS.md name unreliability,
+//! not raw latency, as the dominant production failure mode. [`FaultyLlm`]
+//! reproduces those failure modes *deterministically*: whether (and how
+//! often, and in which way) a prompt's request fails is a pure function of
+//! the [`FaultProfile`] seed, the prompt text, and the attempt ordinal —
+//! never of thread timing — so chaos tests are exactly reproducible.
+//!
+//! The schedule is leading-failure shaped: a prompt drawn as faulty fails
+//! its first `f` attempts (with `f` capped at
+//! [`FaultProfile::max_consecutive`]) and then answers cleanly forever.
+//! A retry budget of at least `max_consecutive` therefore *guarantees*
+//! every prompt eventually produces the wrapped model's exact completion —
+//! which is what makes the resilience equivalence battery possible: same
+//! answers, same prompt counts net of retries, same cache hits, only the
+//! virtual clock differs by the billed retry/backoff time.
+
+use crate::model::{Completion, Fault, FaultKind, LanguageModel, Usage};
+use crate::noise::seeded;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Marker prefix of degraded fault-completion text. Kept deliberately
+/// un-answer-like (no `key: value` shape, no yes/no prefix) so every
+/// existing parser already rejects it; [`is_fault_text`] lets the session
+/// recognise it outright and degrade gracefully instead of mis-reading it.
+pub const FAULT_MARKER: &str = "\u{26a1}fault";
+
+/// Renders the degraded completion text for a fault kind.
+pub fn fault_text(kind: FaultKind) -> String {
+    format!("{FAULT_MARKER}:{kind}")
+}
+
+/// True when a completion's text is a degraded fault marker (see
+/// [`FAULT_MARKER`]). Truncated-answer faults carry corrupted *answer*
+/// text instead and are not detectable this way — by design: a garbled
+/// answer looks like a garbled answer, and must survive the parsing
+/// gauntlet on its own.
+pub fn is_fault_text(text: &str) -> bool {
+    text.trim_start().starts_with(FAULT_MARKER)
+}
+
+/// Parameter vector of one fault-injection schedule (the resilience
+/// analogue of [`crate::ModelProfile`]'s noise dials).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultProfile {
+    /// Deterministic schedule seed; combined with prompt hashes.
+    pub seed: u64,
+    /// Probability that a prompt's request sequence starts with faults.
+    pub fault_rate: f64,
+    /// Relative weight of [`FaultKind::Transient`] draws.
+    pub transient_weight: u32,
+    /// Relative weight of [`FaultKind::Timeout`] draws.
+    pub timeout_weight: u32,
+    /// Relative weight of [`FaultKind::RateLimit`] draws.
+    pub rate_limit_weight: u32,
+    /// Relative weight of [`FaultKind::Truncated`] draws.
+    pub truncated_weight: u32,
+    /// Upper bound on consecutive leading failures of one prompt. A retry
+    /// budget of at least this many re-asks guarantees a clean answer.
+    pub max_consecutive: u32,
+    /// Latency billed by a timed-out attempt (the deadline spent waiting).
+    pub timeout_latency_ms: u64,
+    /// Latency billed by a transient / rate-limit / truncated attempt.
+    pub fault_latency_ms: u64,
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        Self::with_rate(0.2)
+    }
+}
+
+impl FaultProfile {
+    /// A schedule failing roughly `rate` of all prompts, with all four
+    /// fault kinds in play and at most 3 consecutive failures per prompt.
+    pub fn with_rate(rate: f64) -> Self {
+        FaultProfile {
+            seed: 0xFA17,
+            fault_rate: rate.clamp(0.0, 1.0),
+            transient_weight: 4,
+            timeout_weight: 2,
+            rate_limit_weight: 2,
+            truncated_weight: 2,
+            max_consecutive: 3,
+            timeout_latency_ms: 1_000,
+            fault_latency_ms: 30,
+        }
+    }
+
+    /// Number of leading failed attempts for a prompt: 0 for most prompts,
+    /// `1..=max_consecutive` for the `fault_rate` share drawn as faulty.
+    fn leading_faults(&self, prompt: &str) -> u32 {
+        if self.fault_rate <= 0.0 || self.max_consecutive == 0 {
+            return 0;
+        }
+        let u = seeded(self.seed, &["fault?", prompt]) as f64 / u64::MAX as f64;
+        if u >= self.fault_rate {
+            return 0;
+        }
+        1 + (seeded(self.seed, &["depth", prompt]) % u64::from(self.max_consecutive)) as u32
+    }
+
+    /// The fault kind of one attempt, drawn from the kind weights.
+    fn kind_for(&self, prompt: &str, attempt: u32) -> FaultKind {
+        let kinds = [
+            (FaultKind::Transient, self.transient_weight),
+            (FaultKind::Timeout, self.timeout_weight),
+            (FaultKind::RateLimit, self.rate_limit_weight),
+            (FaultKind::Truncated, self.truncated_weight),
+        ];
+        let total: u64 = kinds.iter().map(|&(_, w)| u64::from(w)).sum();
+        if total == 0 {
+            return FaultKind::Transient;
+        }
+        let attempt_label = attempt.to_string();
+        let mut pick = seeded(self.seed, &["kind", prompt, &attempt_label]) % total;
+        for (kind, weight) in kinds {
+            let w = u64::from(weight);
+            if pick < w {
+                return kind;
+            }
+            pick -= w;
+        }
+        FaultKind::Transient
+    }
+}
+
+/// A fault-injecting wrapper over any [`LanguageModel`].
+///
+/// [`LanguageModel::try_complete`] surfaces the scheduled faults as
+/// `Err(Fault)`; [`LanguageModel::complete`] — the path a non-resilient
+/// client takes — serves each fault's *degraded* completion instead:
+/// fault-marker text (or a corrupted answer for
+/// [`FaultKind::Truncated`]) with the failed attempt's latency billed.
+/// Attempt ordinals are tracked per prompt, so retrying the same prompt
+/// walks the schedule forward deterministically regardless of what other
+/// prompts (or threads) are doing.
+///
+/// The wrapper signs itself into [`LanguageModel::signature`] (inner
+/// signature + fault profile), so cross-query stores guarded by the model
+/// signature invalidate cleanly when fault injection is toggled.
+pub struct FaultyLlm {
+    inner: Arc<dyn LanguageModel>,
+    profile: FaultProfile,
+    /// Attempts already made per prompt (the schedule cursor).
+    attempts: Mutex<HashMap<String, u32>>,
+}
+
+impl FaultyLlm {
+    /// Wraps a model with a fault schedule.
+    pub fn new(inner: Arc<dyn LanguageModel>, profile: FaultProfile) -> Self {
+        FaultyLlm {
+            inner,
+            profile,
+            attempts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The fault schedule in use.
+    pub fn profile(&self) -> &FaultProfile {
+        &self.profile
+    }
+
+    /// Builds the degraded completion of one failed attempt.
+    fn degraded(&self, prompt: &str, attempt: u32, kind: FaultKind) -> Completion {
+        let latency_ms = match kind {
+            FaultKind::Timeout => self.profile.timeout_latency_ms,
+            _ => self.profile.fault_latency_ms,
+        };
+        let text = match kind {
+            // A truncated/garbled answer: the inner model's clean text cut
+            // at a schedule-drawn point, so it *looks* like a mangled
+            // answer rather than an error page.
+            FaultKind::Truncated => {
+                let clean = self.inner.complete(prompt).text;
+                let attempt_label = attempt.to_string();
+                let keep = seeded(self.profile.seed, &["cut", prompt, &attempt_label]) as usize
+                    % (clean.len() + 1);
+                let mut cut = keep;
+                while cut > 0 && !clean.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                clean[..cut].to_string()
+            }
+            kind => fault_text(kind),
+        };
+        Completion {
+            usage: Usage {
+                prompt_tokens: crate::tokenizer::count_tokens(prompt),
+                completion_tokens: crate::tokenizer::count_tokens(&text),
+            },
+            text,
+            latency_ms,
+        }
+    }
+}
+
+impl LanguageModel for FaultyLlm {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn context_window(&self) -> usize {
+        self.inner.context_window()
+    }
+
+    fn complete(&self, prompt: &str) -> Completion {
+        self.try_complete(prompt)
+            .unwrap_or_else(|fault| fault.degraded)
+    }
+
+    fn try_complete(&self, prompt: &str) -> Result<Completion, Fault> {
+        let attempt = {
+            let mut attempts = self.attempts.lock();
+            let slot = attempts.entry(prompt.to_string()).or_insert(0);
+            let attempt = *slot;
+            *slot += 1;
+            attempt
+        };
+        if attempt < self.profile.leading_faults(prompt) {
+            let kind = self.profile.kind_for(prompt, attempt);
+            return Err(Fault {
+                kind,
+                degraded: self.degraded(prompt, attempt, kind),
+            });
+        }
+        Ok(self.inner.complete(prompt))
+    }
+
+    fn signature(&self) -> String {
+        format!("{}+faults:{:?}", self.inner.signature(), self.profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FixedResponder;
+
+    fn fixed() -> Arc<dyn LanguageModel> {
+        Arc::new(FixedResponder {
+            model_name: "fixed".into(),
+            response: "the clean answer".into(),
+        })
+    }
+
+    #[test]
+    fn schedule_is_leading_failures_then_clean_forever() {
+        let profile = FaultProfile::with_rate(1.0);
+        let faulty = FaultyLlm::new(fixed(), profile.clone());
+        let mut failures = 0;
+        loop {
+            match faulty.try_complete("prompt") {
+                Err(_) => failures += 1,
+                Ok(c) => {
+                    assert_eq!(c.text, "the clean answer");
+                    break;
+                }
+            }
+            assert!(failures <= profile.max_consecutive, "schedule must cap");
+        }
+        assert!(failures >= 1, "rate 1.0 must fail the first attempt");
+        // Once clean, clean forever.
+        for _ in 0..3 {
+            assert!(faulty.try_complete("prompt").is_ok());
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_across_instances() {
+        let run = || {
+            let faulty = FaultyLlm::new(fixed(), FaultProfile::with_rate(0.5));
+            (0..40)
+                .map(|i| {
+                    let p = format!("p{i}");
+                    (0..4)
+                        .map(|_| match faulty.try_complete(&p) {
+                            Ok(_) => 'o',
+                            Err(f) => match f.kind {
+                                FaultKind::Transient => 't',
+                                FaultKind::Timeout => 'd',
+                                FaultKind::RateLimit => 'r',
+                                FaultKind::Truncated => 'x',
+                            },
+                        })
+                        .collect::<String>()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn zero_rate_injects_nothing() {
+        let faulty = FaultyLlm::new(fixed(), FaultProfile::with_rate(0.0));
+        for i in 0..50 {
+            assert!(faulty.try_complete(&format!("p{i}")).is_ok());
+        }
+    }
+
+    #[test]
+    fn complete_serves_the_degraded_completion() {
+        let faulty = FaultyLlm::new(fixed(), FaultProfile::with_rate(1.0));
+        let first = faulty.complete("prompt");
+        // First attempt of a rate-1.0 schedule always fails: marker text
+        // or a strict prefix of the clean answer (truncation).
+        assert!(
+            is_fault_text(&first.text) || "the clean answer".starts_with(&first.text),
+            "unexpected degraded text: {:?}",
+            first.text
+        );
+    }
+
+    #[test]
+    fn timeout_bills_the_deadline() {
+        let profile = FaultProfile {
+            fault_rate: 1.0,
+            transient_weight: 0,
+            timeout_weight: 1,
+            rate_limit_weight: 0,
+            truncated_weight: 0,
+            ..FaultProfile::default()
+        };
+        let faulty = FaultyLlm::new(fixed(), profile.clone());
+        let fault = faulty.try_complete("prompt").unwrap_err();
+        assert_eq!(fault.kind, FaultKind::Timeout);
+        assert_eq!(fault.degraded.latency_ms, profile.timeout_latency_ms);
+    }
+
+    #[test]
+    fn signature_folds_the_profile_in() {
+        let a = FaultyLlm::new(fixed(), FaultProfile::with_rate(0.1));
+        let b = FaultyLlm::new(fixed(), FaultProfile::with_rate(0.2));
+        assert_ne!(a.signature(), b.signature());
+        assert_ne!(a.signature(), fixed().signature());
+    }
+
+    #[test]
+    fn fault_text_round_trip() {
+        assert!(is_fault_text(&fault_text(FaultKind::Transient)));
+        assert!(is_fault_text("  \u{26a1}fault:rate-limit"));
+        assert!(!is_fault_text("Rome, Paris, Milan"));
+        assert!(!is_fault_text("No more results"));
+    }
+}

@@ -114,8 +114,20 @@ impl Condition {
     }
 
     /// Renders only the operator phrase (`greater than 1000000`).
+    ///
+    /// Well-formed conditions (the operand counts documented on
+    /// [`Condition::values`]) render their canonical template. A condition
+    /// missing an operand — which only arises from hand-built or corrupted
+    /// values, never from [`Condition::parse`] — renders a `?` placeholder
+    /// instead of panicking, so a worker thread formatting a prompt can
+    /// never be killed by malformed input.
     pub fn render_phrase(&self) -> String {
-        let v = |i: usize| self.values[i].to_string();
+        let v = |i: usize| {
+            self.values
+                .get(i)
+                .map(PromptValue::to_string)
+                .unwrap_or_else(|| "?".to_string())
+        };
         match self.op {
             CmpOp::Eq => format!("equal to {}", v(0)),
             CmpOp::NotEq => format!("different from {}", v(0)),
@@ -635,15 +647,72 @@ pub fn question_line(prompt: &str) -> &str {
     }
 }
 
-/// Attempts to decode an operator prompt into a [`TaskIntent`].
-pub fn parse_task(prompt: &str) -> Option<TaskIntent> {
+/// The typed result of decoding an operator prompt.
+///
+/// The parsing hot path runs on worker threads over *model output and
+/// injected fault text*, so it must classify garbage instead of panicking:
+///
+/// * [`Parsed`](ParseOutcome::Parsed) — a well-formed operator prompt;
+/// * [`Malformed`](ParseOutcome::Malformed) — the text carries an operator
+///   marker (`"List the … of every …"`, `"For the … identified by …"`,
+///   `"For each … identified by …"`) but the body does not decode: a
+///   truncated or garbled prompt, not a natural-language question. The
+///   payload names the family, for diagnostics;
+/// * [`Unrecognized`](ParseOutcome::Unrecognized) — no operator marker at
+///   all; callers route these to the NL question-answering path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseOutcome {
+    /// A well-formed operator prompt and its decoded task.
+    Parsed(TaskIntent),
+    /// Operator-shaped text whose body failed to decode; the payload names
+    /// the protocol family whose marker matched.
+    Malformed(&'static str),
+    /// No operator marker — not part of the prompt protocol.
+    Unrecognized,
+}
+
+impl ParseOutcome {
+    /// The decoded task, if the prompt was well-formed.
+    pub fn intent(self) -> Option<TaskIntent> {
+        match self {
+            ParseOutcome::Parsed(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Decodes an operator prompt into a typed [`ParseOutcome`] — the
+/// panic-free entry point for the parsing hot path.
+pub fn parse_task_outcome(prompt: &str) -> ParseOutcome {
     let q = question_line(prompt);
-    parse_list_keys(q)
+    let parsed = parse_list_keys(q)
         .or_else(|| parse_fetch_attr(q))
         .or_else(|| parse_check_filter(q))
         .or_else(|| parse_fetch_attr_batch(q))
         .or_else(|| parse_fetch_grid_batch(q))
-        .or_else(|| parse_filter_keys_batch(q))
+        .or_else(|| parse_filter_keys_batch(q));
+    if let Some(t) = parsed {
+        return ParseOutcome::Parsed(t);
+    }
+    // No family decoded; classify by marker so callers can tell a garbled
+    // operator prompt apart from an ordinary NL question.
+    if q.starts_with("List the ") && q.contains(" of every ") && q.contains(". Answer with") {
+        return ParseOutcome::Malformed("list-keys");
+    }
+    if q.starts_with("For the ") && q.contains(" identified by ") {
+        return ParseOutcome::Malformed("per-key fetch/filter");
+    }
+    if q.starts_with("For each ") && q.contains(" identified by ") {
+        return ParseOutcome::Malformed("batched fetch/filter");
+    }
+    ParseOutcome::Unrecognized
+}
+
+/// Attempts to decode an operator prompt into a [`TaskIntent`] — the
+/// `Option` adapter over [`parse_task_outcome`] (malformed and
+/// unrecognized both map to `None`).
+pub fn parse_task(prompt: &str) -> Option<TaskIntent> {
+    parse_task_outcome(prompt).intent()
 }
 
 fn parse_list_keys(q: &str) -> Option<TaskIntent> {
@@ -1197,5 +1266,52 @@ mod tests {
         assert_eq!(parse_task("tell me a joke"), None);
         assert_eq!(parse_task(""), None);
         assert_eq!(parse_task("List the of every . Answer with"), None);
+    }
+
+    #[test]
+    fn parse_outcome_classifies_garbled_operator_prompts() {
+        // No marker at all → Unrecognized (routes to the QA path).
+        assert_eq!(
+            parse_task_outcome("tell me a joke"),
+            ParseOutcome::Unrecognized
+        );
+        assert_eq!(parse_task_outcome(""), ParseOutcome::Unrecognized);
+        // Marker present, body garbled → Malformed, naming the family.
+        assert_eq!(
+            parse_task_outcome("List the of every . Answer with"),
+            ParseOutcome::Malformed("list-keys")
+        );
+        assert_eq!(
+            parse_task_outcome("For the city identified by \u{26a1}garble"),
+            ParseOutcome::Malformed("per-key fetch/filter")
+        );
+        assert_eq!(
+            parse_task_outcome("For each city identified by name listed below, what"),
+            ParseOutcome::Malformed("batched fetch/filter")
+        );
+        // Well-formed → Parsed, and the Option adapter agrees.
+        let t = TaskIntent::FetchAttr {
+            relation: "city".into(),
+            key_attr: "name".into(),
+            key: "Rome".into(),
+            attribute: "population".into(),
+        };
+        let rendered = render_task(&t);
+        assert_eq!(
+            parse_task_outcome(&rendered),
+            ParseOutcome::Parsed(t.clone())
+        );
+        assert_eq!(parse_task(&rendered), Some(t));
+    }
+
+    #[test]
+    fn render_phrase_tolerates_missing_operands() {
+        // A condition stripped of its operands (corrupted input) renders a
+        // placeholder instead of panicking; well-formed conditions are
+        // untouched (covered by `condition_phrases_roundtrip`).
+        let c = cond("population", CmpOp::Between, vec![PromptValue::Number(5.0)]);
+        assert_eq!(c.render_phrase(), "between 5 and ?");
+        let c = cond("population", CmpOp::Gt, vec![]);
+        assert_eq!(c.render_phrase(), "greater than ?");
     }
 }

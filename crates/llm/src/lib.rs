@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod faults;
 pub mod intent;
 pub mod knowledge;
 pub mod lanes;
@@ -35,6 +36,7 @@ pub mod nlq;
 pub mod noise;
 pub mod profiles;
 pub mod qa;
+pub mod resilience;
 pub mod simllm;
 pub mod tokenizer;
 
@@ -42,10 +44,12 @@ pub use client::{
     BatchOutcome, ClientStats, KeyUniverse, KeyUniverseStore, LlmClient, SubEntryLookup,
     BATCH_OVERHEAD_MS, CACHE_SHARDS,
 };
+pub use faults::{FaultProfile, FaultyLlm};
 pub use intent::{CmpOp, Condition, PromptValue, TaskIntent};
 pub use knowledge::{Entity, EntityId, FactValue, KnowledgeStore};
 pub use lanes::{lane_schedule, EventClock, Parallelism};
-pub use model::{Completion, FixedResponder, LanguageModel, Usage};
+pub use model::{Completion, Fault, FaultKind, FixedResponder, LanguageModel, Usage};
 pub use nlq::{AggIntent, AggKind, JoinIntent, QueryIntent};
 pub use profiles::ModelProfile;
+pub use resilience::{CircuitBreaker, RetryPolicy};
 pub use simllm::SimLlm;

@@ -41,6 +41,48 @@ impl fmt::Display for Completion {
     }
 }
 
+/// How one model request failed (the request-level signal a real API
+/// surfaces through HTTP status codes and `finish_reason` fields).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A transient server-side error (5xx): nothing about the prompt was
+    /// at fault and an immediate retry may succeed.
+    Transient,
+    /// The request exceeded its deadline; the fault's degraded completion
+    /// carries the latency spike that was spent waiting.
+    Timeout,
+    /// The provider shed load (429): retry only after backing off.
+    RateLimit,
+    /// The completion came back truncated or garbled (`finish_reason:
+    /// length`, a mangled stream): detectable at the request level, so a
+    /// resilient client can re-ask, but the degraded completion still
+    /// carries the corrupted text a non-resilient caller would have seen.
+    Truncated,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Transient => write!(f, "transient"),
+            FaultKind::Timeout => write!(f, "timeout"),
+            FaultKind::RateLimit => write!(f, "rate-limit"),
+            FaultKind::Truncated => write!(f, "truncated"),
+        }
+    }
+}
+
+/// A failed model request: the failure class plus the *degraded
+/// completion* a caller without retries observes — fault-marker text (or
+/// corrupted answer text for [`FaultKind::Truncated`]) whose latency is
+/// still billed, because a failed request costs real wait time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fault {
+    /// Failure class.
+    pub kind: FaultKind,
+    /// What a caller that does not retry gets back.
+    pub degraded: Completion,
+}
+
 /// A pre-trained language model: prompt text in, completion text out.
 ///
 /// Implementations must be deterministic functions of the prompt (the
@@ -56,6 +98,14 @@ pub trait LanguageModel: Send + Sync {
 
     /// Runs one completion.
     fn complete(&self, prompt: &str) -> Completion;
+
+    /// Runs one completion, surfacing request-level failures. The default
+    /// never fails — reliable models keep their `complete` behaviour
+    /// bit for bit; fault-injecting wrappers ([`crate::FaultyLlm`])
+    /// override this, and the resilient client retries on `Err`.
+    fn try_complete(&self, prompt: &str) -> Result<Completion, Fault> {
+        Ok(self.complete(prompt))
+    }
 
     /// Fingerprint of the model's *answering behaviour*, used to key
     /// cross-query stores (the key-universe store keeps listed keys only

@@ -1,0 +1,255 @@
+//! Retry policy and circuit breaker for the resilient client.
+//!
+//! [`RetryPolicy`] is the parameter vector of the `Resilience::On` knob:
+//! how many re-asks a failed request gets, how the exponential backoff
+//! between them grows, how much deterministic jitter decorrelates lanes,
+//! when a slow-but-successful answer counts as a timeout, and when the
+//! per-client [`CircuitBreaker`] stops asking altogether. All waiting is
+//! billed in *virtual* milliseconds — it folds into the completion's
+//! `latency_ms` and flows through the event clock like any model latency;
+//! no real time passes.
+
+use crate::noise::seeded;
+
+/// Bounded-retry configuration (the payload of `Resilience::On`).
+///
+/// The defaults are deliberately conservative-for-equivalence: 4 retries
+/// covers [`crate::FaultProfile`]'s default 3-consecutive-failure cap, the
+/// timeout is far above any simulated clean latency, and the breaker
+/// threshold is high enough that it never opens while retries are still
+/// winning — so a ≤ 20 % fault rate under the default policy reproduces
+/// the fault-free run bit for bit (only the virtual clock grows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Re-asks after the first failed attempt (total attempts = 1 + this).
+    pub max_retries: u32,
+    /// Backoff before the first retry, in virtual milliseconds.
+    pub base_backoff_ms: u64,
+    /// Multiplier applied to the backoff per further retry.
+    pub multiplier: u64,
+    /// Backoff ceiling, in virtual milliseconds.
+    pub max_backoff_ms: u64,
+    /// Deterministic jitter added to each backoff, as a permille fraction
+    /// of the backoff (200 = up to +20 %), drawn from a hash of the
+    /// prompt and the attempt ordinal so lanes decorrelate reproducibly.
+    pub jitter_permille: u64,
+    /// An attempt slower than this (even a successful one) counts as a
+    /// timeout: its window is billed and the request is retried.
+    pub timeout_ms: u64,
+    /// Consecutive retry-exhausted prompts that trip the breaker open.
+    pub breaker_threshold: u32,
+    /// Requests failed fast while the breaker is open, before one
+    /// half-open probe is let through.
+    pub breaker_cooldown: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_backoff_ms: 50,
+            multiplier: 2,
+            max_backoff_ms: 2_000,
+            jitter_permille: 200,
+            timeout_ms: 30_000,
+            breaker_threshold: 8,
+            breaker_cooldown: 16,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Virtual backoff before retry `retry` (0-based) of `prompt`:
+    /// exponential with ceiling, plus deterministic jitter.
+    pub fn backoff_ms(&self, prompt: &str, retry: u32) -> u64 {
+        let mut base = self.base_backoff_ms;
+        for _ in 0..retry {
+            base = base.saturating_mul(self.multiplier.max(1));
+            if base >= self.max_backoff_ms {
+                base = self.max_backoff_ms;
+                break;
+            }
+        }
+        base = base.min(self.max_backoff_ms);
+        if self.jitter_permille == 0 || base == 0 {
+            return base;
+        }
+        let retry_label = retry.to_string();
+        let jitter = seeded(0x1177E2, &["jitter", prompt, &retry_label])
+            % (base * self.jitter_permille / 1000 + 1);
+        base + jitter
+    }
+}
+
+/// Per-client circuit breaker, counted in *request outcomes* rather than
+/// wall time (the simulation has none to spare): `breaker_threshold`
+/// consecutive retry-exhausted prompts open it; while open, the next
+/// `breaker_cooldown` requests fail fast without touching the model; the
+/// request after that is the half-open probe — success closes the
+/// breaker, another exhaustion re-opens it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitBreaker {
+    /// Normal operation, counting consecutive retry-exhausted prompts.
+    Closed {
+        /// Retry-exhausted prompts seen in a row.
+        consecutive_failures: u32,
+    },
+    /// Tripped: the next `remaining` requests fail fast.
+    Open {
+        /// Fast-fails left before the half-open probe.
+        remaining: u32,
+    },
+    /// One probe request is in flight to the model.
+    HalfOpen,
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        CircuitBreaker::Closed {
+            consecutive_failures: 0,
+        }
+    }
+}
+
+impl CircuitBreaker {
+    /// Admission check, advanced *before* a request runs. Returns `false`
+    /// when the request must fail fast (breaker open, cooldown not yet
+    /// spent).
+    pub fn admit(&mut self, policy: &RetryPolicy) -> bool {
+        match *self {
+            CircuitBreaker::Closed { .. } | CircuitBreaker::HalfOpen => true,
+            CircuitBreaker::Open { remaining } => {
+                if remaining == 0 {
+                    *self = CircuitBreaker::HalfOpen;
+                    true
+                } else {
+                    *self = CircuitBreaker::Open {
+                        remaining: remaining - 1,
+                    };
+                    let _ = policy;
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a request that produced a clean answer (possibly after
+    /// retries): closes the breaker and resets the failure streak.
+    pub fn record_success(&mut self) {
+        *self = CircuitBreaker::default();
+    }
+
+    /// Records a retry-exhausted request: grows the failure streak and
+    /// trips the breaker at the policy threshold; an exhausted half-open
+    /// probe re-opens immediately.
+    pub fn record_exhaustion(&mut self, policy: &RetryPolicy) {
+        match *self {
+            CircuitBreaker::Closed {
+                consecutive_failures,
+            } => {
+                let streak = consecutive_failures + 1;
+                if policy.breaker_threshold > 0 && streak >= policy.breaker_threshold {
+                    *self = CircuitBreaker::Open {
+                        remaining: policy.breaker_cooldown,
+                    };
+                } else {
+                    *self = CircuitBreaker::Closed {
+                        consecutive_failures: streak,
+                    };
+                }
+            }
+            CircuitBreaker::HalfOpen => {
+                *self = CircuitBreaker::Open {
+                    remaining: policy.breaker_cooldown,
+                };
+            }
+            CircuitBreaker::Open { .. } => {}
+        }
+    }
+
+    /// True while the breaker is open (fast-failing).
+    pub fn is_open(&self) -> bool {
+        matches!(self, CircuitBreaker::Open { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_to_the_ceiling() {
+        let policy = RetryPolicy {
+            jitter_permille: 0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(policy.backoff_ms("p", 0), 50);
+        assert_eq!(policy.backoff_ms("p", 1), 100);
+        assert_eq!(policy.backoff_ms("p", 2), 200);
+        assert_eq!(policy.backoff_ms("p", 10), 2_000);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let policy = RetryPolicy::default();
+        let a = policy.backoff_ms("prompt", 1);
+        let b = policy.backoff_ms("prompt", 1);
+        assert_eq!(a, b);
+        assert!((100..=120).contains(&a), "base 100 + ≤20%: got {a}");
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_halfopen_closed() {
+        let policy = RetryPolicy {
+            breaker_threshold: 2,
+            breaker_cooldown: 3,
+            ..RetryPolicy::default()
+        };
+        let mut b = CircuitBreaker::default();
+        assert!(b.admit(&policy));
+        b.record_exhaustion(&policy);
+        assert!(!b.is_open());
+        assert!(b.admit(&policy));
+        b.record_exhaustion(&policy);
+        assert!(b.is_open(), "threshold 2 reached");
+        // Cooldown: 3 fast-fails.
+        for _ in 0..3 {
+            assert!(!b.admit(&policy));
+        }
+        // Next request is the half-open probe.
+        assert!(b.admit(&policy));
+        assert_eq!(b, CircuitBreaker::HalfOpen);
+        b.record_success();
+        assert_eq!(b, CircuitBreaker::default());
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let policy = RetryPolicy {
+            breaker_threshold: 1,
+            breaker_cooldown: 1,
+            ..RetryPolicy::default()
+        };
+        let mut b = CircuitBreaker::default();
+        assert!(b.admit(&policy));
+        b.record_exhaustion(&policy);
+        assert!(b.is_open());
+        assert!(!b.admit(&policy));
+        assert!(b.admit(&policy)); // probe
+        b.record_exhaustion(&policy);
+        assert!(b.is_open(), "failed probe re-opens");
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let policy = RetryPolicy {
+            breaker_threshold: 2,
+            ..RetryPolicy::default()
+        };
+        let mut b = CircuitBreaker::default();
+        b.record_exhaustion(&policy);
+        b.record_success();
+        b.record_exhaustion(&policy);
+        assert!(!b.is_open(), "streak was reset in between");
+    }
+}

@@ -198,12 +198,15 @@ impl SimLlm {
             _ => {}
         }
         let v = perceived?;
+        // Operand access is by `.get` — a condition missing an operand
+        // (corrupted or hand-built, never produced by `Condition::parse`)
+        // evaluates to "cannot tell" instead of panicking a worker.
         let result = match cond.op {
-            CmpOp::Eq => self.value_matches(&v, &cond.values[0]),
-            CmpOp::NotEq => !self.value_matches(&v, &cond.values[0]),
+            CmpOp::Eq => self.value_matches(&v, cond.values.first()?),
+            CmpOp::NotEq => !self.value_matches(&v, cond.values.first()?),
             CmpOp::Gt | CmpOp::GtEq | CmpOp::Lt | CmpOp::LtEq => {
                 let a = fact_number(&v)?;
-                let b = cond.values[0].as_number()?;
+                let b = cond.values.first()?.as_number()?;
                 match cond.op {
                     CmpOp::Gt => a > b,
                     CmpOp::GtEq => a >= b,
@@ -214,14 +217,14 @@ impl SimLlm {
             }
             CmpOp::Between => {
                 let a = fact_number(&v)?;
-                let lo = cond.values[0].as_number()?;
-                let hi = cond.values[1].as_number()?;
+                let lo = cond.values.first()?.as_number()?;
+                let hi = cond.values.get(1)?.as_number()?;
                 a >= lo && a <= hi
             }
             CmpOp::In => cond.values.iter().any(|pv| self.value_matches(&v, pv)),
             CmpOp::Like => {
                 let s = self.fact_text(&v);
-                let pat = cond.values[0].as_text()?;
+                let pat = cond.values.first()?.as_text()?;
                 sloppy_like(&s, pat)
             }
             CmpOp::IsNull | CmpOp::IsNotNull => unreachable!(),

@@ -3,7 +3,8 @@
 //! be total on arbitrary text.
 
 use galois_llm::intent::{
-    parse_task, render_task, split_batched_answer, CmpOp, Condition, PromptValue, TaskIntent,
+    parse_task, parse_task_outcome, render_task, split_batched_answer, split_grid_answer, CmpOp,
+    Condition, ParseOutcome, PromptValue, TaskIntent,
 };
 use galois_llm::nlq::{
     parse_question, render_question, AggIntent, AggKind, JoinIntent, QueryIntent,
@@ -227,8 +228,157 @@ proptest! {
     #[test]
     fn parsers_are_total(input in "[ -~]{0,120}") {
         let _ = parse_task(&input);
+        let _ = parse_task_outcome(&input);
         let _ = parse_question(&input);
         let _ = Condition::parse(&input);
         let _ = PromptValue::parse(&input);
+    }
+
+    /// Fault-injection hardening: a batched answer block with garbage
+    /// lines interleaved between the real `key: value` lines must yield
+    /// *exactly* the planted payload for every planted key, `None` for
+    /// every unplanted key, and never a silently-wrong cell. Keys are
+    /// uppercase-only and garbage lines never start with an uppercase
+    /// letter, so no garbage line can own a key's prefix by construction.
+    #[test]
+    fn split_batched_answer_survives_interleaved_garbage(
+        keys in prop::collection::vec("[A-Z]{1,8}", 1..8),
+        garbage in prop::collection::vec("[a-z0-9 !#%&*+=?@~:.,-]{0,40}", 0..8),
+        mask in any::<u32>(),
+    ) {
+        let mut keys = keys;
+        keys.sort();
+        keys.dedup();
+        // Plant a payload for the keys selected by the mask bits.
+        let planted: Vec<Option<String>> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, _)| (mask >> (i % 32)) & 1 == 1)
+            .enumerate()
+            .map(|(i, on)| on.then(|| format!("v{i}")))
+            .collect();
+        let mut lines: Vec<String> = Vec::new();
+        let mut garbage_iter = garbage.iter();
+        for (key, payload) in keys.iter().zip(&planted) {
+            if let Some(g) = garbage_iter.next() {
+                lines.push(g.clone());
+            }
+            if let Some(p) = payload {
+                lines.push(format!("{key}: {p}"));
+            }
+        }
+        lines.extend(garbage_iter.cloned());
+        let answer = lines.join("\n");
+        let split = split_batched_answer(&answer, &keys);
+        for (i, expected) in planted.iter().enumerate() {
+            prop_assert_eq!(&split[i], expected, "key {:?} in\n{}", &keys[i], answer);
+        }
+    }
+
+    /// Same hardening for the grid splitter: garbage lines between real
+    /// `key ⌁ attr: value` lines never corrupt a planted cell, and every
+    /// unplanted cell stays `None` (→ fallback re-ask), never a guess.
+    #[test]
+    fn split_grid_answer_survives_interleaved_garbage(
+        keys in prop::collection::vec("[A-Z]{1,6}", 1..5),
+        attrs in prop::collection::vec("[a-z]{1,6}", 1..4),
+        garbage in prop::collection::vec("[a-z0-9 !#%&*+=?@~:.,-]{0,40}", 0..8),
+        mask in any::<u32>(),
+    ) {
+        let mut keys = keys;
+        keys.sort();
+        keys.dedup();
+        let mut attrs = attrs;
+        attrs.sort();
+        attrs.dedup();
+        let mut lines: Vec<String> = Vec::new();
+        let mut garbage_iter = garbage.iter();
+        let mut planted: Vec<Vec<Option<String>>> = Vec::new();
+        for (ki, key) in keys.iter().enumerate() {
+            let mut row = Vec::new();
+            for (ai, attr) in attrs.iter().enumerate() {
+                let bit = (ki * attrs.len() + ai) % 32;
+                let cell = ((mask >> bit) & 1 == 1).then(|| format!("p{ki}x{ai}"));
+                if let Some(g) = garbage_iter.next() {
+                    lines.push(g.clone());
+                }
+                if let Some(p) = &cell {
+                    lines.push(format!("{key} \u{2301} {attr}: {p}"));
+                }
+                row.push(cell);
+            }
+            planted.push(row);
+        }
+        lines.extend(garbage_iter.cloned());
+        let answer = lines.join("\n");
+        let split = split_grid_answer(&answer, &keys, &attrs);
+        for (ki, row) in planted.iter().enumerate() {
+            for (ai, expected) in row.iter().enumerate() {
+                prop_assert_eq!(
+                    &split[ki][ai], expected,
+                    "cell {:?} × {:?} in\n{}", &keys[ki], &attrs[ai], answer
+                );
+            }
+        }
+    }
+
+    /// The splitters are total on arbitrary noise — printable bytes,
+    /// embedded newlines, stray grid separators, and a pathologically
+    /// long line — and degrade to `None` cells rather than panicking.
+    #[test]
+    fn splitters_are_total_on_noise(
+        noise in "[ -~\u{2301}\n]{0,160}",
+        keys in prop::collection::vec("[A-Za-z0-9 :,.\u{2301}-]{0,12}", 0..6),
+        attrs in prop::collection::vec("[a-z]{1,8}", 0..4),
+        repeat in 1usize..60_000,
+    ) {
+        let huge = format!("{noise}{}", "x".repeat(repeat));
+        for answer in [noise.as_str(), huge.as_str()] {
+            let b = split_batched_answer(answer, &keys);
+            prop_assert_eq!(b.len(), keys.len());
+            let g = split_grid_answer(answer, &keys, &attrs);
+            prop_assert_eq!(g.len(), keys.len());
+            for row in &g {
+                prop_assert_eq!(row.len(), attrs.len());
+            }
+        }
+        // The task parser is likewise total on the same noise.
+        let _ = parse_task_outcome(&huge);
+    }
+
+    /// A well-formed operator prompt whose tail was truncated mid-body is
+    /// classified `Malformed` (an operator marker with a garbled body),
+    /// never `Parsed` with wrong contents and never a panic.
+    #[test]
+    fn truncated_operator_prompts_classify_as_malformed(
+        relation in word(),
+        key_attr in word(),
+        keys in prop::collection::vec(batch_key(), 1..6),
+        attribute in word(),
+        cut_permille in 0usize..1000,
+    ) {
+        let task = TaskIntent::FetchAttrBatch {
+            relation,
+            key_attr,
+            keys,
+            attribute,
+        };
+        let rendered = render_task(&task);
+        let mut cut = rendered.len() * cut_permille / 1000;
+        while !rendered.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let truncated = &rendered[..cut];
+        match parse_task_outcome(truncated) {
+            // Very short prefixes lose the marker entirely; prefixes that
+            // keep the whole body still parse. Neither may misdecode: a
+            // parse must re-render to exactly the text it was handed
+            // (modulo the surrounding whitespace the parser trims).
+            ParseOutcome::Parsed(t) => {
+                let re_rendered = render_task(&t);
+                prop_assert_eq!(re_rendered.as_str(), truncated.trim_end());
+            }
+            ParseOutcome::Malformed(_) | ParseOutcome::Unrecognized => {}
+        }
     }
 }

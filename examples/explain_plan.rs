@@ -7,9 +7,11 @@
 //!
 //! Run with: `cargo run --release --example explain_plan`
 
-use galois::core::{Galois, GaloisOptions, Parallelism, Pipeline, Planner, PromptBatch};
+use galois::core::{
+    Galois, GaloisOptions, Parallelism, Pipeline, Planner, PromptBatch, Resilience, RetryPolicy,
+};
 use galois::dataset::Scenario;
-use galois::llm::{ModelProfile, SimLlm};
+use galois::llm::{FaultProfile, FaultyLlm, ModelProfile, SimLlm};
 use std::sync::Arc;
 
 fn main() {
@@ -97,4 +99,47 @@ fn main() {
             result.stats.virtual_ms,
         );
     }
+
+    // Resilience: the same query over a model that fails ~20 % of all
+    // prompts (deterministically, via the seeded FaultyLlm wrapper).
+    // EXPLAIN gains a `resilience:` line showing the armed policy, and
+    // the actual run's retry counters surface in QueryStats — while the
+    // relation and the prompt bill net of retries stay exactly the
+    // fault-free run's.
+    let model = Arc::new(FaultyLlm::new(
+        Arc::new(SimLlm::new(
+            scenario.knowledge.clone(),
+            ModelProfile::oracle(),
+        )),
+        FaultProfile::with_rate(0.2),
+    ));
+    let galois = Galois::with_options(
+        model,
+        scenario.database.clone(),
+        GaloisOptions {
+            planner: Planner::CostBased,
+            prompt_batch: PromptBatch::Keys(10),
+            resilience: Resilience::On(RetryPolicy::default()),
+            ..Default::default()
+        },
+    );
+    let explained = galois.execute(&format!("EXPLAIN {sql}")).unwrap();
+    println!("=== cost-based + batch 10 + resilience, 20 % faults ===");
+    for row in &explained.relation.rows {
+        println!("{}", row[0].render());
+    }
+    assert_eq!(explained.stats.total_prompts(), 0);
+    let result = galois.execute(sql).unwrap();
+    println!(
+        "actual: {} rows, {} prompts net of retries, {} retries \
+         ({} timeouts, {} rate-limited), {} failed cells, {} virtual ms",
+        result.relation.len(),
+        result.stats.total_prompts(),
+        result.stats.retries,
+        result.stats.timeouts,
+        result.stats.rate_limited,
+        result.stats.failed_cells,
+        result.stats.virtual_ms,
+    );
+    assert_eq!(result.stats.failed_cells, 0, "retries absorb the schedule");
 }

@@ -1,0 +1,332 @@
+//! Chaos battery (PR 9): fault-injected model runs against the fault-free
+//! engine.
+//!
+//! 1. **Fault-free equivalence under retries** — with a bounded fault
+//!    schedule (`max_consecutive` ≤ the retry budget) and
+//!    `Resilience::On`, a faulty run reproduces the fault-free suite
+//!    *bit-exactly*: same rows in order, same prompts net of retries, same
+//!    cache hits and token totals, zero `failed_cells` — only the virtual
+//!    clocks (which legally bill the retry waits) and the resilience
+//!    counters differ. Property-tested over fault seeds × lanes × batch
+//!    shapes × pipelines × list stores.
+//! 2. **Graceful degradation on exhaustion** — when the retry budget is
+//!    smaller than the fault schedule, queries still return: partial
+//!    relations with per-cell `Null`s, `failed_cells` counting every
+//!    degraded cell, and no panic; once the schedule drains, a later
+//!    session over the same model handle recovers the exact clean result.
+//! 3. **Circuit breaker** — an exhaustion streak opens the breaker
+//!    (fail-fast, visible in `breaker_fastfails`), the half-open probe
+//!    path eventually drains the schedule, and recovery is complete.
+//! 4. **Store resume** — a listing killed mid-flight by a fault leaves a
+//!    *resumable* (`exhausted: false`) frontier in the shared key-universe
+//!    store, never a poisoned "complete" universe: a retrying session
+//!    resumes past the frontier and completes the listing at a lower list
+//!    bill than a cold start.
+
+mod common;
+
+use common::{
+    assert_stats_eq_modulo_resilience, faulty_oracle, options, oracle_session, permutation,
+    session_with_model, small_config,
+};
+use galois::core::{
+    Galois, GaloisOptions, ListStore, Pipeline, PromptBatch, Resilience, RetryPolicy,
+};
+use galois::dataset::Scenario;
+use galois::llm::{FaultProfile, FaultyLlm, KeyUniverseStore, LanguageModel, ModelProfile, SimLlm};
+use galois::relational::Value;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A fault schedule with the marker-detectable kinds only: truncated
+/// faults deliberately survive the parsing gauntlet (they corrupt the
+/// clean answer's prefix), so exhaustion-shape assertions that compare
+/// cell values against the clean run exclude them. The equivalence test
+/// keeps all four kinds — retries absorb truncation before parsing.
+fn detectable_faults(seed: u64, rate: f64) -> FaultProfile {
+    FaultProfile {
+        seed,
+        fault_rate: rate,
+        truncated_weight: 0,
+        ..FaultProfile::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Acceptance grid: fault rate ≤ 20 %, all four fault kinds, retry
+    /// budget ≥ the schedule's `max_consecutive` — the faulty run must be
+    /// bit-exact with the fault-free run on rows, prompts, cache hits and
+    /// tokens, for every seed × lane × batch × pipeline × store corner.
+    #[test]
+    fn faulty_model_under_retries_reproduces_the_fault_free_suite(
+        fault_seed in 1u64..100_000,
+        lanes in prop::sample::select(vec![1usize, 4]),
+        batch_pick in 0u8..3,
+        streaming in any::<bool>(),
+        store_on in any::<bool>(),
+        order_seed in any::<u64>(),
+    ) {
+        let s = Scenario::generate_with(42, small_config());
+        let batch = match batch_pick {
+            0 => PromptBatch::Off,
+            1 => PromptBatch::Keys(6),
+            _ => PromptBatch::Grid { keys: 6, attrs: 2 },
+        };
+        let pipeline = if streaming { Pipeline::Streaming } else { Pipeline::Off };
+        let store = || if store_on { ListStore::On } else { ListStore::Off };
+
+        let clean = oracle_session(&s, options(store(), pipeline, batch, lanes));
+        let profile = FaultProfile {
+            seed: fault_seed,
+            ..FaultProfile::with_rate(0.2)
+        };
+        prop_assert!(profile.max_consecutive <= RetryPolicy::default().max_retries);
+        let faulty = session_with_model(
+            faulty_oracle(&s, profile),
+            &s,
+            GaloisOptions {
+                resilience: Resilience::On(RetryPolicy::default()),
+                ..options(store(), pipeline, batch, lanes)
+            },
+        );
+
+        for &i in permutation(s.suite.len(), order_seed).iter().take(6) {
+            let sql = s.suite[i].to_sql();
+            let a = clean.execute(&sql).unwrap();
+            let b = faulty.execute(&sql).unwrap();
+            prop_assert_eq!(
+                &a.relation.rows, &b.relation.rows,
+                "q{} rows diverged under faults (seed {}): {}",
+                s.suite[i].id, fault_seed, sql
+            );
+            prop_assert_eq!(a.stats.failed_cells, 0, "clean run can't fail cells");
+            assert_stats_eq_modulo_resilience(
+                &a.stats,
+                &b.stats,
+                &format!("q{} stats (seed {fault_seed}): {sql}", s.suite[i].id),
+            );
+        }
+    }
+}
+
+/// With the retry budget *below* the fault schedule, exhausted cells
+/// degrade instead of panicking: the relation keeps its shape (clean rows
+/// or rows with `Null` cells), `failed_cells` and `retries` are visible,
+/// and once the per-prompt schedules drain, a fresh session over the same
+/// model handle reproduces the clean result exactly.
+#[test]
+fn retry_exhaustion_degrades_to_partial_results_and_recovers() {
+    let s = Scenario::generate_with(42, small_config());
+    let sql = "SELECT name, population FROM city";
+    let want = oracle_session(&s, GaloisOptions::default())
+        .execute(sql)
+        .unwrap();
+
+    let model = faulty_oracle(&s, detectable_faults(7, 1.0));
+    let policy = RetryPolicy {
+        max_retries: 1,
+        breaker_threshold: u32::MAX,
+        ..RetryPolicy::default()
+    };
+    let session = || {
+        session_with_model(
+            model.clone(),
+            &s,
+            GaloisOptions {
+                resilience: Resilience::On(policy),
+                ..GaloisOptions::default()
+            },
+        )
+    };
+
+    let first = session().execute(sql).unwrap();
+    assert!(
+        first.stats.failed_cells > 0,
+        "a rate-1.0 schedule must exhaust the 1-retry budget somewhere"
+    );
+    assert!(first.stats.retries > 0, "the retry loop must have fired");
+    assert_eq!(
+        first.relation.schema.columns, want.relation.schema.columns,
+        "degradation must never change the relation shape"
+    );
+    let clean_rows: std::collections::HashSet<&Vec<Value>> = want.relation.rows.iter().collect();
+    for row in &first.relation.rows {
+        assert!(
+            clean_rows.contains(row) || row.iter().any(|v| matches!(v, Value::Null)),
+            "degraded row is neither clean nor Null-annotated: {row:?}"
+        );
+    }
+
+    // Every prompt's schedule is bounded, so fresh sessions over the same
+    // handle drain it; the first fully-clean run is bit-equal to the
+    // fault-free result.
+    let mut last = first;
+    for _ in 0..12 {
+        if last.stats.failed_cells == 0 {
+            break;
+        }
+        last = session().execute(sql).unwrap();
+    }
+    assert_eq!(last.stats.failed_cells, 0, "schedule failed to drain");
+    assert_eq!(last.relation.rows, want.relation.rows);
+}
+
+/// An exhaustion streak trips the breaker: later requests fail fast
+/// (counted in `breaker_fastfails`, spending no model attempts), the
+/// half-open probe keeps testing the model, and once the fault schedule
+/// drains the engine recovers the clean result completely.
+#[test]
+fn breaker_opens_fails_fast_and_recovers_through_half_open_probes() {
+    let s = Scenario::generate_with(42, small_config());
+    let sql = "SELECT name, population FROM city";
+    let want = oracle_session(&s, GaloisOptions::default())
+        .execute(sql)
+        .unwrap();
+
+    let model = faulty_oracle(&s, detectable_faults(11, 1.0));
+    let policy = RetryPolicy {
+        max_retries: 0,
+        breaker_threshold: 2,
+        breaker_cooldown: 1,
+        ..RetryPolicy::default()
+    };
+    let session = || {
+        session_with_model(
+            model.clone(),
+            &s,
+            GaloisOptions {
+                resilience: Resilience::On(policy),
+                ..GaloisOptions::default()
+            },
+        )
+    };
+
+    // The breaker is per-session state, and a session whose *listing*
+    // exhausts issues no further prompts — the streak builds in the
+    // session whose listing finally drains and whose fetch wave then
+    // exhausts key after key. Run fresh sessions until the schedule
+    // drains; at least one of them must have tripped the breaker, and the
+    // short cooldown's half-open probes keep burning the per-prompt
+    // schedules even while it flaps, so the runs converge.
+    let mut saw_fastfails = false;
+    let mut saw_failed_cells = false;
+    let mut last = session().execute(sql).unwrap();
+    for _ in 0..30 {
+        saw_fastfails |= last.stats.breaker_fastfails > 0;
+        saw_failed_cells |= last.stats.failed_cells > 0;
+        if last.stats.failed_cells == 0 {
+            break;
+        }
+        last = session().execute(sql).unwrap();
+    }
+    assert!(
+        saw_failed_cells,
+        "a rate-1.0 schedule with no retries must degrade cells"
+    );
+    assert!(
+        saw_fastfails,
+        "the exhaustion streak must open the breaker in some run"
+    );
+    assert_eq!(last.stats.failed_cells, 0, "schedule failed to drain");
+    assert_eq!(last.relation.rows, want.relation.rows);
+}
+
+/// A fault that kills a listing mid-flight leaves the shared store
+/// *resumable*, never poisoned: the partial frontier is invisible to warm
+/// reads, a retrying session resumes past it (cheaper than a cold
+/// listing) and completes the exact universe with no duplicates.
+#[test]
+fn faulted_mid_listing_leaves_a_resumable_frontier() {
+    let s = Scenario::generate_with(42, small_config());
+    let paged = ModelProfile {
+        list_page_size: 4,
+        ..ModelProfile::oracle()
+    };
+    let sql = "SELECT name FROM city";
+    let full = Galois::with_options(
+        Arc::new(SimLlm::new(s.knowledge.clone(), paged.clone())),
+        s.database.clone(),
+        GaloisOptions::default(),
+    )
+    .execute(sql)
+    .unwrap();
+    assert!(full.relation.rows.len() > 8, "need several pages");
+
+    // Scan fault seeds for one that fails the listing mid-flight (some
+    // pages in, some pages short) on a resilience-Off session.
+    let mut found = None;
+    for seed in 1..=80u64 {
+        let store = Arc::new(KeyUniverseStore::default());
+        let model = Arc::new(FaultyLlm::new(
+            Arc::new(SimLlm::new(s.knowledge.clone(), paged.clone())),
+            FaultProfile {
+                fault_rate: 0.35,
+                ..detectable_faults(seed, 0.35)
+            },
+        ));
+        let partial = Galois::with_options(
+            model.clone(),
+            s.database.clone(),
+            GaloisOptions {
+                list_store: ListStore::Shared(store.clone()),
+                ..GaloisOptions::default()
+            },
+        )
+        .execute(sql)
+        .unwrap();
+        let n = partial.relation.rows.len();
+        if n > 0 && n < full.relation.rows.len() {
+            assert!(
+                partial.stats.failed_cells > 0,
+                "a truncated listing must be counted as a failed cell"
+            );
+            assert_eq!(
+                partial.relation.rows,
+                full.relation.rows[..n],
+                "the partial listing must be a clean prefix of the full one"
+            );
+            found = Some((store, model, n));
+            break;
+        }
+    }
+    let (store, model, kept) = found.expect("no seed produced a mid-listing failure");
+
+    // The partial frontier must not be warm-visible (that would make the
+    // truncated universe look complete — a poisoned store).
+    assert!(
+        store.warm_map(&model.signature()).is_empty(),
+        "a faulted listing must never publish an exhausted universe"
+    );
+
+    // A retrying session over the same model handle and store resumes
+    // past the frontier: exact full universe, no duplicates, and fewer
+    // list prompts than the clean cold start needed.
+    let resumed = Galois::with_options(
+        model.clone(),
+        s.database.clone(),
+        GaloisOptions {
+            list_store: ListStore::Shared(store.clone()),
+            resilience: Resilience::On(RetryPolicy::default()),
+            ..GaloisOptions::default()
+        },
+    )
+    .execute(sql)
+    .unwrap();
+    assert_eq!(resumed.relation.rows, full.relation.rows);
+    assert_eq!(resumed.stats.failed_cells, 0);
+    assert!(
+        resumed.stats.list_prompts < full.stats.list_prompts,
+        "resume must be cheaper than the cold listing ({} vs {}, {} keys kept)",
+        resumed.stats.list_prompts,
+        full.stats.list_prompts,
+        kept
+    );
+    let warm = store.warm_map(&model.signature());
+    assert_eq!(
+        warm.values().copied().sum::<usize>(),
+        full.relation.rows.len(),
+        "the completed universe must hold every key exactly once"
+    );
+}

@@ -13,7 +13,7 @@ use galois::core::{
 };
 use galois::dataset::{Scenario, WorldConfig};
 use galois::llm::intent::{parse_task, TaskIntent};
-use galois::llm::{Completion, LanguageModel, ModelProfile, SimLlm};
+use galois::llm::{Completion, FaultProfile, FaultyLlm, LanguageModel, ModelProfile, SimLlm};
 use galois::relational::{Relation, Value};
 use std::sync::Arc;
 
@@ -65,6 +65,41 @@ pub fn assert_stats_eq(a: &QueryStats, b: &QueryStats, label: &str) {
     let mut b = *b;
     a.wall_ms = 0;
     b.wall_ms = 0;
+    assert_eq!(a, b, "{label}");
+}
+
+/// A deterministic fault injector over the scenario's oracle model. The
+/// returned handle can be shared across sessions: the per-prompt attempt
+/// map lives in the wrapper, so a later session continues each prompt's
+/// fault schedule where an earlier one left off.
+pub fn faulty_oracle(s: &Scenario, profile: FaultProfile) -> Arc<FaultyLlm> {
+    Arc::new(FaultyLlm::new(
+        Arc::new(SimLlm::new(s.knowledge.clone(), ModelProfile::oracle())),
+        profile,
+    ))
+}
+
+/// Chaos-run stat comparison: a retried run legally spends extra virtual
+/// time (backoff is billed into the clocks) and bumps its own resilience
+/// counters, so those are zeroed on both sides; *everything else* —
+/// prompts per kind net of retries, cache hits, token totals, rows
+/// retrieved, and crucially `failed_cells` — must match the fault-free
+/// run exactly.
+pub fn assert_stats_eq_modulo_resilience(a: &QueryStats, b: &QueryStats, label: &str) {
+    let mut a = *a;
+    let mut b = *b;
+    for s in [&mut a, &mut b] {
+        s.wall_ms = 0;
+        s.virtual_ms = 0;
+        s.serial_virtual_ms = 0;
+        s.list_virtual_ms = 0;
+        s.filter_virtual_ms = 0;
+        s.fetch_virtual_ms = 0;
+        s.retries = 0;
+        s.timeouts = 0;
+        s.rate_limited = 0;
+        s.breaker_fastfails = 0;
+    }
     assert_eq!(a, b, "{label}");
 }
 
