@@ -13,18 +13,15 @@
 //!
 //! Usage: `ablation_batch [--seed 42] [--parallelism 8] [--model oracle]`.
 
-use galois_bench::{parsed_flag, seed_from_args, string_flag};
-use galois_core::{GaloisOptions, Parallelism, Planner, PromptBatch};
+use galois_bench::{cost_planned_options, lanes_from_args, model_from_args, seed_from_args};
+use galois_core::{GaloisOptions, PromptBatch};
 use galois_dataset::Scenario;
 use galois_eval::{run_galois_suite_parallel, suite_totals, TextTable};
-use galois_llm::ModelProfile;
 
 fn main() {
     let seed = seed_from_args();
-    let lanes = parsed_flag::<usize>("--parallelism").unwrap_or(8).max(1);
-    let profile = string_flag("--model")
-        .and_then(|name| ModelProfile::by_name(&name))
-        .unwrap_or_else(ModelProfile::oracle);
+    let lanes = lanes_from_args();
+    let profile = model_from_args();
     let scenario = Scenario::generate(seed);
     println!(
         "Ablation A5 — multi-key prompt batching ({}, seed {seed}, {lanes} lanes, \
@@ -50,10 +47,8 @@ fn main() {
     ];
     for (label, prompt_batch) in variants {
         let options = GaloisOptions {
-            parallelism: Parallelism::new(lanes),
-            planner: Planner::CostBased,
             prompt_batch,
-            ..Default::default()
+            ..cost_planned_options(lanes)
         };
         let run = run_galois_suite_parallel(&scenario, profile.clone(), options, lanes);
         let totals = suite_totals(&run, lanes);

@@ -23,11 +23,11 @@
 //!
 //! Usage: `ablation_faults [--seed 42]`.
 
-use galois_bench::seed_from_args;
+use galois_bench::{detectable_fault_profile, seed_from_args};
 use galois_core::{Galois, GaloisOptions, Resilience, RetryPolicy};
 use galois_dataset::Scenario;
 use galois_eval::TextTable;
-use galois_llm::{FaultProfile, FaultyLlm, LanguageModel, ModelProfile, SimLlm};
+use galois_llm::{FaultyLlm, LanguageModel, ModelProfile, SimLlm};
 use std::sync::Arc;
 
 #[derive(Default)]
@@ -131,12 +131,7 @@ fn main() {
     ]);
     for rate in rates {
         for (label, resilience) in policies {
-            let profile = FaultProfile {
-                fault_rate: rate,
-                truncated_weight: 0,
-                ..FaultProfile::default()
-            };
-            let model = Arc::new(FaultyLlm::new(oracle(), profile));
+            let model = Arc::new(FaultyLlm::new(oracle(), detectable_fault_profile(rate)));
             let m = measure(&scenario, model, resilience);
             if label == "retry 4" {
                 // The headline property: a retry budget that dominates the

@@ -19,18 +19,16 @@
 //!
 //! Usage: `ablation_grid [--seed 42] [--parallelism 8] [--model oracle]`.
 
-use galois_bench::{parsed_flag, seed_from_args, string_flag};
-use galois_core::{Galois, GaloisOptions, ListStore, Parallelism, Pipeline, Planner, PromptBatch};
+use galois_bench::{
+    fresh_session, grid_stack_options, lanes_from_args, model_from_args, seed_from_args,
+};
 use galois_dataset::Scenario;
-use galois_eval::{model_for, run_galois_suite_on, suite_totals, TextTable};
-use galois_llm::ModelProfile;
+use galois_eval::{run_galois_suite_on, suite_totals, TextTable};
 
 fn main() {
     let seed = seed_from_args();
-    let lanes = parsed_flag::<usize>("--parallelism").unwrap_or(8).max(1);
-    let profile = string_flag("--model")
-        .and_then(|name| ModelProfile::by_name(&name))
-        .unwrap_or_else(ModelProfile::oracle);
+    let lanes = lanes_from_args();
+    let profile = model_from_args();
     let scenario = Scenario::generate(seed);
     println!(
         "Ablation A7 — grid-fused multi-attribute prompting ({}, seed {seed}, {lanes} lanes, \
@@ -54,19 +52,8 @@ fn main() {
     let attr_variants: [(&str, usize); 4] = [("1", 1), ("2", 2), ("4", 4), ("all", usize::MAX)];
     for keys in [1usize, 5, 10] {
         for (attr_label, attrs) in attr_variants {
-            let options = GaloisOptions {
-                parallelism: Parallelism::new(lanes),
-                planner: Planner::CostBased,
-                pipeline: Pipeline::Streaming,
-                list_store: ListStore::On,
-                prompt_batch: PromptBatch::Grid { keys, attrs },
-                ..Default::default()
-            };
-            let session = Galois::with_options(
-                model_for(&scenario, profile.clone()),
-                scenario.database.clone(),
-                options,
-            );
+            let session =
+                fresh_session(&scenario, &profile, grid_stack_options(lanes, keys, attrs));
             let run = run_galois_suite_on(&scenario, &session, &profile.name, 1);
             let totals = suite_totals(&run, lanes);
             let (list, filter, fetch) = run.outcomes.iter().fold((0, 0, 0), |(l, f, a), o| {

@@ -16,12 +16,11 @@
 //!
 //! Usage: `ablation_limit [--seed 42] [--parallelism 8]`.
 
-use galois_bench::{parsed_flag, seed_from_args};
-use galois_core::{EarlyStop, Galois, GaloisOptions, Parallelism, Pipeline, PromptBatch};
+use galois_bench::{fresh_session, lanes_from_args, seed_from_args};
+use galois_core::{EarlyStop, GaloisOptions, Parallelism, Pipeline, PromptBatch};
 use galois_dataset::{Scenario, WorldConfig};
 use galois_eval::TextTable;
-use galois_llm::{ModelProfile, SimLlm};
-use std::sync::Arc;
+use galois_llm::ModelProfile;
 
 struct Measure {
     rows: usize,
@@ -46,11 +45,7 @@ fn measure(
         early_stop: early,
         ..Default::default()
     };
-    let session = Galois::with_options(
-        Arc::new(SimLlm::new(scenario.knowledge.clone(), profile.clone())),
-        scenario.database.clone(),
-        options,
-    );
+    let session = fresh_session(scenario, profile, options);
     let result = session.execute(sql).expect("ablation query executes");
     Measure {
         rows: result.relation.len(),
@@ -64,7 +59,7 @@ fn measure(
 
 fn main() {
     let seed = seed_from_args();
-    let lanes = parsed_flag::<usize>("--parallelism").unwrap_or(8).max(1);
+    let lanes = lanes_from_args();
     let scenario = Scenario::generate_with(
         seed,
         WorldConfig {

@@ -11,18 +11,15 @@
 //!
 //! Usage: `ablation_planner [--seed 42] [--parallelism 8] [--model oracle]`.
 
-use galois_bench::{parsed_flag, seed_from_args, string_flag};
-use galois_core::{GaloisOptions, Parallelism, Planner};
+use galois_bench::{cost_planned_options, lanes_from_args, model_from_args, seed_from_args};
+use galois_core::{GaloisOptions, Planner};
 use galois_dataset::Scenario;
 use galois_eval::{run_galois_suite_parallel, suite_totals, TextTable};
-use galois_llm::ModelProfile;
 
 fn main() {
     let seed = seed_from_args();
-    let lanes = parsed_flag::<usize>("--parallelism").unwrap_or(8).max(1);
-    let profile = string_flag("--model")
-        .and_then(|name| ModelProfile::by_name(&name))
-        .unwrap_or_else(ModelProfile::oracle);
+    let lanes = lanes_from_args();
+    let profile = model_from_args();
     let scenario = Scenario::generate(seed);
     println!(
         "Ablation A4 — cost-based planner ({}, seed {seed}, {lanes} lanes)\n",
@@ -45,9 +42,8 @@ fn main() {
         ("cost-based", Planner::CostBased, lanes),
     ] {
         let options = GaloisOptions {
-            parallelism: Parallelism::new(k),
             planner,
-            ..Default::default()
+            ..cost_planned_options(k)
         };
         let run = run_galois_suite_parallel(&scenario, profile.clone(), options, k);
         let totals = suite_totals(&run, k);

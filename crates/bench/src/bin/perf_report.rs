@@ -62,12 +62,32 @@
 //!   of retries) and cache hits — CI asserts this — while its virtual
 //!   clock carries the billed retry/backoff overhead. One harness thread
 //!   keeps the row exactly reproducible;
+//! * `galois_multiquery` — the grid-fused stack replayed at `--sessions`
+//!   (default 16) concurrent closed-loop sessions over one **shared lane
+//!   pool** (`sessions × K` lanes) through the cross-query scheduler,
+//!   with `max_inflight` admission (default 14, two below the session
+//!   count) so queueing delay is exercised without serialising the
+//!   suite. Queries execute logically in canonical suite order (answers
+//!   and prompt accounting tie the serial stack bit for bit — the
+//!   determinism battery pins this), then their task traces replay on
+//!   the shared pool, overlapping one query's list-bound tail with
+//!   another's filter/fetch work. The row's `virtual_ms` is the suite
+//!   **makespan**, CI-asserted strictly below `galois_grid_fused`'s, and
+//!   it alone carries `sessions` / `pool_lanes` / `p50_latency_ms` /
+//!   `p99_latency_ms` / `lane_utilisation` fields;
 //! * `qa_baseline` / `qa_cot_baseline` — the paper's `T_M` and `T_C_M`
 //!   one-prompt-per-question methods, across `K` streams.
 //!
 //! Every Galois row also carries a per-phase virtual-time breakdown
 //! (`list_virtual_ms` / `filter_virtual_ms` / `fetch_virtual_ms`) so the
 //! remaining time can be located per protocol phase.
+//!
+//! Method rows share one uniform schema (see `crates/bench/README.md`):
+//! `parallelism` is always the session's request-lane count `K` from the
+//! row's `GaloisOptions`, `threads` is always the harness worker-thread
+//! count the suite was driven with, and `queue_ms` (admission-queue
+//! delay) is present on every row — zero everywhere except
+//! `galois_multiquery`.
 //!
 //! The `pipeline_parity` object holds the batched-vs-pipelined
 //! prompt/cache-hit comparison re-run on **one** harness thread. With `K`
@@ -82,36 +102,62 @@
 //! harness thread (a fresh store session).
 //!
 //! Usage: `perf_report [--seed 42] [--parallelism 8] [--batch 10]
-//! [--grid-attrs 6] [--grid-keys 10] [--out BENCH_e2e.json]`.
+//! [--grid-attrs 6] [--grid-keys 10] [--sessions 16] [--inflight 14]
+//! [--out BENCH_e2e.json]`.
 
-use galois_bench::{parsed_flag, seed_from_args, string_flag};
+use galois_bench::{
+    batched_options as batched_stack, cost_planned_options, detectable_fault_profile,
+    grid_stack_options, lanes_from_args, parsed_flag, pipelined_options as pipelined_stack,
+    seed_from_args, string_flag,
+};
 use galois_core::{
-    BaselineKind, Galois, GaloisOptions, ListStore, Parallelism, Pipeline, Planner, PromptBatch,
-    Resilience, RetryPolicy,
+    Admission, AdmissionPolicy, BaselineKind, Galois, GaloisOptions, ListStore, Parallelism,
+    Pipeline, PromptBatch, Resilience, RetryPolicy,
 };
 use galois_dataset::Scenario;
 use galois_eval::{
     model_for, run_baseline_suite_parallel, run_galois_suite_on, run_galois_suite_parallel,
-    suite_totals, BaselineRun, SuiteTotals,
+    run_suite_concurrent, suite_totals, BaselineRun, ConcurrentSuiteRun, SuiteTotals,
 };
-use galois_llm::{lane_schedule, FaultProfile, FaultyLlm, ModelProfile};
+use galois_llm::{lane_schedule, FaultyLlm, ModelProfile};
 
-/// One method's row in the JSON report.
+/// One method's row in the JSON report. Every row carries the same flat
+/// schema (documented in `crates/bench/README.md`); the multi-query row
+/// appends its scheduling fields via `extra`.
 struct MethodReport {
     name: &'static str,
     parallelism: usize,
     threads: usize,
     totals: SuiteTotals,
+    extra: String,
 }
 
 impl MethodReport {
+    /// A row whose `parallelism` is derived from the options the run
+    /// actually used — the one place the metadata convention lives.
+    fn of(
+        name: &'static str,
+        options: &GaloisOptions,
+        threads: usize,
+        totals: SuiteTotals,
+    ) -> Self {
+        MethodReport {
+            name,
+            parallelism: options.parallelism.get(),
+            threads,
+            totals,
+            extra: String::new(),
+        }
+    }
+
     fn to_json(&self) -> String {
         // Phase keys stay flat (no nested object) so line-oriented drift
         // checks keep matching one brace pair per method row.
         format!(
             "    \"{}\": {{ \"parallelism\": {}, \"threads\": {}, \"virtual_ms\": {}, \
              \"serial_virtual_ms\": {}, \"wall_ms\": {}, \"prompts\": {}, \"cache_hits\": {}, \
-             \"list_virtual_ms\": {}, \"filter_virtual_ms\": {}, \"fetch_virtual_ms\": {} }}",
+             \"list_virtual_ms\": {}, \"filter_virtual_ms\": {}, \"fetch_virtual_ms\": {}, \
+             \"queue_ms\": {}{} }}",
             self.name,
             self.parallelism,
             self.threads,
@@ -123,8 +169,25 @@ impl MethodReport {
             self.totals.list_virtual_ms,
             self.totals.filter_virtual_ms,
             self.totals.fetch_virtual_ms,
+            self.totals.queue_ms,
+            self.extra,
         )
     }
+}
+
+/// The multi-query row: the uniform schema plus the shared-pool fields.
+fn multiquery_report(options: &GaloisOptions, concurrent: &ConcurrentSuiteRun) -> MethodReport {
+    let mut row = MethodReport::of("galois_multiquery", options, 1, concurrent.totals());
+    row.extra = format!(
+        ", \"sessions\": {}, \"pool_lanes\": {}, \"p50_latency_ms\": {}, \
+         \"p99_latency_ms\": {}, \"lane_utilisation\": {:.3}",
+        concurrent.sessions,
+        concurrent.pool_lanes,
+        concurrent.p50_latency_ms,
+        concurrent.p99_latency_ms,
+        concurrent.lane_utilisation,
+    );
+    row
 }
 
 fn baseline_totals(run: &BaselineRun, lanes: usize) -> SuiteTotals {
@@ -134,56 +197,48 @@ fn baseline_totals(run: &BaselineRun, lanes: usize) -> SuiteTotals {
         serial_virtual_ms: run.outcomes.iter().map(|o| o.virtual_ms).sum(),
         virtual_ms: lane_schedule(run.outcomes.iter().map(|o| o.virtual_ms), lanes),
         // QA baselines answer each question with one prompt: there are no
-        // retrieval phases to attribute.
+        // retrieval phases to attribute, and nothing queues.
         list_virtual_ms: 0,
         filter_virtual_ms: 0,
         fetch_virtual_ms: 0,
         wall_ms: run.wall_ms,
+        queue_ms: 0,
     }
 }
 
 fn main() {
     let seed = seed_from_args();
-    let lanes = parsed_flag::<usize>("--parallelism").unwrap_or(8).max(1);
+    let lanes = lanes_from_args();
     let out = string_flag("--out").unwrap_or_else(|| "BENCH_e2e.json".to_string());
     let scenario = Scenario::generate(seed);
 
+    let sequential_options = GaloisOptions::default();
     let sequential = run_galois_suite_parallel(
         &scenario,
         ModelProfile::oracle(),
-        GaloisOptions::default(),
+        sequential_options.clone(),
         1,
     );
+    let scheduled_options = GaloisOptions {
+        parallelism: Parallelism::new(lanes),
+        ..Default::default()
+    };
     let scheduled = run_galois_suite_parallel(
         &scenario,
         ModelProfile::oracle(),
-        GaloisOptions {
-            parallelism: Parallelism::new(lanes),
-            ..Default::default()
-        },
+        scheduled_options.clone(),
         lanes,
     );
+    let cost_planner_options = cost_planned_options(lanes);
     let cost_planned = run_galois_suite_parallel(
         &scenario,
         ModelProfile::oracle(),
-        GaloisOptions {
-            parallelism: Parallelism::new(lanes),
-            planner: Planner::CostBased,
-            ..Default::default()
-        },
+        cost_planner_options.clone(),
         lanes,
     );
     let batch = parsed_flag::<usize>("--batch").unwrap_or(10).max(1);
-    let batched_options = GaloisOptions {
-        parallelism: Parallelism::new(lanes),
-        planner: Planner::CostBased,
-        prompt_batch: PromptBatch::Keys(batch),
-        ..Default::default()
-    };
-    let pipelined_options = GaloisOptions {
-        pipeline: Pipeline::Streaming,
-        ..batched_options.clone()
-    };
+    let batched_options = batched_stack(lanes, batch);
+    let pipelined_options = pipelined_stack(lanes, batch);
     let batched = run_galois_suite_parallel(
         &scenario,
         ModelProfile::oracle(),
@@ -200,7 +255,12 @@ fn main() {
     // exactly reproducible totals for CI's equality assertions (the
     // K-thread rows race on the shared sub-entry store across queries).
     let parity_batched = suite_totals(
-        &run_galois_suite_parallel(&scenario, ModelProfile::oracle(), batched_options, 1),
+        &run_galois_suite_parallel(
+            &scenario,
+            ModelProfile::oracle(),
+            batched_options.clone(),
+            1,
+        ),
         lanes,
     );
     let parity_pipelined = suite_totals(
@@ -238,7 +298,7 @@ fn main() {
     let parity_store_session = Galois::with_options(
         model_for(&scenario, store_profile.clone()),
         scenario.database.clone(),
-        store_options,
+        store_options.clone(),
     );
     let parity_listcached_cold = suite_totals(
         &run_galois_suite_on(&scenario, &parity_store_session, &store_profile.name, 1),
@@ -253,20 +313,36 @@ fn main() {
     // reproducible; the lanes still drive the per-query dataflow.
     let grid_attrs = parsed_flag::<usize>("--grid-attrs").unwrap_or(6).max(1);
     let grid_keys = parsed_flag::<usize>("--grid-keys").unwrap_or(batch).max(1);
-    let grid_options = GaloisOptions {
-        list_store: ListStore::On,
-        prompt_batch: PromptBatch::Grid {
-            keys: grid_keys,
-            attrs: grid_attrs,
-        },
-        ..pipelined_options.clone()
-    };
+    let grid_options = grid_stack_options(lanes, grid_keys, grid_attrs);
     let grid_session = Galois::with_options(
         model_for(&scenario, store_profile.clone()),
         scenario.database.clone(),
-        grid_options,
+        grid_options.clone(),
     );
     let grid_fused = run_galois_suite_on(&scenario, &grid_session, &store_profile.name, 1);
+
+    // The cross-query scheduling row: the grid-fused stack replayed at
+    // `--sessions` concurrent closed-loop sessions over one shared
+    // `sessions × K`-lane pool, with a finite admission window so
+    // queueing delay is exercised. The logical pass runs the suite once
+    // in canonical order (answers and prompt accounting tie the serial
+    // grid stack), so the row is exactly reproducible.
+    let sessions = parsed_flag::<usize>("--sessions").unwrap_or(16).max(1);
+    let inflight = parsed_flag::<usize>("--inflight").unwrap_or(14);
+    let multiquery_options = GaloisOptions {
+        admission: Admission::Fair(AdmissionPolicy {
+            max_inflight: inflight,
+            ..Default::default()
+        }),
+        ..grid_stack_options(lanes, grid_keys, grid_attrs)
+    };
+    let multiquery = run_suite_concurrent(
+        &scenario,
+        ModelProfile::oracle(),
+        multiquery_options.clone(),
+        sessions,
+    )
+    .expect("the grid stack streams, so its traces replay");
 
     // The LIMIT-aware early-termination pair: the operator suite's LIMIT
     // family over a widened world whose `city` concept spans 120 keys,
@@ -328,6 +404,7 @@ fn main() {
                 filter_virtual_ms: stats.iter().map(|s| s.filter_virtual_ms).sum(),
                 fetch_virtual_ms: stats.iter().map(|s| s.fetch_virtual_ms).sum(),
                 wall_ms: started.elapsed().as_millis() as u64,
+                queue_ms: 0,
             }
         };
     let limit_streaming = run_limit_family(limit_options(galois_core::EarlyStop::Limit), &|q| {
@@ -350,20 +427,17 @@ fn main() {
     // is caught by the retry loop rather than parsed), absorbed by the
     // default retry policy. One harness thread; the row must tie the
     // galois_sequential row exactly on prompts and cache hits.
+    let faulty_options = GaloisOptions {
+        resilience: Resilience::On(RetryPolicy::default()),
+        ..Default::default()
+    };
     let faulty_session = Galois::with_options(
         std::sync::Arc::new(FaultyLlm::new(
             model_for(&scenario, ModelProfile::oracle()),
-            FaultProfile {
-                fault_rate: 0.2,
-                truncated_weight: 0,
-                ..FaultProfile::default()
-            },
+            detectable_fault_profile(0.2),
         )),
         scenario.database.clone(),
-        GaloisOptions {
-            resilience: Resilience::On(RetryPolicy::default()),
-            ..Default::default()
-        },
+        faulty_options.clone(),
     );
     let faulty_retry = run_galois_suite_on(&scenario, &faulty_session, &store_profile.name, 1);
 
@@ -380,84 +454,91 @@ fn main() {
         lanes,
     );
 
+    // Every Galois row derives its `parallelism` from the options the run
+    // actually used and names the harness thread count explicitly — one
+    // uniform metadata convention (see `crates/bench/README.md`).
+    let limit_streaming_options = limit_options(galois_core::EarlyStop::Limit);
     let methods = [
-        MethodReport {
-            name: "galois_sequential",
-            parallelism: 1,
-            threads: 1,
-            totals: suite_totals(&sequential, 1),
-        },
-        MethodReport {
-            name: "galois_scheduled",
-            parallelism: lanes,
-            threads: lanes,
-            totals: suite_totals(&scheduled, lanes),
-        },
-        MethodReport {
-            name: "galois_cost_planner",
-            parallelism: lanes,
-            threads: lanes,
-            totals: suite_totals(&cost_planned, lanes),
-        },
-        MethodReport {
-            name: "galois_batched",
-            parallelism: lanes,
-            threads: lanes,
-            totals: suite_totals(&batched, lanes),
-        },
-        MethodReport {
-            name: "galois_pipelined",
-            parallelism: lanes,
-            threads: lanes,
-            totals: suite_totals(&pipelined, lanes),
-        },
-        MethodReport {
-            name: "galois_listcached_cold",
-            parallelism: lanes,
-            threads: 1,
-            totals: suite_totals(&listcached_cold, lanes),
-        },
-        MethodReport {
-            name: "galois_listcached_warm",
-            parallelism: lanes,
-            threads: lanes,
-            totals: suite_totals(&listcached_warm, lanes),
-        },
-        MethodReport {
-            name: "galois_grid_fused",
-            parallelism: lanes,
-            threads: 1,
-            totals: suite_totals(&grid_fused, lanes),
-        },
-        MethodReport {
-            name: "galois_limit_streaming",
-            parallelism: lanes,
-            threads: 1,
-            totals: limit_streaming,
-        },
-        MethodReport {
-            name: "galois_limit_unlimited",
-            parallelism: lanes,
-            threads: 1,
-            totals: limit_unlimited,
-        },
-        MethodReport {
-            name: "galois_faulty_retry",
-            parallelism: 1,
-            threads: 1,
-            totals: suite_totals(&faulty_retry, 1),
-        },
+        MethodReport::of(
+            "galois_sequential",
+            &sequential_options,
+            1,
+            suite_totals(&sequential, 1),
+        ),
+        MethodReport::of(
+            "galois_scheduled",
+            &scheduled_options,
+            lanes,
+            suite_totals(&scheduled, lanes),
+        ),
+        MethodReport::of(
+            "galois_cost_planner",
+            &cost_planner_options,
+            lanes,
+            suite_totals(&cost_planned, lanes),
+        ),
+        MethodReport::of(
+            "galois_batched",
+            &batched_options,
+            lanes,
+            suite_totals(&batched, lanes),
+        ),
+        MethodReport::of(
+            "galois_pipelined",
+            &pipelined_options,
+            lanes,
+            suite_totals(&pipelined, lanes),
+        ),
+        MethodReport::of(
+            "galois_listcached_cold",
+            &store_options,
+            1,
+            suite_totals(&listcached_cold, lanes),
+        ),
+        MethodReport::of(
+            "galois_listcached_warm",
+            &store_options,
+            lanes,
+            suite_totals(&listcached_warm, lanes),
+        ),
+        MethodReport::of(
+            "galois_grid_fused",
+            &grid_options,
+            1,
+            suite_totals(&grid_fused, lanes),
+        ),
+        MethodReport::of(
+            "galois_limit_streaming",
+            &limit_streaming_options,
+            1,
+            limit_streaming,
+        ),
+        MethodReport::of(
+            "galois_limit_unlimited",
+            &limit_streaming_options,
+            1,
+            limit_unlimited,
+        ),
+        MethodReport::of(
+            "galois_faulty_retry",
+            &faulty_options,
+            1,
+            suite_totals(&faulty_retry, 1),
+        ),
+        multiquery_report(&multiquery_options, &multiquery),
         MethodReport {
             name: "qa_baseline",
             parallelism: lanes,
             threads: lanes,
             totals: baseline_totals(&qa, lanes),
+            extra: String::new(),
         },
         MethodReport {
             name: "qa_cot_baseline",
             parallelism: lanes,
             threads: lanes,
             totals: baseline_totals(&cot, lanes),
+            extra: String::new(),
         },
     ];
 
@@ -546,6 +627,19 @@ fn main() {
         faulty_retries,
         methods[0].totals.virtual_ms,
         methods[10].totals.virtual_ms,
+    );
+    println!(
+        "cross-query scheduling ({} sessions, {} shared lanes, in-flight cap {inflight}): suite makespan \
+         {} ms vs {grid_ms} ms serial grid suite ({:.1}x), per-query latency p50 {} / p99 {} ms, \
+         queue delay {} ms total, pool utilisation {:.0}%",
+        multiquery.sessions,
+        multiquery.pool_lanes,
+        multiquery.makespan_ms,
+        grid_ms as f64 / multiquery.makespan_ms.max(1) as f64,
+        multiquery.p50_latency_ms,
+        multiquery.p99_latency_ms,
+        multiquery.total_queue_ms,
+        multiquery.lane_utilisation * 100.0,
     );
     for m in &methods {
         println!(

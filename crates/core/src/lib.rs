@@ -36,6 +36,7 @@
 //! | [`clean`] | §4 workflow (3): normalisation + domain constraints |
 //! | [`session`] | §4 workflow (1)–(4), §5 prompt accounting |
 //! | [`schedule`] | concurrent prompt scheduler (worker-thread waves) |
+//! | [`multi`] | cross-query scheduling over a shared lane pool |
 //! | [`baselines`] | §5 `T_M` and `T_C_M` |
 
 #![warn(missing_docs)]
@@ -44,6 +45,7 @@ pub mod baselines;
 pub mod clean;
 pub mod compile;
 pub mod error;
+pub mod multi;
 pub mod parse;
 pub mod plan_choice;
 pub mod prompts;
@@ -57,10 +59,11 @@ pub use compile::{
     LlmScanStep,
 };
 pub use error::{GaloisError, Result};
-pub use galois_llm::{Parallelism, RetryPolicy};
+pub use galois_llm::{FairShare, Parallelism, RetryPolicy};
+pub use multi::{run_multi_query, MultiQueryOutcome, MultiQueryReport};
 pub use plan_choice::{PlanReport, PlannedQuery, Planner, PlannerParams, StepCost};
 pub use schedule::Scheduler;
 pub use session::{
-    EarlyStop, Galois, GaloisOptions, GaloisResult, ListStore, Pipeline, PromptBatch, QueryStats,
-    Resilience,
+    Admission, AdmissionPolicy, EarlyStop, Galois, GaloisOptions, GaloisResult, ListStore,
+    Pipeline, PromptBatch, QueryStats, Resilience,
 };

@@ -164,6 +164,15 @@ pub struct PlannerParams {
     /// model's live fault rate, which calibration already folds into the
     /// observed per-prompt latency.
     pub resilience: Option<RetryPolicy>,
+    /// Admission policy in effect ([`crate::Admission::Fair`]): the
+    /// `EXPLAIN` report gains an `admission:` header line naming the
+    /// shared lane pool, the in-flight cap and the fair-share
+    /// discipline. `None` (the default) keeps the report byte-identical
+    /// to the single-query pipeline's. Cost estimates are deliberately
+    /// untouched — queueing delay depends on the live concurrent load,
+    /// which the per-query planner cannot see; the multi-query replay
+    /// ([`crate::run_multi_query`]) measures it instead.
+    pub admission: Option<crate::session::AdmissionPolicy>,
 }
 
 impl Default for PlannerParams {
@@ -181,6 +190,7 @@ impl Default for PlannerParams {
             warm_lists: None,
             early_stop: false,
             resilience: None,
+            admission: None,
         }
     }
 }
@@ -240,6 +250,13 @@ impl PlannerParams {
     /// ([`crate::GaloisOptions::resilience`]) into the `EXPLAIN` report.
     pub fn with_resilience(mut self, policy: Option<RetryPolicy>) -> Self {
         self.resilience = policy;
+        self
+    }
+
+    /// Threads the session's admission policy
+    /// ([`crate::GaloisOptions::admission`]) into the `EXPLAIN` report.
+    pub fn with_admission(mut self, policy: Option<crate::session::AdmissionPolicy>) -> Self {
+        self.admission = policy;
         self
     }
 
@@ -849,6 +866,31 @@ impl PlannedQuery {
                 policy.breaker_threshold,
             ));
         }
+        // The admission line appears only with cross-query scheduling on,
+        // so every `Admission::Off` report stays byte-identical to the
+        // single-query pipeline's.
+        if let Some(policy) = &params.admission {
+            let pool = if policy.pool_lanes > 0 {
+                format!("{} lanes", policy.pool_lanes)
+            } else {
+                format!("sessions × {} lanes", params.lanes)
+            };
+            let inflight = if policy.max_inflight > 0 {
+                format!("{} queries", policy.max_inflight)
+            } else {
+                "unlimited".to_string()
+            };
+            let quota = if policy.session_quota > 0 {
+                format!("{} tasks/session", policy.session_quota)
+            } else {
+                "unlimited".to_string()
+            };
+            out.push_str(&format!(
+                "admission: shared pool ({pool}), in-flight cap {inflight}, quota {quota}, \
+                 share {}\n",
+                policy.share,
+            ));
+        }
         let mut temp_rows: HashMap<String, f64> = HashMap::new();
         for (i, (step, cost)) in self
             .compiled
@@ -1372,6 +1414,80 @@ mod tests {
             .map(|l| format!("{l}\n"))
             .collect();
         assert_eq!(stripped, render(&off));
+    }
+
+    #[test]
+    fn render_shows_admission_only_when_on() {
+        let s = Scenario::generate(42);
+        let plan = s
+            .database
+            .plan("SELECT name FROM city WHERE population > 1000000")
+            .unwrap();
+        let off = PlannerParams::default();
+        let on = PlannerParams {
+            lanes: 8,
+            ..Default::default()
+        }
+        .with_admission(Some(crate::session::AdmissionPolicy {
+            max_inflight: 4,
+            ..Default::default()
+        }));
+        let render = |params: &PlannerParams| {
+            plan_query(
+                &plan,
+                s.database.catalog(),
+                &CompileOptions::default(),
+                Planner::CostBased,
+                params,
+            )
+            .unwrap()
+            .render(s.database.catalog(), params)
+        };
+        assert!(!render(&off).contains("admission:"));
+        let report = render(&on);
+        assert!(report.contains("admission: shared pool (sessions × 8 lanes)"));
+        assert!(report.contains("in-flight cap 4 queries"));
+        assert!(report.contains("share deficit-ms"));
+        // The knob adds one line and changes nothing else.
+        let stripped: String = report
+            .lines()
+            .filter(|l| !l.starts_with("admission:"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let off_at_8 = PlannerParams {
+            lanes: 8,
+            ..Default::default()
+        };
+        assert_eq!(stripped, render(&off_at_8));
+    }
+
+    #[test]
+    fn render_admission_names_explicit_pool_and_quota() {
+        let s = Scenario::generate(42);
+        let plan = s
+            .database
+            .plan("SELECT name FROM city WHERE population > 1000000")
+            .unwrap();
+        let params =
+            PlannerParams::default().with_admission(Some(crate::session::AdmissionPolicy {
+                pool_lanes: 64,
+                max_inflight: 0,
+                session_quota: 2,
+                share: galois_llm::FairShare::RoundRobin,
+            }));
+        let report = plan_query(
+            &plan,
+            s.database.catalog(),
+            &CompileOptions::default(),
+            Planner::CostBased,
+            &params,
+        )
+        .unwrap()
+        .render(s.database.catalog(), &params);
+        assert!(report.contains("admission: shared pool (64 lanes)"));
+        assert!(report.contains("in-flight cap unlimited"));
+        assert!(report.contains("quota 2 tasks/session"));
+        assert!(report.contains("share round-robin"));
     }
 
     #[test]

@@ -348,6 +348,96 @@ impl Resilience {
     }
 }
 
+/// Cross-query admission control for [`crate::multi::run_multi_query`].
+///
+/// [`Admission::Off`] (the default) leaves the single-query engine
+/// untouched: each `execute` call still packs its own tasks onto the
+/// session's private `K` lanes, and the multi-query runner falls back to
+/// the default [`AdmissionPolicy`]. `Fair(policy)` makes the policy the
+/// session's — the multi-query runner schedules every admitted query's
+/// micro-batch tasks onto one shared [`galois_llm::LanePool`] under it,
+/// and `EXPLAIN` gains an `admission:` line describing the queueing
+/// behaviour a query will see.
+///
+/// Admission control never changes *what* a query answers — queries
+/// always execute logically in workload order with identical prompts,
+/// cache hits and result relations; the policy only governs when their
+/// traced tasks run on the shared clock (see [`crate::multi`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Admission {
+    /// No cross-query scheduling configured (the default).
+    #[default]
+    Off,
+    /// Fair-share admission over a shared lane pool under this policy.
+    Fair(AdmissionPolicy),
+}
+
+impl Admission {
+    /// The configured policy (`None` when off).
+    pub fn policy(&self) -> Option<AdmissionPolicy> {
+        match self {
+            Admission::Off => None,
+            Admission::Fair(policy) => Some(*policy),
+        }
+    }
+
+    /// True when a cross-query policy is configured.
+    pub fn is_on(&self) -> bool {
+        matches!(self, Admission::Fair(_))
+    }
+}
+
+/// How the multi-query runner admits queries and shares the lane pool.
+///
+/// Every `0` field means "unbounded / derive automatically", which is also
+/// the default policy: pool sized to `sessions × K`, no in-flight cap, no
+/// per-session task quota, deficit-weighted fairness. Those defaults make
+/// a single-session multi-query run bit-exact with running the same
+/// queries back-to-back through the private streaming engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    /// Lanes in the shared pool; `0` derives `sessions × K` (every
+    /// session brings its configured parallelism to the pool, so the
+    /// capacity matches `sessions` independent `K`-lane query streams —
+    /// the apples-to-apples comparison against per-query packing).
+    pub pool_lanes: usize,
+    /// Maximum queries admitted (running) at once; `0` is unlimited.
+    /// Arrivals beyond the cap wait in FIFO order, and their wait is
+    /// tallied as [`QueryStats::queue_ms`].
+    pub max_inflight: usize,
+    /// Maximum micro-batch tasks one session may have in flight on the
+    /// pool at once; `0` is unlimited. A finite quota stops one wide
+    /// query from monopolising the pool within an instant.
+    pub session_quota: usize,
+    /// Fairness rule arbitrating sessions with ready tasks at the same
+    /// virtual instant.
+    pub share: galois_llm::FairShare,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            pool_lanes: 0,
+            max_inflight: 0,
+            session_quota: 0,
+            share: galois_llm::FairShare::DeficitMs,
+        }
+    }
+}
+
+impl AdmissionPolicy {
+    /// The pool size this policy yields for `sessions` sessions over a
+    /// session configured with `k` lanes (`pool_lanes` when set, else
+    /// `sessions × k`).
+    pub fn pool_lanes_for(&self, sessions: usize, k: usize) -> usize {
+        if self.pool_lanes > 0 {
+            self.pool_lanes
+        } else {
+            sessions.max(1) * k.max(1)
+        }
+    }
+}
+
 /// Tuning knobs of a session.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GaloisOptions {
@@ -399,6 +489,11 @@ pub struct GaloisOptions {
     /// for bit; [`Resilience::On`] retries failed requests with backoff
     /// billed in virtual time (see [`Resilience`]).
     pub resilience: Resilience,
+    /// Cross-query admission control. [`Admission::Off`] (the default)
+    /// changes nothing about single-query execution; [`Admission::Fair`]
+    /// configures how [`crate::multi::run_multi_query`] shares the lane
+    /// pool across concurrent sessions (see [`Admission`]).
+    pub admission: Admission,
 }
 
 impl Default for GaloisOptions {
@@ -415,6 +510,7 @@ impl Default for GaloisOptions {
             list_store: ListStore::default(),
             early_stop: EarlyStop::default(),
             resilience: Resilience::default(),
+            admission: Admission::default(),
         }
     }
 }
@@ -482,6 +578,11 @@ pub struct QueryStats {
     /// dropped, the value annotated as `Null`, or the listing left
     /// resumable instead of exhausted.
     pub failed_cells: usize,
+    /// Virtual milliseconds the query waited between arriving and being
+    /// admitted by the cross-query scheduler (always zero outside
+    /// [`crate::multi::run_multi_query`], and under an unlimited
+    /// [`AdmissionPolicy::max_inflight`]).
+    pub queue_ms: u64,
 }
 
 impl QueryStats {
@@ -707,6 +808,7 @@ impl Galois {
         .with_pipeline(self.options.pipeline.is_streaming())
         .with_early_stop(self.options.early_stop == EarlyStop::Limit)
         .with_resilience(self.options.resilience.policy())
+        .with_admission(self.options.admission.policy())
     }
 
     /// The calibration snapshot plan choice uses, frozen at the session's
@@ -2096,6 +2198,18 @@ impl Galois {
     /// instead of barrier-separated waves. See [`Pipeline`] for the
     /// dataflow and its invariants.
     fn execute_compiled_streaming(&self, compiled: &CompiledQuery) -> Result<GaloisResult> {
+        self.execute_compiled_streaming_traced(compiled)
+            .map(|(result, _)| result)
+    }
+
+    /// [`Galois::execute_compiled_streaming`] plus the run's task trace —
+    /// every scheduled task's `(release, duration, completion)` on the
+    /// private clock, in fire order. The trace is what the cross-query
+    /// replay ([`crate::multi`]) re-packs onto a shared lane pool.
+    fn execute_compiled_streaming_traced(
+        &self,
+        compiled: &CompiledQuery,
+    ) -> Result<(GaloisResult, Vec<TracedTask>)> {
         let started = Instant::now();
         let mut sim = StreamSim::new(self, compiled);
         sim.run();
@@ -2103,6 +2217,7 @@ impl Galois {
         let mut stats = QueryStats::default();
         fold_step_stats(&mut stats, &sim.acc);
         stats.virtual_ms = sim.clock.makespan();
+        let trace = sim.trace;
         let mut catalog = self.db.catalog().clone();
         for run in sim.steps {
             let rows: Vec<Vec<Value>> = run
@@ -2121,8 +2236,63 @@ impl Galois {
         let relation =
             galois_relational::execute(&compiled.plan, &catalog).map_err(GaloisError::from)?;
         stats.wall_ms = started.elapsed().as_millis() as u64;
-        Ok(GaloisResult { relation, stats })
+        Ok((GaloisResult { relation, stats }, trace))
     }
+
+    /// Executes one query through the streaming engine, returning the
+    /// result plus the run's task trace for cross-query replay. Mirrors
+    /// [`Galois::execute`] exactly (same planner paths, same calibration
+    /// freeze); `EXPLAIN` statements return their plan relation with an
+    /// empty trace. Requires [`Pipeline::Streaming`].
+    pub(crate) fn execute_traced(&self, sql: &str) -> Result<(GaloisResult, Vec<TracedTask>)> {
+        if !self.options.pipeline.is_streaming() {
+            return Err(GaloisError::Unsupported(
+                "cross-query scheduling requires Pipeline::Streaming (the wave dataflow \
+                 has no task trace to replay)"
+                    .to_string(),
+            ));
+        }
+        let stmt = self.parse_statement(sql)?;
+        if stmt.is_explain() {
+            let params = self.planning_params();
+            let planned = self.plan_statement(stmt.select(), &params)?;
+            let text = planned.render(self.db.catalog(), &params);
+            return Ok((
+                GaloisResult {
+                    relation: galois_relational::cost::explain_relation(&text),
+                    stats: QueryStats::default(),
+                },
+                Vec::new(),
+            ));
+        }
+        let compiled = match self.options.planner {
+            Planner::Heuristic => {
+                let plan = self
+                    .db
+                    .plan_statement(stmt.select())
+                    .map_err(GaloisError::from)?;
+                crate::compile::compile(&plan, self.db.catalog(), &self.options.compile)?
+            }
+            Planner::CostBased => {
+                self.plan_statement(stmt.select(), &self.planning_params())?
+                    .compiled
+            }
+        };
+        self.execute_compiled_streaming_traced(&compiled)
+    }
+}
+
+/// One scheduled task of a streaming run, as captured for cross-query
+/// replay: when the private clock released it, how long it ran, and when
+/// it completed. The completion times encode the query's internal
+/// dataflow — a task whose release equals an earlier task's completion
+/// was (conservatively) triggered by it, which is the dependency rule the
+/// replay preserves (see [`crate::multi`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TracedTask {
+    pub(crate) release: u64,
+    pub(crate) duration: u64,
+    pub(crate) completion: u64,
 }
 
 /// One retrieval cell of a streaming stage, by index into the step (the
@@ -2340,6 +2510,10 @@ struct StreamSim<'a> {
     confirmed: Vec<bool>,
     /// Count of `true` flags in `confirmed`.
     confirmed_total: usize,
+    /// Every scheduled task's `(release, duration, completion)` in fire
+    /// order — the replayable schedule cross-query mode re-packs onto a
+    /// shared lane pool.
+    trace: Vec<TracedTask>,
 }
 
 impl<'a> StreamSim<'a> {
@@ -2430,6 +2604,7 @@ impl<'a> StreamSim<'a> {
             limit,
             confirmed: Vec::new(),
             confirmed_total: 0,
+            trace: Vec::new(),
         }
     }
 
@@ -2755,6 +2930,11 @@ impl<'a> StreamSim<'a> {
             }
             self.acc.charge_phase(phase, outcome.virtual_ms);
             let done = self.clock.schedule(t, outcome.virtual_ms);
+            self.trace.push(TracedTask {
+                release: t,
+                duration: outcome.virtual_ms,
+                completion: done,
+            });
             let completion = outcome
                 .completions
                 .into_iter()

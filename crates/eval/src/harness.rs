@@ -196,6 +196,10 @@ pub struct SuiteTotals {
     pub fetch_virtual_ms: u64,
     /// Real wall-clock milliseconds for the run.
     pub wall_ms: u64,
+    /// Virtual milliseconds queries waited in the cross-query admission
+    /// queue, summed over queries (always zero outside the concurrent
+    /// harness — see [`galois_core::QueryStats::queue_ms`]).
+    pub queue_ms: u64,
 }
 
 /// Folds a run's per-query stats into [`SuiteTotals`], modelling `lanes`
@@ -210,6 +214,7 @@ pub fn suite_totals(run: &GaloisRun, lanes: usize) -> SuiteTotals {
         filter_virtual_ms: run.outcomes.iter().map(|o| o.stats.filter_virtual_ms).sum(),
         fetch_virtual_ms: run.outcomes.iter().map(|o| o.stats.fetch_virtual_ms).sum(),
         wall_ms: run.wall_ms,
+        queue_ms: run.outcomes.iter().map(|o| o.stats.queue_ms).sum(),
     }
 }
 

@@ -17,11 +17,13 @@
 #![warn(missing_docs)]
 
 pub mod cardinality;
+pub mod concurrent;
 pub mod harness;
 pub mod matching;
 pub mod report;
 
 pub use cardinality::{average_diff, cardinality_diff_percent, cardinality_ratio};
+pub use concurrent::{run_suite_concurrent, run_suite_concurrent_on, ConcurrentSuiteRun};
 pub use harness::{
     model_for, run_baseline_suite, run_baseline_suite_parallel, run_galois_suite,
     run_galois_suite_on, run_galois_suite_parallel, run_operator_suite, suite_totals, table1,

@@ -19,6 +19,7 @@
 //! model is "each scheduling point sees `K`-way concurrency", not a
 //! single global pool of `K` connections.
 
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
@@ -96,29 +97,75 @@ const HEAP_LANES_MIN: usize = 32;
 /// narrow ones keep the `O(n·K)` min-scan, which is faster below 32
 /// lanes (the measured crossover, `HEAP_LANES_MIN`). Both paths make the
 /// same assignments with the same tie-breaks — bit-identical makespans.
+///
+/// The per-lane load vector and the heap are thread-local scratch buffers
+/// reused across calls, so the per-wave accounting the client and session
+/// do on every batch allocates nothing in steady state. Callers holding a
+/// long-lived [`LaneScratch`] can skip the thread-local lookup too.
 pub fn lane_schedule<I>(durations: I, lanes: usize) -> u64
 where
     I: IntoIterator<Item = u64>,
 {
-    let lanes = lanes.max(1);
-    if lanes == 1 {
-        return durations.into_iter().sum();
+    thread_local! {
+        static SCRATCH: RefCell<LaneScratch> = RefCell::new(LaneScratch::new());
     }
-    if lanes >= HEAP_LANES_MIN {
-        let mut clock = EventClock::new(lanes);
-        for d in durations {
-            clock.schedule(0, d);
+    SCRATCH.with(|s| s.borrow_mut().lane_schedule(durations, lanes))
+}
+
+/// Reusable scratch buffers for [`lane_schedule`]: the per-lane load
+/// vector of the min-scan path and the `(free_at, lane)` heap of the wide
+/// path, both retained across calls so repeated wave accounting allocates
+/// nothing in steady state. (The free function reuses a thread-local
+/// instance; a long-lived explicit scratch skips even that lookup.)
+///
+/// Both paths make exactly [`lane_schedule`]'s assignments with its
+/// tie-breaks — bit-identical makespans.
+#[derive(Debug, Default)]
+pub struct LaneScratch {
+    load: Vec<u64>,
+    free: BinaryHeap<Reverse<(u64, usize)>>,
+}
+
+impl LaneScratch {
+    /// An empty scratch (buffers grow to the first call's lane count and
+    /// stay allocated).
+    pub fn new() -> Self {
+        LaneScratch::default()
+    }
+
+    /// [`lane_schedule`] over this scratch's buffers.
+    pub fn lane_schedule<I>(&mut self, durations: I, lanes: usize) -> u64
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        let lanes = lanes.max(1);
+        if lanes == 1 {
+            return durations.into_iter().sum();
         }
-        return clock.makespan();
+        if lanes >= HEAP_LANES_MIN {
+            self.free.clear();
+            for i in 0..lanes {
+                self.free.push(Reverse((0, i)));
+            }
+            let mut makespan = 0u64;
+            for d in durations {
+                let Reverse((free_at, lane)) = self.free.pop().expect("at least one lane");
+                let done = free_at + d;
+                self.free.push(Reverse((done, lane)));
+                makespan = makespan.max(done);
+            }
+            return makespan;
+        }
+        self.load.clear();
+        self.load.resize(lanes, 0);
+        for d in durations {
+            let min = (0..lanes)
+                .min_by_key(|&i| self.load[i])
+                .expect("at least one lane");
+            self.load[min] += d;
+        }
+        self.load.iter().copied().max().unwrap_or(0)
     }
-    let mut load = vec![0u64; lanes];
-    for d in durations {
-        let min = (0..lanes)
-            .min_by_key(|&i| load[i])
-            .expect("at least one lane");
-        load[min] += d;
-    }
-    load.into_iter().max().unwrap_or(0)
 }
 
 /// Event-driven virtual clock: `K` request lanes serving tasks that become
@@ -199,6 +246,117 @@ impl EventClock {
             .iter()
             .filter(|Reverse((free_at, _))| *free_at <= t)
             .count()
+    }
+
+    /// Resets the clock to `lanes` fresh lanes (clamped to ≥ 1), all free
+    /// at time zero, reusing the heap's allocation. After a reset the
+    /// clock is indistinguishable from `EventClock::new(lanes)`.
+    pub fn reset(&mut self, lanes: usize) {
+        let lanes = lanes.max(1);
+        self.free.clear();
+        for i in 0..lanes {
+            self.free.push(Reverse((0, i)));
+        }
+        self.lanes = lanes;
+        self.makespan = 0;
+    }
+}
+
+/// Fairness rule a shared [`LanePool`] arbitrates concurrent sessions by
+/// when several have work ready at the same virtual instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FairShare {
+    /// Deficit-weighted: the session with the least lane-busy virtual
+    /// time served so far goes first (ties to the lowest session index).
+    /// Sessions with short queries never starve behind heavy ones.
+    #[default]
+    DeficitMs,
+    /// Plain round-robin over session indices: a rotating cursor picks
+    /// the next session with ready work, regardless of how much service
+    /// each has consumed.
+    RoundRobin,
+}
+
+impl fmt::Display for FairShare {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FairShare::DeficitMs => write!(f, "deficit-ms"),
+            FairShare::RoundRobin => write!(f, "round-robin"),
+        }
+    }
+}
+
+/// A global pool of request lanes shared by many concurrent sessions —
+/// [`EventClock`] lifted from "one query's `K` lanes" to "the deployment's
+/// lanes, drawn from by every in-flight query".
+///
+/// The pool keeps the clock's determinism (earliest-free lane, ties to the
+/// lowest index; tasks must be scheduled in a deterministic order) and
+/// adds per-session service accounting: every scheduled task's duration is
+/// tallied against its session, which is what deficit-weighted fairness
+/// ([`FairShare::DeficitMs`]) and the utilisation report read.
+#[derive(Debug, Clone)]
+pub struct LanePool {
+    clock: EventClock,
+    /// Lane-busy virtual milliseconds served per session.
+    served: Vec<u64>,
+    /// Total lane-busy virtual milliseconds across all sessions.
+    busy_ms: u64,
+}
+
+impl LanePool {
+    /// A pool of `lanes` request lanes (clamped to ≥ 1) serving `sessions`
+    /// sessions, all lanes free at virtual time zero.
+    pub fn new(lanes: usize, sessions: usize) -> Self {
+        LanePool {
+            clock: EventClock::new(lanes),
+            served: vec![0; sessions.max(1)],
+            busy_ms: 0,
+        }
+    }
+
+    /// The lane count.
+    pub fn lanes(&self) -> usize {
+        self.clock.lanes()
+    }
+
+    /// The session count.
+    pub fn sessions(&self) -> usize {
+        self.served.len()
+    }
+
+    /// Schedules a task of `session` released at `release` with `duration`
+    /// on the earliest-free lane and returns its completion time (exactly
+    /// [`EventClock::schedule`]), tallying the duration as service to the
+    /// session.
+    pub fn schedule(&mut self, session: usize, release: u64, duration: u64) -> u64 {
+        if let Some(s) = self.served.get_mut(session) {
+            *s += duration;
+        }
+        self.busy_ms += duration;
+        self.clock.schedule(release, duration)
+    }
+
+    /// Lane-busy virtual milliseconds served to `session` so far — the
+    /// deficit counter [`FairShare::DeficitMs`] arbitrates on.
+    pub fn served_ms(&self, session: usize) -> u64 {
+        self.served.get(session).copied().unwrap_or(0)
+    }
+
+    /// The latest completion time scheduled so far.
+    pub fn makespan(&self) -> u64 {
+        self.clock.makespan()
+    }
+
+    /// Fraction of the `lanes × makespan` budget that did useful work
+    /// (0.0 on an empty pool).
+    pub fn utilisation(&self) -> f64 {
+        let budget = (self.lanes() as u64 * self.makespan()) as f64;
+        if budget == 0.0 {
+            0.0
+        } else {
+            self.busy_ms as f64 / budget
+        }
     }
 }
 
@@ -351,5 +509,86 @@ mod tests {
         assert!(Parallelism::default().is_sequential());
         assert_eq!(Parallelism::from(8).get(), 8);
         assert_eq!(Parallelism::new(3).to_string(), "3");
+    }
+
+    #[test]
+    fn scratch_matches_the_free_function_across_reuse() {
+        // One scratch reused across differing lane counts (including the
+        // heap path) must stay bit-identical with fresh-state calls.
+        let mut x = 0xdeadbeefcafef00du64;
+        let durations: Vec<u64> = (0..500)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % 23
+            })
+            .collect();
+        let mut scratch = LaneScratch::new();
+        for &lanes in &[1usize, 2, 8, 64, 3, 32, 1, 100] {
+            assert_eq!(
+                scratch.lane_schedule(durations.iter().copied(), lanes),
+                lane_schedule(durations.iter().copied(), lanes),
+                "lanes {lanes}"
+            );
+        }
+    }
+
+    #[test]
+    fn event_clock_reset_is_a_fresh_clock() {
+        let mut clock = EventClock::new(2);
+        clock.schedule(0, 10);
+        clock.schedule(0, 7);
+        clock.reset(3);
+        assert_eq!(clock.lanes(), 3);
+        assert_eq!(clock.makespan(), 0);
+        assert_eq!(clock.idle_lanes(0), 3);
+        // Same schedule as a new clock, including tie-breaks.
+        let mut fresh = EventClock::new(3);
+        for &(r, d) in &[(0u64, 5u64), (0, 5), (0, 5), (2, 4), (0, 1)] {
+            assert_eq!(clock.schedule(r, d), fresh.schedule(r, d));
+        }
+        clock.reset(0);
+        assert_eq!(clock.lanes(), 1);
+    }
+
+    #[test]
+    fn lane_pool_reproduces_the_event_clock() {
+        // A one-session pool is exactly an EventClock with accounting.
+        let mut pool = LanePool::new(4, 1);
+        let mut clock = EventClock::new(4);
+        let tasks = [(0u64, 10u64), (0, 4), (6, 5), (2, 1), (11, 3)];
+        for &(r, d) in &tasks {
+            assert_eq!(pool.schedule(0, r, d), clock.schedule(r, d));
+        }
+        assert_eq!(pool.makespan(), clock.makespan());
+        assert_eq!(pool.served_ms(0), tasks.iter().map(|&(_, d)| d).sum());
+        assert_eq!(pool.lanes(), 4);
+        assert_eq!(pool.sessions(), 1);
+    }
+
+    #[test]
+    fn lane_pool_tallies_service_per_session() {
+        let mut pool = LanePool::new(2, 3);
+        pool.schedule(0, 0, 10);
+        pool.schedule(1, 0, 4);
+        pool.schedule(1, 0, 2);
+        pool.schedule(2, 0, 1);
+        assert_eq!(pool.served_ms(0), 10);
+        assert_eq!(pool.served_ms(1), 6);
+        assert_eq!(pool.served_ms(2), 1);
+        assert_eq!(pool.served_ms(99), 0);
+        // 17 busy ms over 2 lanes × makespan.
+        let expect = 17.0 / (2.0 * pool.makespan() as f64);
+        assert!((pool.utilisation() - expect).abs() < 1e-12);
+        assert_eq!(LanePool::new(8, 0).sessions(), 1);
+        assert_eq!(LanePool::new(8, 2).utilisation(), 0.0);
+    }
+
+    #[test]
+    fn fair_share_renders_its_label() {
+        assert_eq!(FairShare::default(), FairShare::DeficitMs);
+        assert_eq!(FairShare::DeficitMs.to_string(), "deficit-ms");
+        assert_eq!(FairShare::RoundRobin.to_string(), "round-robin");
     }
 }

@@ -8,7 +8,8 @@
 //! Run with: `cargo run --release --example explain_plan`
 
 use galois::core::{
-    Galois, GaloisOptions, Parallelism, Pipeline, Planner, PromptBatch, Resilience, RetryPolicy,
+    Admission, AdmissionPolicy, Galois, GaloisOptions, Parallelism, Pipeline, Planner, PromptBatch,
+    Resilience, RetryPolicy,
 };
 use galois::dataset::Scenario;
 use galois::llm::{FaultProfile, FaultyLlm, ModelProfile, SimLlm};
@@ -142,4 +143,43 @@ fn main() {
         result.stats.virtual_ms,
     );
     assert_eq!(result.stats.failed_cells, 0, "retries absorb the schedule");
+
+    // Admission control: the same streaming stack with cross-query
+    // scheduling armed. EXPLAIN gains a queueing-aware `admission:` line
+    // naming the shared-pool width, the in-flight window, the per-session
+    // quota and the fair-share rule — the plan itself (and its cost
+    // estimates) are untouched, because admission only reshapes *when*
+    // traces replay, never what the query asks.
+    let galois = Galois::with_options(
+        Arc::new(SimLlm::new(
+            scenario.knowledge.clone(),
+            ModelProfile::oracle(),
+        )),
+        scenario.database.clone(),
+        GaloisOptions {
+            planner: Planner::CostBased,
+            prompt_batch: PromptBatch::Keys(10),
+            pipeline: Pipeline::Streaming,
+            parallelism: Parallelism::new(8),
+            admission: Admission::Fair(AdmissionPolicy {
+                max_inflight: 14,
+                ..Default::default()
+            }),
+            ..Default::default()
+        },
+    );
+    let explained = galois.execute(&format!("EXPLAIN {sql}")).unwrap();
+    println!("\n=== streaming, 8 lanes + fair admission (in-flight cap 14) ===");
+    for row in &explained.relation.rows {
+        println!("{}", row[0].render());
+    }
+    assert_eq!(explained.stats.total_prompts(), 0);
+    let admission_line = explained
+        .relation
+        .rows
+        .iter()
+        .map(|row| row[0].render())
+        .find(|line| line.starts_with("admission:"))
+        .expect("fair admission adds its EXPLAIN line");
+    println!("-> {admission_line}");
 }
